@@ -1,0 +1,63 @@
+// Figure 12: time-to-accuracy for ResNet50 / DenseNet161 / VGG11 at
+// straggling probability p = 16%, Trio-ML vs SwitchML.
+//
+// Paper result: Trio-ML reaches the target top-5 validation accuracy
+// 1.56x / 1.56x / 1.60x faster than SwitchML.
+#include "bench_util.hpp"
+#include "mltrain/model.hpp"
+#include "mltrain/trainer.hpp"
+
+using namespace mltrain;
+
+int main() {
+  benchutil::banner("Figure 12: time-to-accuracy at p = 16%",
+                    "paper Fig 12 (a)-(c): speedups 1.56x / 1.56x / 1.60x");
+
+  TrainConfig cfg;
+  cfg.straggle_probability = 0.16;
+
+  for (const auto& model : model_zoo()) {
+    Trainer trio(model, Backend::kTrioML, cfg);
+    Trainer sml(model, Backend::kSwitchML, cfg);
+    const double max_minutes = 2500;
+    const auto r_trio = trio.train_to_accuracy(model.target_acc, max_minutes);
+    const auto r_sml = sml.train_to_accuracy(model.target_acc, max_minutes);
+
+    std::printf("%s (target top-5 accuracy %.0f%%)\n", model.name.c_str(),
+                model.target_acc);
+    benchutil::row({"  system", "time-to-acc", "iterations", "degraded"}, 16);
+    benchutil::row({"  Trio-ML",
+                    benchutil::fmt(r_trio.time_to_target_minutes, 1) + " min",
+                    std::to_string(r_trio.iterations),
+                    benchutil::fmt(100 * r_trio.degraded_fraction, 1) + "%"},
+                   16);
+    benchutil::row({"  SwitchML",
+                    benchutil::fmt(r_sml.time_to_target_minutes, 1) + " min",
+                    std::to_string(r_sml.iterations),
+                    benchutil::fmt(100 * r_sml.degraded_fraction, 1) + "%"},
+                   16);
+    const double speedup =
+        r_sml.time_to_target_minutes / r_trio.time_to_target_minutes;
+    std::printf("  Trio-ML speedup: %.2fx   (paper: %s)\n\n",
+                speedup,
+                model.name == "VGG11" ? "1.60x" : "1.56x");
+
+    // Accuracy-vs-time curve samples (the plotted series), decimated.
+    std::printf("  accuracy curve (minutes: Trio-ML / SwitchML %%):\n");
+    const auto sample = [](const TrainResult& r, double minute) {
+      double acc = 0;
+      for (const auto& [t, a] : r.curve) {
+        if (t <= minute) acc = a;
+      }
+      return acc;
+    };
+    const double end = r_sml.time_to_target_minutes;
+    for (int i = 1; i <= 8; ++i) {
+      const double t = end * i / 8;
+      std::printf("    %7.1f min: %5.1f / %5.1f\n", t, sample(r_trio, t),
+                  sample(r_sml, t));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

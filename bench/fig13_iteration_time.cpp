@@ -1,0 +1,59 @@
+// Figure 13: average training iteration time (first 100 iterations) as a
+// function of the straggling probability p, for Ideal / Trio-ML /
+// SwitchML on three DNN models.
+//
+// Paper result: SwitchML's iteration time grows with p while Trio-ML
+// stays close to Ideal; at p = 16% Trio-ML is 1.72x / 1.75x / 1.8x
+// faster than SwitchML (ResNet50 / DenseNet161 / VGG11).
+#include "bench_util.hpp"
+#include "mltrain/model.hpp"
+#include "mltrain/trainer.hpp"
+
+using namespace mltrain;
+
+int main() {
+  benchutil::banner(
+      "Figure 13: iteration time vs straggling probability",
+      "paper Fig 13 (a)-(c): Trio-ML ~ Ideal; 1.72x/1.75x/1.8x at p=16%");
+
+  const std::vector<double> probabilities = {0.0,  0.02, 0.04, 0.06,
+                                             0.08, 0.10, 0.12, 0.14, 0.16};
+  // Average over several seeds of 100-iteration runs, as the paper
+  // averages "the first 100 iterations".
+  const int seeds = 20;
+
+  for (const auto& model : model_zoo()) {
+    std::printf("%s (iteration time, ms)\n", model.name.c_str());
+    benchutil::row({"  p(%)", "Ideal", "Trio-ML", "SwitchML", "speedup"}, 12);
+    double speedup_at_16 = 0;
+    for (double p : probabilities) {
+      double sums[3] = {0, 0, 0};
+      const Backend backends[3] = {Backend::kIdeal, Backend::kTrioML,
+                                   Backend::kSwitchML};
+      for (int b = 0; b < 3; ++b) {
+        for (int s = 0; s < seeds; ++s) {
+          TrainConfig cfg;
+          cfg.straggle_probability = p;
+          cfg.seed = static_cast<std::uint64_t>(s + 1);
+          Trainer t(model, backends[b], cfg);
+          sums[b] += t.run_iterations(100).mean_iteration_ms;
+        }
+        sums[b] /= seeds;
+      }
+      const double speedup = sums[2] / sums[1];
+      if (p >= 0.159) speedup_at_16 = speedup;
+      benchutil::row({"  " + benchutil::fmt(100 * p, 0),
+                      benchutil::fmt(sums[0], 1), benchutil::fmt(sums[1], 1),
+                      benchutil::fmt(sums[2], 1),
+                      benchutil::fmt(speedup, 2) + "x"},
+                     12);
+    }
+    std::printf("  at p=16%%: Trio-ML speedup over SwitchML = %.2fx "
+                "(paper: %s)\n\n",
+                speedup_at_16,
+                model.name == "ResNet50"      ? "1.72x"
+                : model.name == "DenseNet161" ? "1.75x"
+                                              : "1.8x");
+  }
+  return 0;
+}

@@ -1,0 +1,240 @@
+// google-benchmark microbenchmarks of the substrates, including the
+// ablations called out in DESIGN.md:
+//   * RMW-offload vs conventional line-ownership access (§2.3 argument);
+//   * single- vs multi-thread hash-table scanning (§5's 1/N partitioning);
+//   * event-queue, SMS, hash, packet parse and Microcode dispatch costs
+//     (simulator-host performance, i.e. how fast the simulation runs).
+#include <benchmark/benchmark.h>
+
+#include "microcode/compiler.hpp"
+#include "microcode/interpreter.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "trio/hash_table.hpp"
+#include "trio/router.hpp"
+#include "trio/sms.hpp"
+#include "trioml/testbed.hpp"
+#include "trioml/wire_format.hpp"
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_in(sim::Duration(i), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_SmsAddVec32(benchmark::State& state) {
+  sim::Simulator sim;
+  trio::SharedMemorySystem sms(sim, trio::Calibration{});
+  trio::XtxnRequest add;
+  add.op = trio::XtxnOp::kAddVec32;
+  add.data.assign(64, 1);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    add.addr = addr;
+    addr = (addr + 64) % (1 << 20);
+    sms.issue(add, {});
+  }
+  state.SetItemsProcessed(state.iterations() * 16);  // adds per request
+}
+BENCHMARK(BM_SmsAddVec32);
+
+void BM_SmsRmwVsLineOwnership(benchmark::State& state) {
+  // arg 0: Trio RMW engines; arg 1: conventional line ownership. The
+  // *simulated* completion time per op is reported as a counter.
+  sim::Simulator sim;
+  trio::SharedMemorySystem sms(sim, trio::Calibration{});
+  sms.set_line_ownership_mode(state.range(0) == 1);
+  trio::XtxnRequest add;
+  add.op = trio::XtxnOp::kAddVec32;
+  add.addr = 0;  // all on one bank: maximum contention
+  add.data.assign(64, 1);
+  sim::Time last;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    last = sms.issue(add, {});
+    ++n;
+  }
+  state.counters["sim_ns_per_op"] =
+      static_cast<double>(last.ns()) / static_cast<double>(n);
+}
+BENCHMARK(BM_SmsRmwVsLineOwnership)->Arg(0)->Arg(1);
+
+void BM_HashTableLookup(benchmark::State& state) {
+  sim::Simulator sim;
+  trio::HwHashTable table(sim, trio::Calibration{}, 1 << 14);
+  for (std::uint64_t k = 0; k < 10'000; ++k) table.insert(k, k);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(k));
+    k = (k + 1) % 10'000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableLookup);
+
+void BM_HashScanPartitioned(benchmark::State& state) {
+  // The §5 ablation: scanning a big table in 1 partition vs N. The work
+  // per *thread* shrinks by N; total work stays the same.
+  const auto parts = static_cast<std::uint32_t>(state.range(0));
+  sim::Simulator sim;
+  trio::HwHashTable table(sim, trio::Calibration{}, 1 << 14);
+  for (std::uint64_t k = 0; k < 50'000; ++k) table.insert(k, k);
+  for (auto _ : state) {
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      benchmark::DoNotOptimize(table.scan_partition(p, parts, 1 << 20));
+    }
+  }
+  state.counters["buckets_per_thread"] =
+      static_cast<double>(table.partition_buckets(parts));
+}
+BENCHMARK(BM_HashScanPartitioned)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_PacketParse(benchmark::State& state) {
+  std::vector<std::uint32_t> grads(256, 7);
+  trioml::TrioMlHeader hdr;
+  hdr.job_id = 1;
+  auto frame = trioml::build_aggregation_frame(
+      {1, 1, 1, 1, 1, 1}, {2, 2, 2, 2, 2, 2},
+      net::Ipv4Addr::from_octets(10, 0, 0, 1),
+      net::Ipv4Addr::from_octets(10, 0, 0, 254), 20000, hdr, grads);
+  for (auto _ : state) {
+    const auto eth = net::EthernetHeader::parse(frame, 0);
+    const auto ip =
+        net::Ipv4Header::parse(frame, net::UdpFrameLayout::kIpOff);
+    const auto udp =
+        net::UdpHeader::parse(frame, net::UdpFrameLayout::kUdpOff);
+    const auto ml = trioml::TrioMlHeader::parse(frame, trioml::kTrioMlHdrOff);
+    benchmark::DoNotOptimize(eth);
+    benchmark::DoNotOptimize(ip);
+    benchmark::DoNotOptimize(udp);
+    benchmark::DoNotOptimize(ml);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_MicrocodeFilterProgram(benchmark::State& state) {
+  // End-to-end simulated cost of the §3.2 filter program per packet.
+  static const char* kSrc = R"(
+    struct ether_t { dmac : 48; smac : 48; etype : 16; };
+    struct ipv4_t { ver : 4; ihl : 4; tos : 8; len : 16; };
+    virtual const DROP_CNT_BASE = 64;
+    memory ether_t *ether_ptr = 0;
+    process_ether:
+    begin
+      ir0 = 0;
+      if (ether_ptr->etype == 0x0800) { goto process_ip; }
+      goto count_dropped;
+    end
+    process_ip:
+    begin
+      const ipv4_t *ipv4_addr = ether_ptr + sizeof(ether_t);
+      ir0 = 1;
+      if (ipv4_addr->ver == 4 && ipv4_addr->ihl == 5) { goto fwd; }
+      goto count_dropped;
+    end
+    count_dropped:
+    begin
+      const : addr = DROP_CNT_BASE + ir0 * 2;
+      CounterIncPhys(addr, r_work.pkt_len);
+      goto drop;
+    end
+    fwd:
+    begin
+      Forward(0);
+      Exit();
+    end
+    drop:
+    begin
+      Drop();
+    end
+  )";
+  auto program = microcode::compile(kSrc);
+  std::vector<std::uint8_t> payload(64, 0);
+  auto frame = net::build_udp_frame({1, 1, 1, 1, 1, 1}, {2, 2, 2, 2, 2, 2},
+                                    net::Ipv4Addr::from_octets(10, 0, 0, 1),
+                                    net::Ipv4Addr::from_octets(10, 0, 0, 2),
+                                    1, 2, payload);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    trio::Router router(sim, trio::Calibration{}, 1, 2);
+    router.forwarding().add_nexthop(trio::NexthopUnicast{1, {}});
+    router.attach_port_sink(1, [](net::PacketPtr) {});
+    router.pfe(0).set_program_factory(
+        microcode::make_program_factory(program));
+    state.ResumeTiming();
+    for (int i = 0; i < 64; ++i) {
+      router.receive(net::Packet::make(frame), 0);
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MicrocodeFilterProgram);
+
+void BM_CompileMicrocode(benchmark::State& state) {
+  static const char* kSrc = R"(
+    struct h_t { a : 8; b : 8; };
+    memory h_t *p = 0;
+    main:
+    begin
+      ir0 = p->a;
+      if (ir0 == 1) { goto other; }
+      Exit();
+    end
+    other:
+    begin
+      ir1 = p->b;
+      Exit();
+    end
+  )";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(microcode::compile(kSrc));
+  }
+}
+BENCHMARK(BM_CompileMicrocode);
+
+void BM_TrioMlHeadVsTailSplit(benchmark::State& state) {
+  // Ablation (DESIGN.md): the head/tail split. 32-gradient packets fit
+  // entirely in the 192-byte head (zero tail XTXNs); 1024-gradient
+  // packets stream ~97% of their gradients through the 64-byte tail-read
+  // loop. The counter reports *simulated* time per gradient for each.
+  const int grads_per_packet = static_cast<int>(state.range(0));
+  double sim_ns_per_grad = 0;
+  std::uint64_t tail_bytes = 0;
+  for (auto _ : state) {
+    trioml::TestbedConfig cfg;
+    cfg.num_workers = 2;
+    cfg.grads_per_packet = static_cast<std::uint16_t>(grads_per_packet);
+    cfg.window = 1;
+    cfg.slab_pool = 64;
+    trioml::Testbed tb(cfg);
+    const std::size_t blocks = 64;
+    for (int w = 0; w < 2; ++w) {
+      std::vector<std::uint32_t> g(
+          static_cast<std::size_t>(grads_per_packet) * blocks, 1);
+      tb.worker(w).start_allreduce(std::move(g), 1,
+                                   [](trioml::AllreduceResult) {});
+    }
+    tb.simulator().run();
+    sim_ns_per_grad =
+        tb.app(0).stats().packet_latency_us.mean() * 1e3 / grads_per_packet;
+    tail_bytes = tb.router().pfe(0).mqss().tail_bytes_read();
+  }
+  state.counters["sim_ns_per_grad"] = sim_ns_per_grad;
+  state.counters["tail_bytes_read"] = static_cast<double>(tail_bytes);
+}
+BENCHMARK(BM_TrioMlHeadVsTailSplit)->Arg(32)->Arg(1024)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

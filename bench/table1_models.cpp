@@ -1,0 +1,21 @@
+// Table 1: DNN models used in the experiments.
+#include "bench_util.hpp"
+#include "mltrain/model.hpp"
+
+int main() {
+  benchutil::banner("Table 1: DNN models used in our experiments",
+                    "paper Table 1 (§6.1)");
+  benchutil::row({"DNN Model", "Size", "Batch size/GPU", "Dataset",
+                  "Gradients"}, 16);
+  benchutil::row({"---------", "----", "--------------", "-------",
+                  "---------"}, 16);
+  for (const auto& m : mltrain::model_zoo()) {
+    benchutil::row({m.name, benchutil::fmt(m.size_mb, 0) + " MB",
+                    std::to_string(m.batch_size_per_gpu), m.dataset,
+                    std::to_string(m.gradient_count())},
+                   16);
+  }
+  std::printf("\npaper: ResNet50 98 MB/64, VGG11 507 MB/128, "
+              "DenseNet161 109 MB/64, all ImageNet\n");
+  return 0;
+}

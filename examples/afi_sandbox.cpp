@@ -1,0 +1,106 @@
+// Third-party programmability with the Advanced Forwarding Interface
+// (paper §3.1): manage a section of the forwarding-path graph — add,
+// remove and reorder operations for specific packets — without touching
+// the router's Microcode image.
+//
+// Scenario: an operator delegates a sandbox for traffic from a tenant
+// prefix. The tenant first installs accounting, then adds a policer in
+// front of it during an incident, then reorders so accounting sees even
+// the policed-away packets, and finally removes the policer.
+//
+//   $ ./afi_sandbox
+#include <cstdio>
+
+#include "trio/afi.hpp"
+#include "trio/router.hpp"
+
+namespace {
+
+net::Buffer tenant_frame(std::size_t bytes = 600) {
+  std::vector<std::uint8_t> payload(bytes, 0);
+  return net::build_udp_frame({2, 0, 0, 0, 0, 1}, {2, 0, 0, 0, 0, 2},
+                              net::Ipv4Addr::from_string("203.0.113.7"),
+                              net::Ipv4Addr::from_string("10.7.7.7"), 5000,
+                              5001, payload);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("AFI sandbox: third-party forwarding-path programmability\n");
+  std::printf("=========================================================\n\n");
+
+  sim::Simulator sim;
+  trio::Router router(sim, trio::Calibration{}, 1, 4);
+  auto& sms = router.pfe(0).sms();
+
+  const auto nh = router.forwarding().add_nexthop(trio::NexthopUnicast{1, {}});
+  router.forwarding().add_route(net::Ipv4Addr::from_string("0.0.0.0"), 0, nh);
+  std::uint64_t delivered = 0;
+  router.attach_port_sink(1, [&](net::PacketPtr) { ++delivered; });
+
+  trio::afi::AfiHost host(router.pfe(0));
+  trio::afi::Sandbox* sandbox = host.create_sandbox(
+      "tenant-203.0.113.0/24", [](const net::Packet& pkt) {
+        const auto ip = net::Ipv4Header::parse(pkt.frame(),
+                                               net::UdpFrameLayout::kIpOff);
+        return (ip.src.value() & 0xffffff00u) ==
+               net::Ipv4Addr::from_string("203.0.113.0").value();
+      });
+  host.attach();
+
+  auto run_burst = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      router.receive(net::Packet::make(tenant_frame()), 0);
+    }
+    sim.run();
+  };
+
+  // Phase 1: accounting only.
+  const auto acct = sms.alloc_sram(16, 16);
+  const auto acct_op = sandbox->add(trio::afi::CountOp{acct});
+  run_burst(100);
+  std::printf("phase 1 (count):              delivered %llu, counted %llu\n",
+              (unsigned long long)delivered,
+              (unsigned long long)sms.peek_u64(acct));
+
+  // Phase 2: incident! insert a policer *before* the accounting node.
+  const auto pol = sms.alloc_sram(32, 32);
+  trio::PolicerConfig pc;
+  pc.rate_bytes_per_sec = 10'000;  // trickle
+  pc.burst_bytes = 650 * 10;       // ~10 frames
+  sms.configure_policer(pol, pc);
+  const auto pol_op =
+      sandbox->insert_before(acct_op, trio::afi::PoliceOp{pol, 0});
+  const auto delivered_before = delivered;
+  run_burst(100);
+  std::printf(
+      "phase 2 (police->count):      delivered %llu more (dropped %llu), "
+      "counted only %llu\n",
+      (unsigned long long)(delivered - delivered_before),
+      (unsigned long long)sandbox->drops(),
+      (unsigned long long)sms.peek_u64(acct));
+
+  // Phase 3: reorder so accounting runs first — visibility into the
+  // attack traffic even when it is policed away.
+  sandbox->reorder(acct_op, 0);
+  const auto counted_before = sms.peek_u64(acct);
+  run_burst(100);
+  std::printf(
+      "phase 3 (count->police):      counted all %llu new packets while "
+      "still policing\n",
+      (unsigned long long)(sms.peek_u64(acct) - counted_before));
+
+  // Phase 4: incident over; remove the policer at runtime.
+  sandbox->remove(pol_op);
+  const auto delivered_before4 = delivered;
+  run_burst(100);
+  std::printf("phase 4 (policer removed):    delivered %llu/100 again\n",
+              (unsigned long long)(delivered - delivered_before4));
+
+  std::printf("\nsandbox totals: %llu packets, %llu drops — all managed at\n"
+              "runtime through the AFI API, no image rebuild.\n",
+              (unsigned long long)sandbox->packets(),
+              (unsigned long long)sandbox->drops());
+  return 0;
+}

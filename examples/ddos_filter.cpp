@@ -1,0 +1,165 @@
+// In-network DDoS mitigation (paper §7, "Trio for in-network security").
+//
+// Every source prefix gets a policer record in shared memory; the
+// per-packet program charges each packet against its source's token
+// bucket through the read-modify-write engines and drops non-conforming
+// traffic, counting drops per source in Packet/Byte counters. A volumetric
+// attacker is throttled to its policed rate while legitimate flows pass
+// untouched — entirely in the dataplane, no control-plane round trips.
+//
+//   $ ./ddos_filter
+#include <cstdio>
+
+#include "trio/hash.hpp"
+#include "trio/router.hpp"
+
+namespace {
+
+struct SecurityState {
+  std::uint64_t policer_base = 0;  // one 32 B policer per /24
+  std::uint64_t drop_counter_base = 0;
+  static constexpr std::uint32_t kPrefixes = 256;
+  std::uint64_t policer_addr(std::uint32_t src) const {
+    return policer_base + (src >> 8 & 0xff) * 32;  // /24 bucket
+  }
+  std::uint64_t drop_counter_addr(std::uint32_t src) const {
+    return drop_counter_base + (src >> 8 & 0xff) * 16;
+  }
+};
+
+class DdosFilterProgram : public trio::PpeProgram {
+ public:
+  DdosFilterProgram(SecurityState& state, trio::Router& router)
+      : state_(state), router_(router) {}
+
+  trio::Action step(trio::ThreadContext& ctx) override {
+    switch (stage_) {
+      case 0: {
+        const auto ip =
+            net::Ipv4Header::parse(ctx.lmem, net::UdpFrameLayout::kIpOff);
+        src_ = ip.src.value();
+        dst_ = ip.dst;
+        stage_ = 1;
+        trio::ActSyncXtxn pol;
+        pol.req.op = trio::XtxnOp::kPolicerCheck;
+        pol.req.addr = state_.policer_addr(src_);
+        pol.req.arg0 = ctx.packet->size();
+        pol.instructions = 12;
+        return pol;
+      }
+      case 1: {
+        stage_ = 2;
+        if (ctx.reply.value == 0) {
+          // Exceeded the source's rate: drop and count.
+          trio::ActAsyncXtxn cnt;
+          cnt.req.op = trio::XtxnOp::kCounterInc;
+          cnt.req.addr = state_.drop_counter_addr(src_);
+          cnt.req.arg0 = ctx.packet->size();
+          cnt.instructions = 3;
+          dropped_ = true;
+          return cnt;
+        }
+        const auto nh = router_.forwarding().lookup(dst_);
+        if (!nh) return trio::ActExit{2};
+        return trio::ActEmitPacket{ctx.packet, *nh, 4};
+      }
+      default:
+        return trio::ActExit{dropped_ ? 2u : 1u};
+    }
+  }
+
+ private:
+  SecurityState& state_;
+  trio::Router& router_;
+  int stage_ = 0;
+  std::uint32_t src_ = 0;
+  net::Ipv4Addr dst_;
+  bool dropped_ = false;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Trio in-network DDoS mitigation (paper §7)\n");
+  std::printf("==========================================\n\n");
+
+  sim::Simulator sim;
+  trio::Router router(sim, trio::Calibration{}, 1, 4);
+  auto& sms = router.pfe(0).sms();
+
+  SecurityState state;
+  state.policer_base = sms.alloc_sram(SecurityState::kPrefixes * 32, 64);
+  state.drop_counter_base =
+      sms.alloc_sram(SecurityState::kPrefixes * 16, 64);
+
+  // Every /24 is policed to 20 Mbit/s with a 30 KB burst.
+  trio::PolicerConfig pc;
+  pc.rate_bytes_per_sec = 20'000'000 / 8;
+  pc.burst_bytes = 30'000;
+  for (std::uint32_t p = 0; p < SecurityState::kPrefixes; ++p) {
+    sms.configure_policer(state.policer_base + p * 32, pc);
+  }
+
+  const auto nh = router.forwarding().add_nexthop(trio::NexthopUnicast{1, {}});
+  router.forwarding().add_route(net::Ipv4Addr::from_string("0.0.0.0"), 0, nh);
+  std::uint64_t delivered_attack = 0, delivered_legit = 0;
+  router.attach_port_sink(1, [&](net::PacketPtr pkt) {
+    const auto ip =
+        net::Ipv4Header::parse(pkt->frame(), net::UdpFrameLayout::kIpOff);
+    if ((ip.src.value() >> 8 & 0xff) == 66) {
+      ++delivered_attack;
+    } else {
+      ++delivered_legit;
+    }
+  });
+  router.pfe(0).set_program_factory(
+      [&](const net::Packet&) -> std::unique_ptr<trio::PpeProgram> {
+        return std::make_unique<DdosFilterProgram>(state, router);
+      });
+
+  auto send = [&](std::uint32_t src, std::size_t bytes) {
+    std::vector<std::uint8_t> payload(bytes, 0);
+    auto frame = net::build_udp_frame({2, 0, 0, 0, 0, 1}, {2, 0, 0, 0, 0, 2},
+                                      net::Ipv4Addr(src),
+                                      net::Ipv4Addr::from_string("10.9.9.9"),
+                                      1000, 2000, payload);
+    router.receive(net::Packet::make(std::move(frame)), 0);
+  };
+
+  // 100 ms of traffic: the attacker (10.0.66.0/24) floods 1 Gbit/s;
+  // twenty legitimate /24s send ~5 Mbit/s each.
+  std::uint64_t sent_attack = 0, sent_legit = 0;
+  for (int ms = 0; ms < 100; ++ms) {
+    for (int i = 0; i < 89; ++i) {  // ~1 Gbps of 1400 B packets
+      send(0x0a004200u + static_cast<std::uint32_t>(i % 250), 1400);
+      ++sent_attack;
+    }
+    for (std::uint32_t s = 1; s <= 20; ++s) {
+      send(0x0a000000u + (s << 8) + 1, 600);  // ~4.8 Mbps each
+      ++sent_legit;
+    }
+    sim.run_until(sim.now() + sim::Duration::millis(1));
+  }
+  sim.run();
+
+  const std::uint64_t attack_drops = sms.peek_u64(state.drop_counter_addr(0x0a004201));
+  std::printf("attacker  (10.0.66.0/24): sent %llu, delivered %llu "
+              "(%.1f%%), dropped %llu in the dataplane\n",
+              static_cast<unsigned long long>(sent_attack),
+              static_cast<unsigned long long>(delivered_attack),
+              100.0 * delivered_attack / sent_attack,
+              static_cast<unsigned long long>(attack_drops));
+  std::printf("legit     (20 x /24):     sent %llu, delivered %llu "
+              "(%.1f%%)\n",
+              static_cast<unsigned long long>(sent_legit),
+              static_cast<unsigned long long>(delivered_legit),
+              100.0 * delivered_legit / sent_legit);
+
+  const bool ok = delivered_legit == sent_legit &&
+                  delivered_attack < sent_attack / 5;
+  std::printf("\n%s\n",
+              ok ? "OK: attack throttled to the policed rate; zero "
+                   "legitimate loss"
+                 : "MISMATCH: unexpected delivery counts");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+// Quickstart: program a simulated Trio router with the paper's §3.2
+// Microcode filter application and push traffic through it.
+//
+// The filter forwards IP packets without options and drops (and counts)
+// everything else — the exact example the paper uses to introduce the
+// Microcode language, compiled here by the TC-style compiler and executed
+// on simulated PPE threads.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "microcode/compiler.hpp"
+#include "microcode/interpreter.hpp"
+#include "trio/router.hpp"
+
+namespace {
+
+const char* kFilterSource = R"(
+// --- Packet header formats (paper §3.2) ------------------------------
+struct ether_t {
+  dmac : 48;
+  smac : 48;
+  etype : 16;
+};
+
+struct ipv4_t {
+  ver : 4;
+  ihl : 4;
+  tos : 8;
+  len : 16;
+};
+
+// --- Globals ----------------------------------------------------------
+virtual const DROP_CNT_BASE = 64;  // Packet/Byte counter region (words)
+virtual const FWD_NEXTHOP = 0;
+memory ether_t *ether_ptr = 0;     // packet header starts at LMEM 0
+
+// --- Instructions (one begin/end block = one VLIW instruction) --------
+process_ether:
+begin
+  ir0 = 0;
+  if (ether_ptr->etype == 0x0800) {
+    goto process_ip;
+  }
+  goto count_dropped;
+end
+
+process_ip:
+begin
+  const ipv4_t *ipv4_addr = ether_ptr + sizeof(ether_t);
+  ir0 = 1;
+  if (ipv4_addr->ver == 4 && ipv4_addr->ihl == 5) {
+    goto forward_packet;
+  }
+  goto count_dropped;
+end
+
+count_dropped:
+begin
+  const : addr = DROP_CNT_BASE + ir0 * 2;
+  CounterIncPhys(addr, r_work.pkt_len);
+  goto drop_packet;
+end
+
+forward_packet:
+begin
+  Forward(FWD_NEXTHOP);
+  Exit();
+end
+
+drop_packet:
+begin
+  Drop();
+end
+)";
+
+net::Buffer make_frame(std::uint16_t ether_type, std::uint8_t ihl) {
+  std::vector<std::uint8_t> payload(100, 0xab);
+  auto frame = net::build_udp_frame(
+      {0x02, 0, 0, 0, 0, 1}, {0x02, 0, 0, 0, 0, 2},
+      net::Ipv4Addr::from_string("192.168.1.10"),
+      net::Ipv4Addr::from_string("192.168.2.20"), 5000, 5001, payload);
+  frame.set_u16(12, ether_type);
+  frame.set_u8(net::UdpFrameLayout::kIpOff,
+               static_cast<std::uint8_t>(4 << 4 | ihl));
+  return frame;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Trio quickstart: the paper's Microcode filter application\n");
+  std::printf("==========================================================\n\n");
+
+  // 1. Compile the Microcode program with the TC-style compiler. The
+  //    compiler maps variables to thread registers / local memory and
+  //    rejects instruction blocks that exceed the VLIW resource budget.
+  auto program = microcode::compile(kFilterSource);
+  std::printf("compiled %zu micro-instructions; LMEM used: %zu bytes\n",
+              program->instruction_count(), program->lmem_used);
+  for (const auto& block : program->module.blocks) {
+    const auto& res = program->resources[program->labels.at(block.label)];
+    std::printf("  %-16s reg reads %d, lmem reads %d, writes %d, ALU ops %d\n",
+                block.label.c_str(), res.reg_reads, res.lmem_reads,
+                res.writes, res.alu_ops);
+  }
+
+  // 2. Build a single-PFE router and install the program on its PPEs.
+  sim::Simulator sim;
+  trio::Router router(sim, trio::Calibration{}, /*pfes=*/1, /*ports=*/4);
+  router.forwarding().add_nexthop(
+      trio::NexthopUnicast{1, {0x02, 0, 0, 0, 0, 2}});
+  router.pfe(0).set_program_factory(microcode::make_program_factory(program));
+
+  int forwarded = 0;
+  router.attach_port_sink(1, [&](net::PacketPtr) { ++forwarded; });
+
+  // 3. Push a traffic mix through port 0.
+  const int kEach = 1000;
+  for (int i = 0; i < kEach; ++i) {
+    router.receive(net::Packet::make(make_frame(0x0800, 5)), 0);  // clean IP
+    router.receive(net::Packet::make(make_frame(0x0806, 5)), 0);  // ARP
+    router.receive(net::Packet::make(make_frame(0x0800, 6)), 0);  // options
+  }
+  sim.run();
+
+  // 4. Inspect the Packet/Byte counters the program maintained in the
+  //    Shared Memory System.
+  auto& sms = router.pfe(0).sms();
+  const std::uint64_t non_ip_pkts = sms.peek_u64(64 * 8);
+  const std::uint64_t non_ip_bytes = sms.peek_u64(64 * 8 + 8);
+  const std::uint64_t opt_pkts = sms.peek_u64(66 * 8);
+  const std::uint64_t opt_bytes = sms.peek_u64(66 * 8 + 8);
+
+  std::printf("\nafter %d packets (simulated time %s):\n", 3 * kEach,
+              sim.now().to_string().c_str());
+  std::printf("  forwarded:            %d\n", forwarded);
+  std::printf("  dropped non-IP:       %llu packets, %llu bytes\n",
+              static_cast<unsigned long long>(non_ip_pkts),
+              static_cast<unsigned long long>(non_ip_bytes));
+  std::printf("  dropped IP-options:   %llu packets, %llu bytes\n",
+              static_cast<unsigned long long>(opt_pkts),
+              static_cast<unsigned long long>(opt_bytes));
+  std::printf("  PPE instructions:     %llu\n",
+              static_cast<unsigned long long>(
+                  router.pfe(0).instructions_issued()));
+
+  const bool ok = forwarded == kEach &&
+                  non_ip_pkts == static_cast<std::uint64_t>(kEach) &&
+                  opt_pkts == static_cast<std::uint64_t>(kEach);
+  std::printf("\n%s\n", ok ? "OK: filter behaved exactly as §3.2 describes"
+                           : "MISMATCH: unexpected counters");
+  return ok ? 0 : 1;
+}

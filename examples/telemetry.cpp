@@ -1,0 +1,250 @@
+// In-network telemetry (paper §7, "Trio for in-network telemetry").
+//
+// Instead of sampling one packet in tens of thousands, the PPEs track
+// EVERY flow in the hardware hash table + shared-memory counters, and
+// timer threads periodically sweep the table to export per-flow summaries
+// and evict idle flows (the same REF-flag aging used for straggler
+// detection). The example detects heavy hitters in a synthetic mix.
+//
+//   $ ./telemetry
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "sim/random.hpp"
+#include "trio/hash.hpp"
+#include "trio/router.hpp"
+
+namespace {
+
+/// Telemetry state shared between datapath threads and export threads.
+struct TelemetryState {
+  std::uint64_t counter_base = 0;     // per-flow Packet/Byte counters
+  std::uint32_t next_slot = 0;        // bump allocator for counter slots
+  std::uint32_t max_flows = 4096;
+  // Control-plane view of exported summaries: flow key -> (packets, bytes).
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> exported;
+  std::uint64_t flows_evicted = 0;
+  std::uint64_t table_full_drops = 0;
+};
+
+/// Per-packet telemetry program: flow lookup -> counter update; unknown
+/// flows allocate a counter slot and insert a record.
+class TelemetryProgram : public trio::PpeProgram {
+ public:
+  TelemetryProgram(TelemetryState& state, trio::Router& router)
+      : state_(state), router_(router) {}
+
+  trio::Action step(trio::ThreadContext& ctx) override {
+    switch (stage_) {
+      case 0: {  // parse + flow hash + lookup
+        const auto ip =
+            net::Ipv4Header::parse(ctx.lmem, net::UdpFrameLayout::kIpOff);
+        flow_ = trio::hash_pair(ip.src.value(), ip.dst.value());
+        stage_ = 1;
+        trio::ActSyncXtxn lu;
+        lu.req.op = trio::XtxnOp::kHashLookup;
+        lu.req.arg0 = flow_;
+        lu.instructions = 14;
+        return lu;
+      }
+      case 1: {
+        if (ctx.reply.ok) {
+          slot_addr_ = ctx.reply.value;
+          stage_ = 3;
+          return count(ctx);
+        }
+        // New flow: allocate a counter slot and insert the record.
+        if (state_.next_slot >= state_.max_flows) {
+          ++state_.table_full_drops;
+          stage_ = 4;
+          return trio::ActExit{2};
+        }
+        slot_addr_ = state_.counter_base + std::uint64_t(state_.next_slot++) * 16;
+        stage_ = 2;
+        trio::ActSyncXtxn ins;
+        ins.req.op = trio::XtxnOp::kHashInsert;
+        ins.req.arg0 = flow_;
+        ins.req.arg1 = slot_addr_;
+        ins.instructions = 6;
+        return ins;
+      }
+      case 2:
+        // Insert raced? Either way the slot is usable for this packet.
+        stage_ = 3;
+        return count(ctx);
+      case 3: {
+        // Counter updated; forward normally via the default route.
+        stage_ = 4;
+        const auto nh = router_.forwarding().lookup(
+            net::Ipv4Header::parse(ctx.lmem, net::UdpFrameLayout::kIpOff).dst);
+        if (!nh) return trio::ActExit{2};
+        return trio::ActEmitPacket{ctx.packet, *nh, 4};
+      }
+      default:
+        return trio::ActExit{1};
+    }
+  }
+
+ private:
+  trio::Action count(trio::ThreadContext& ctx) {
+    trio::ActAsyncXtxn inc;
+    inc.req.op = trio::XtxnOp::kCounterInc;
+    inc.req.addr = slot_addr_;
+    inc.req.arg0 = ctx.packet->size();
+    inc.instructions = 2;
+    return inc;
+  }
+
+  TelemetryState& state_;
+  trio::Router& router_;
+  int stage_ = 0;
+  std::uint64_t flow_ = 0;
+  std::uint64_t slot_addr_ = 0;
+};
+
+/// Timer-thread program: scans one partition, exports aged flows'
+/// counters to the control plane and deletes their records.
+class ExportProgram : public trio::PpeProgram {
+ public:
+  ExportProgram(TelemetryState& state, trio::Pfe& pfe, std::uint32_t part,
+                std::uint32_t parts)
+      : state_(state), pfe_(pfe), part_(part), parts_(parts) {}
+
+  trio::Action step(trio::ThreadContext& ctx) override {
+    switch (stage_) {
+      case 0: {
+        stage_ = 1;
+        trio::ActSyncXtxn scan;
+        scan.req.op = trio::XtxnOp::kHashScanStep;
+        scan.req.arg0 = std::uint64_t(parts_) << 32 | part_;
+        scan.req.arg1 = 64;
+        scan.instructions = 4;
+        return scan;
+      }
+      case 1: {
+        if (!decoded_) {
+          decoded_ = true;
+          for (std::size_t off = 0; off + 8 <= ctx.reply.data.size();
+               off += 8) {
+            std::uint64_t k = 0;
+            for (int i = 7; i >= 0; --i) {
+              k = k << 8 | ctx.reply.data[off + static_cast<std::size_t>(i)];
+            }
+            aged_.push_back(k);
+          }
+        }
+        if (next_ >= aged_.size()) return trio::ActExit{2};
+        // Export = read the counter pair, record it, delete the flow.
+        key_ = aged_[next_++];
+        const auto slot = pfe_.hash_table().lookup(key_);
+        if (slot) {
+          auto& sms = pfe_.sms();
+          state_.exported[key_] = {sms.peek_u64(*slot),
+                                   sms.peek_u64(*slot + 8)};
+          ++state_.flows_evicted;
+        }
+        stage_ = 2;
+        trio::ActSyncXtxn del;
+        del.req.op = trio::XtxnOp::kHashDelete;
+        del.req.arg0 = key_;
+        del.instructions = 4;
+        return del;
+      }
+      case 2:
+        stage_ = 1;
+        return step(ctx);
+      default:
+        return trio::ActExit{1};
+    }
+  }
+
+ private:
+  TelemetryState& state_;
+  trio::Pfe& pfe_;
+  std::uint32_t part_;
+  std::uint32_t parts_;
+  int stage_ = 0;
+  bool decoded_ = false;
+  std::vector<std::uint64_t> aged_;
+  std::size_t next_ = 0;
+  std::uint64_t key_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Trio in-network telemetry (paper §7)\n");
+  std::printf("====================================\n\n");
+
+  sim::Simulator sim;
+  trio::Router router(sim, trio::Calibration{}, 1, 4);
+  TelemetryState state;
+  state.counter_base = router.pfe(0).sms().alloc_sram(4096 * 16, 64);
+
+  const auto nh = router.forwarding().add_nexthop(trio::NexthopUnicast{1, {}});
+  router.forwarding().add_route(net::Ipv4Addr::from_string("0.0.0.0"), 0, nh);
+  router.attach_port_sink(1, [](net::PacketPtr) {});
+
+  router.pfe(0).set_program_factory(
+      [&](const net::Packet&) -> std::unique_ptr<trio::PpeProgram> {
+        return std::make_unique<TelemetryProgram>(state, router);
+      });
+
+  // Timer threads sweep the table every 2 ms in 20 partitions.
+  router.pfe(0).timers().start(
+      20, sim::Duration::millis(2),
+      [&](std::uint32_t i) -> std::unique_ptr<trio::PpeProgram> {
+        return std::make_unique<ExportProgram>(state, router.pfe(0), i, 20);
+      });
+
+  // Traffic: 200 mice flows plus 3 elephants.
+  sim::Rng rng(7);
+  auto send = [&](std::uint32_t src, std::uint32_t dst, std::size_t bytes) {
+    std::vector<std::uint8_t> payload(bytes, 0);
+    auto frame = net::build_udp_frame({2, 0, 0, 0, 0, 1}, {2, 0, 0, 0, 0, 2},
+                                      net::Ipv4Addr(src), net::Ipv4Addr(dst),
+                                      1000, 2000, payload);
+    router.receive(net::Packet::make(std::move(frame)), 0);
+  };
+  const std::uint32_t kElephants[3] = {0x0a000001, 0x0a000002, 0x0a000003};
+  for (int burst = 0; burst < 50; ++burst) {
+    for (std::uint32_t e : kElephants) {
+      for (int i = 0; i < 40; ++i) send(e, 0xc0a80001, 1400);
+    }
+    for (int m = 0; m < 200; ++m) {
+      if (rng.bernoulli(0.2)) {
+        send(0x0a010000 + static_cast<std::uint32_t>(m), 0xc0a80001, 120);
+      }
+    }
+    sim.run_until(sim.now() + sim::Duration::micros(200));
+  }
+  // Let the flows idle so the export threads sweep them out.
+  sim.run_until(sim.now() + sim::Duration::millis(10));
+  router.pfe(0).timers().stop();
+  sim.run();
+
+  std::printf("tracked and exported %zu flows (%llu evictions), "
+              "table-full drops: %llu\n\n",
+              state.exported.size(),
+              static_cast<unsigned long long>(state.flows_evicted),
+              static_cast<unsigned long long>(state.table_full_drops));
+
+  // Rank by bytes: the elephants must surface at the top.
+  std::vector<std::pair<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>>
+      flows(state.exported.begin(), state.exported.end());
+  std::sort(flows.begin(), flows.end(), [](const auto& a, const auto& b) {
+    return a.second.second > b.second.second;
+  });
+  std::printf("top flows by bytes:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, flows.size()); ++i) {
+    std::printf("  flow %016llx: %6llu packets %9llu bytes%s\n",
+                static_cast<unsigned long long>(flows[i].first),
+                static_cast<unsigned long long>(flows[i].second.first),
+                static_cast<unsigned long long>(flows[i].second.second),
+                i < 3 ? "   <- elephant" : "");
+  }
+  std::printf("\nevery packet was accounted — no sampling — because the\n"
+              "RMW engines update counters at line rate near the memory.\n");
+  return 0;
+}

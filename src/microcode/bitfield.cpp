@@ -1,0 +1,38 @@
+#include "microcode/bitfield.hpp"
+
+#include <stdexcept>
+
+namespace microcode {
+
+std::uint64_t read_bits(const net::Buffer& buf, std::size_t bit_off,
+                        unsigned width) {
+  if (width == 0 || width > 64) {
+    throw std::invalid_argument("read_bits: width must be 1..64");
+  }
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    const std::size_t bit = bit_off + i;
+    const std::uint8_t byte = buf.u8(bit / 8);
+    const unsigned shift = 7 - bit % 8;  // MSB-first
+    v = v << 1 | ((byte >> shift) & 1u);
+  }
+  return v;
+}
+
+void write_bits(net::Buffer& buf, std::size_t bit_off, unsigned width,
+                std::uint64_t value) {
+  if (width == 0 || width > 64) {
+    throw std::invalid_argument("write_bits: width must be 1..64");
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    const std::size_t bit = bit_off + i;
+    const unsigned shift = 7 - bit % 8;
+    const std::uint64_t b = (value >> (width - 1 - i)) & 1u;
+    std::uint8_t byte = buf.u8(bit / 8);
+    byte = static_cast<std::uint8_t>((byte & ~(1u << shift)) |
+                                     (static_cast<unsigned>(b) << shift));
+    buf.set_u8(bit / 8, byte);
+  }
+}
+
+}  // namespace microcode

@@ -1,0 +1,29 @@
+// Compilation diagnostics for the Microcode toolchain. The Trio Compiler
+// fails hard when a program is malformed or an instruction block exceeds
+// the hardware's per-instruction resources (paper §3.1: "TC fails the
+// compilation because it cannot implement the requested actions across
+// multiple instructions").
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace microcode {
+
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(std::string message, int line, int col)
+      : std::runtime_error("microcode:" + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + message),
+        line_(line),
+        col_(col) {}
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+}  // namespace microcode

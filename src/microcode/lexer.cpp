@@ -1,0 +1,218 @@
+#include "microcode/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "microcode/error.hpp"
+
+namespace microcode {
+
+namespace {
+
+const std::unordered_map<std::string, TokKind>& keywords() {
+  static const std::unordered_map<std::string, TokKind> kw = {
+      {"struct", TokKind::kStruct},   {"memory", TokKind::kMemory},
+      {"register", TokKind::kRegister}, {"virtual", TokKind::kVirtual},
+      {"const", TokKind::kConst},     {"if", TokKind::kIf},
+      {"else", TokKind::kElse},       {"goto", TokKind::kGoto},
+      {"call", TokKind::kCall},       {"return", TokKind::kReturn},
+      {"begin", TokKind::kBegin},     {"end", TokKind::kEnd},
+      {"sizeof", TokKind::kSizeof},  {"switch", TokKind::kSwitch},
+      {"case", TokKind::kCase},       {"default", TokKind::kDefault},
+      {"bus", TokKind::kBus},
+  };
+  return kw;
+}
+
+}  // namespace
+
+const char* tok_name(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEof: return "end of input";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kNumber: return "number";
+    case TokKind::kStruct: return "'struct'";
+    case TokKind::kMemory: return "'memory'";
+    case TokKind::kRegister: return "'register'";
+    case TokKind::kVirtual: return "'virtual'";
+    case TokKind::kConst: return "'const'";
+    case TokKind::kIf: return "'if'";
+    case TokKind::kElse: return "'else'";
+    case TokKind::kGoto: return "'goto'";
+    case TokKind::kCall: return "'call'";
+    case TokKind::kReturn: return "'return'";
+    case TokKind::kBegin: return "'begin'";
+    case TokKind::kEnd: return "'end'";
+    case TokKind::kSizeof: return "'sizeof'";
+    case TokKind::kSwitch: return "'switch'";
+    case TokKind::kCase: return "'case'";
+    case TokKind::kDefault: return "'default'";
+    case TokKind::kBus: return "'bus'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kComma: return "','";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kArrow: return "'->'";
+    case TokKind::kDot: return "'.'";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kAmp: return "'&'";
+    case TokKind::kPipe: return "'|'";
+    case TokKind::kCaret: return "'^'";
+    case TokKind::kTilde: return "'~'";
+    case TokKind::kBang: return "'!'";
+    case TokKind::kShl: return "'<<'";
+    case TokKind::kShr: return "'>>'";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kAndAnd: return "'&&'";
+    case TokKind::kOrOr: return "'||'";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t k = 0) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+  auto advance = [&]() {
+    if (src[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto push = [&](TokKind kind, int l, int c, std::string text = {},
+                  std::uint64_t num = 0) {
+    out.push_back(Token{kind, std::move(text), num, l, c});
+  };
+
+  while (i < n) {
+    const char c = peek();
+    const int l = line, cl = col;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (i < n && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= n) throw CompileError("unterminated block comment", l, cl);
+      advance();
+      advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+        word += peek();
+        advance();
+      }
+      auto it = keywords().find(word);
+      if (it != keywords().end()) {
+        push(it->second, l, cl, word);
+      } else {
+        push(TokKind::kIdent, l, cl, word);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t v = 0;
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+          throw CompileError("expected hex digits after 0x", l, cl);
+        }
+        while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+          const char d = peek();
+          v = v * 16 + static_cast<std::uint64_t>(
+                           std::isdigit(static_cast<unsigned char>(d))
+                               ? d - '0'
+                               : std::tolower(d) - 'a' + 10);
+          advance();
+        }
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          v = v * 10 + static_cast<std::uint64_t>(peek() - '0');
+          advance();
+        }
+      }
+      push(TokKind::kNumber, l, cl, {}, v);
+      continue;
+    }
+    // Punctuation / operators.
+    auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    if (two('-', '>')) { advance(); advance(); push(TokKind::kArrow, l, cl); continue; }
+    if (two('<', '<')) { advance(); advance(); push(TokKind::kShl, l, cl); continue; }
+    if (two('>', '>')) { advance(); advance(); push(TokKind::kShr, l, cl); continue; }
+    if (two('=', '=')) { advance(); advance(); push(TokKind::kEq, l, cl); continue; }
+    if (two('!', '=')) { advance(); advance(); push(TokKind::kNe, l, cl); continue; }
+    if (two('<', '=')) { advance(); advance(); push(TokKind::kLe, l, cl); continue; }
+    if (two('>', '=')) { advance(); advance(); push(TokKind::kGe, l, cl); continue; }
+    if (two('&', '&')) { advance(); advance(); push(TokKind::kAndAnd, l, cl); continue; }
+    if (two('|', '|')) { advance(); advance(); push(TokKind::kOrOr, l, cl); continue; }
+    TokKind kind;
+    switch (c) {
+      case '{': kind = TokKind::kLBrace; break;
+      case '[': kind = TokKind::kLBracket; break;
+      case ']': kind = TokKind::kRBracket; break;
+      case '}': kind = TokKind::kRBrace; break;
+      case '(': kind = TokKind::kLParen; break;
+      case ')': kind = TokKind::kRParen; break;
+      case ';': kind = TokKind::kSemi; break;
+      case ':': kind = TokKind::kColon; break;
+      case ',': kind = TokKind::kComma; break;
+      case '*': kind = TokKind::kStar; break;
+      case '=': kind = TokKind::kAssign; break;
+      case '.': kind = TokKind::kDot; break;
+      case '+': kind = TokKind::kPlus; break;
+      case '-': kind = TokKind::kMinus; break;
+      case '/': kind = TokKind::kSlash; break;
+      case '%': kind = TokKind::kPercent; break;
+      case '&': kind = TokKind::kAmp; break;
+      case '|': kind = TokKind::kPipe; break;
+      case '^': kind = TokKind::kCaret; break;
+      case '~': kind = TokKind::kTilde; break;
+      case '!': kind = TokKind::kBang; break;
+      case '<': kind = TokKind::kLt; break;
+      case '>': kind = TokKind::kGt; break;
+      default:
+        throw CompileError(std::string("unexpected character '") + c + "'", l,
+                           cl);
+    }
+    advance();
+    push(kind, l, cl);
+  }
+  push(TokKind::kEof, line, col);
+  return out;
+}
+
+}  // namespace microcode

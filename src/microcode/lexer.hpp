@@ -1,0 +1,44 @@
+// Lexer for the Microcode language (paper §3): a C-like surface syntax
+// with struct bit-field declarations, storage-class variable definitions,
+// and explicitly delimited instruction blocks (label: begin ... end).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace microcode {
+
+enum class TokKind {
+  kEof,
+  kIdent,
+  kNumber,
+  // keywords
+  kStruct, kMemory, kRegister, kVirtual, kConst, kIf, kElse, kGoto, kCall,
+  kReturn, kBegin, kEnd, kSizeof, kSwitch, kCase, kDefault, kBus,
+  // punctuation / operators
+  kLBrace, kRBrace, kLParen, kRParen, kLBracket, kRBracket, kSemi, kColon,
+  kComma, kStar,
+  kAssign, kArrow, kDot,
+  kPlus, kMinus, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;       // identifier spelling
+  std::uint64_t number = 0;
+  int line = 0;
+  int col = 0;
+};
+
+/// Tokenizes `source`. Throws CompileError (see compiler.hpp) on bad input.
+std::vector<Token> lex(const std::string& source);
+
+/// Human-readable token kind, for diagnostics.
+const char* tok_name(TokKind kind);
+
+}  // namespace microcode

@@ -1,0 +1,482 @@
+#include "microcode/parser.hpp"
+
+#include "microcode/error.hpp"
+#include "microcode/lexer.hpp"
+
+namespace microcode {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Module parse_module() {
+    Module m;
+    while (!at(TokKind::kEof)) {
+      if (at(TokKind::kStruct)) {
+        m.structs.push_back(parse_struct());
+      } else if (at(TokKind::kMemory) || at(TokKind::kRegister) ||
+                 at(TokKind::kVirtual) || at(TokKind::kBus)) {
+        m.globals.push_back(parse_global());
+      } else if (at(TokKind::kIdent) && at(TokKind::kColon, 1)) {
+        m.blocks.push_back(parse_block());
+      } else {
+        fail("expected struct definition, global declaration, or "
+             "instruction block");
+      }
+    }
+    return m;
+  }
+
+ private:
+  const Token& cur(std::size_t k = 0) const {
+    const std::size_t i = pos_ + k;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool at(TokKind kind, std::size_t k = 0) const { return cur(k).kind == kind; }
+  Token eat() { return toks_[pos_++]; }
+  Token expect(TokKind kind, const char* what) {
+    if (!at(kind)) {
+      fail(std::string("expected ") + what + ", got " + tok_name(cur().kind));
+    }
+    return eat();
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw CompileError(msg, cur().line, cur().col);
+  }
+
+  StructDef parse_struct() {
+    StructDef def;
+    const Token kw = expect(TokKind::kStruct, "'struct'");
+    def.line = kw.line;
+    def.col = kw.col;
+    def.name = expect(TokKind::kIdent, "struct name").text;
+    expect(TokKind::kLBrace, "'{'");
+    while (!at(TokKind::kRBrace)) {
+      StructField f;
+      if (at(TokKind::kIdent)) f.name = eat().text;
+      expect(TokKind::kColon, "':' in field definition");
+      const Token w = expect(TokKind::kNumber, "field width");
+      if (w.number == 0 || w.number > 64) {
+        throw CompileError("field width must be 1..64 bits", w.line, w.col);
+      }
+      f.width = static_cast<unsigned>(w.number);
+      expect(TokKind::kSemi, "';'");
+      def.fields.push_back(std::move(f));
+    }
+    expect(TokKind::kRBrace, "'}'");
+    expect(TokKind::kSemi, "';' after struct definition");
+    return def;
+  }
+
+  GlobalDecl parse_global() {
+    GlobalDecl g;
+    const Token sc = eat();
+    g.line = sc.line;
+    g.col = sc.col;
+    switch (sc.kind) {
+      case TokKind::kMemory: g.storage = StorageClass::kMemory; break;
+      case TokKind::kRegister: g.storage = StorageClass::kRegister; break;
+      case TokKind::kBus: g.storage = StorageClass::kBus; break;
+      default: g.storage = StorageClass::kVirtual; break;
+    }
+    if (at(TokKind::kConst)) {
+      eat();
+      g.is_const = true;
+    }
+    // Either `name = init` (untyped) or `type [*] name [= init]`.
+    std::string first = expect(TokKind::kIdent, "type or variable name").text;
+    if (at(TokKind::kStar) || at(TokKind::kIdent)) {
+      g.type_name = std::move(first);
+      if (at(TokKind::kStar)) {
+        eat();
+        g.is_pointer = true;
+      }
+      g.name = expect(TokKind::kIdent, "variable name").text;
+    } else {
+      g.name = std::move(first);
+    }
+    if (at(TokKind::kLBracket)) {
+      eat();
+      const Token len = expect(TokKind::kNumber, "array length");
+      if (len.number == 0) {
+        throw CompileError("array length must be positive", len.line,
+                           len.col);
+      }
+      g.array_len = len.number;
+      expect(TokKind::kRBracket, "']'");
+    }
+    if (at(TokKind::kAssign)) {
+      eat();
+      g.init = parse_expr();
+    }
+    expect(TokKind::kSemi, "';'");
+    return g;
+  }
+
+  InstrBlock parse_block() {
+    InstrBlock b;
+    const Token label = expect(TokKind::kIdent, "label");
+    b.label = label.text;
+    b.line = label.line;
+    b.col = label.col;
+    expect(TokKind::kColon, "':'");
+    expect(TokKind::kBegin, "'begin'");
+    while (!at(TokKind::kEnd)) b.stmts.push_back(parse_stmt());
+    expect(TokKind::kEnd, "'end'");
+    return b;
+  }
+
+  std::vector<StmtPtr> parse_braced_stmts() {
+    expect(TokKind::kLBrace, "'{'");
+    std::vector<StmtPtr> out;
+    while (!at(TokKind::kRBrace)) out.push_back(parse_stmt());
+    expect(TokKind::kRBrace, "'}'");
+    return out;
+  }
+
+  StmtPtr parse_stmt() {
+    auto s = std::make_unique<Stmt>();
+    s->line = cur().line;
+    s->col = cur().col;
+    if (at(TokKind::kIf)) {
+      eat();
+      s->kind = Stmt::Kind::kIf;
+      expect(TokKind::kLParen, "'('");
+      s->cond = parse_expr();
+      expect(TokKind::kRParen, "')'");
+      s->then_body = parse_braced_stmts();
+      if (at(TokKind::kElse)) {
+        eat();
+        s->else_body = parse_braced_stmts();
+      }
+      return s;
+    }
+    if (at(TokKind::kSwitch)) {
+      eat();
+      s->kind = Stmt::Kind::kSwitch;
+      expect(TokKind::kLParen, "'('");
+      s->cond = parse_expr();
+      expect(TokKind::kRParen, "')'");
+      expect(TokKind::kLBrace, "'{'");
+      bool saw_default = false;
+      while (!at(TokKind::kRBrace)) {
+        if (at(TokKind::kCase)) {
+          eat();
+          SwitchCase arm;
+          arm.value = expect(TokKind::kNumber, "case value").number;
+          expect(TokKind::kColon, "':'");
+          arm.body = parse_braced_stmts();
+          s->cases.push_back(std::move(arm));
+        } else if (at(TokKind::kDefault)) {
+          if (saw_default) fail("duplicate 'default' arm");
+          saw_default = true;
+          eat();
+          expect(TokKind::kColon, "':'");
+          s->default_body = parse_braced_stmts();
+        } else {
+          fail("expected 'case' or 'default' in switch");
+        }
+      }
+      expect(TokKind::kRBrace, "'}'");
+      return s;
+    }
+    if (at(TokKind::kGoto)) {
+      eat();
+      s->kind = Stmt::Kind::kGoto;
+      s->label = expect(TokKind::kIdent, "label").text;
+      expect(TokKind::kSemi, "';'");
+      return s;
+    }
+    if (at(TokKind::kCall)) {
+      eat();
+      s->kind = Stmt::Kind::kCall;
+      s->label = expect(TokKind::kIdent, "label").text;
+      expect(TokKind::kSemi, "';'");
+      return s;
+    }
+    if (at(TokKind::kReturn)) {
+      eat();
+      s->kind = Stmt::Kind::kReturn;
+      expect(TokKind::kSemi, "';'");
+      return s;
+    }
+    if (at(TokKind::kConst)) {
+      // Local declaration:  const [:]? [type] [*] name = expr ;
+      eat();
+      s->kind = Stmt::Kind::kLocalDecl;
+      if (at(TokKind::kColon)) eat();  // paper spelling: `const : addr = ...`
+      std::string first = expect(TokKind::kIdent, "name or type").text;
+      if (at(TokKind::kStar) || at(TokKind::kIdent)) {
+        s->type_name = std::move(first);
+        if (at(TokKind::kStar)) {
+          eat();
+          s->is_pointer = true;
+        }
+        s->name = expect(TokKind::kIdent, "variable name").text;
+      } else {
+        s->name = std::move(first);
+      }
+      expect(TokKind::kAssign, "'='");
+      s->value = parse_expr();
+      expect(TokKind::kSemi, "';'");
+      return s;
+    }
+    // Intrinsic call statement: Name(args);
+    if (at(TokKind::kIdent) && at(TokKind::kLParen, 1)) {
+      s->kind = Stmt::Kind::kIntrinsic;
+      s->name = eat().text;
+      eat();  // '('
+      if (!at(TokKind::kRParen)) {
+        s->args.push_back(parse_expr());
+        while (at(TokKind::kComma)) {
+          eat();
+          s->args.push_back(parse_expr());
+        }
+      }
+      expect(TokKind::kRParen, "')'");
+      expect(TokKind::kSemi, "';'");
+      return s;
+    }
+    // Assignment: lvalue = expr;
+    s->kind = Stmt::Kind::kAssign;
+    s->target = parse_lvalue();
+    expect(TokKind::kAssign, "'='");
+    s->value = parse_expr();
+    expect(TokKind::kSemi, "';'");
+    return s;
+  }
+
+  ExprPtr parse_lvalue() {
+    auto e = std::make_unique<Expr>();
+    const Token id = expect(TokKind::kIdent, "lvalue");
+    e->line = id.line;
+    e->col = id.col;
+    if (at(TokKind::kLBracket)) {
+      eat();
+      e->kind = Expr::Kind::kIndex;
+      e->name = id.text;
+      e->lhs = parse_expr();
+      expect(TokKind::kRBracket, "']'");
+      return e;
+    }
+    if (at(TokKind::kArrow) || at(TokKind::kDot)) {
+      e->kind = Expr::Kind::kField;
+      e->arrow = at(TokKind::kArrow);
+      eat();
+      e->name = id.text;
+      e->field = expect(TokKind::kIdent, "field name").text;
+    } else {
+      e->kind = Expr::Kind::kVar;
+      e->name = id.text;
+    }
+    return e;
+  }
+
+  // Precedence climbing: || < && < | < ^ < & < == != < relational <
+  // shifts < + - < * / % < unary < primary.
+  ExprPtr parse_expr() { return parse_lor(); }
+
+  ExprPtr binary(ExprPtr lhs, BinOp op, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->bin = op;
+    e->line = lhs->line;
+    e->col = lhs->col;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  ExprPtr parse_lor() {
+    auto e = parse_land();
+    while (at(TokKind::kOrOr)) {
+      eat();
+      e = binary(std::move(e), BinOp::kLOr, parse_land());
+    }
+    return e;
+  }
+  ExprPtr parse_land() {
+    auto e = parse_bor();
+    while (at(TokKind::kAndAnd)) {
+      eat();
+      e = binary(std::move(e), BinOp::kLAnd, parse_bor());
+    }
+    return e;
+  }
+  ExprPtr parse_bor() {
+    auto e = parse_bxor();
+    while (at(TokKind::kPipe)) {
+      eat();
+      e = binary(std::move(e), BinOp::kOr, parse_bxor());
+    }
+    return e;
+  }
+  ExprPtr parse_bxor() {
+    auto e = parse_band();
+    while (at(TokKind::kCaret)) {
+      eat();
+      e = binary(std::move(e), BinOp::kXor, parse_band());
+    }
+    return e;
+  }
+  ExprPtr parse_band() {
+    auto e = parse_equality();
+    while (at(TokKind::kAmp)) {
+      eat();
+      e = binary(std::move(e), BinOp::kAnd, parse_equality());
+    }
+    return e;
+  }
+  ExprPtr parse_equality() {
+    auto e = parse_rel();
+    while (at(TokKind::kEq) || at(TokKind::kNe)) {
+      const BinOp op = at(TokKind::kEq) ? BinOp::kEq : BinOp::kNe;
+      eat();
+      e = binary(std::move(e), op, parse_rel());
+    }
+    return e;
+  }
+  ExprPtr parse_rel() {
+    auto e = parse_shift();
+    for (;;) {
+      BinOp op;
+      if (at(TokKind::kLt)) op = BinOp::kLt;
+      else if (at(TokKind::kLe)) op = BinOp::kLe;
+      else if (at(TokKind::kGt)) op = BinOp::kGt;
+      else if (at(TokKind::kGe)) op = BinOp::kGe;
+      else break;
+      eat();
+      e = binary(std::move(e), op, parse_shift());
+    }
+    return e;
+  }
+  ExprPtr parse_shift() {
+    auto e = parse_add();
+    while (at(TokKind::kShl) || at(TokKind::kShr)) {
+      const BinOp op = at(TokKind::kShl) ? BinOp::kShl : BinOp::kShr;
+      eat();
+      e = binary(std::move(e), op, parse_add());
+    }
+    return e;
+  }
+  ExprPtr parse_add() {
+    auto e = parse_mul();
+    while (at(TokKind::kPlus) || at(TokKind::kMinus)) {
+      const BinOp op = at(TokKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      eat();
+      e = binary(std::move(e), op, parse_mul());
+    }
+    return e;
+  }
+  ExprPtr parse_mul() {
+    auto e = parse_unary();
+    while (at(TokKind::kStar) || at(TokKind::kSlash) || at(TokKind::kPercent)) {
+      BinOp op = BinOp::kMul;
+      if (at(TokKind::kSlash)) op = BinOp::kDiv;
+      if (at(TokKind::kPercent)) op = BinOp::kMod;
+      eat();
+      e = binary(std::move(e), op, parse_unary());
+    }
+    return e;
+  }
+  ExprPtr parse_unary() {
+    if (at(TokKind::kMinus) || at(TokKind::kBang) || at(TokKind::kTilde)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->line = cur().line;
+      e->col = cur().col;
+      if (at(TokKind::kMinus)) e->un = UnOp::kNeg;
+      else if (at(TokKind::kBang)) e->un = UnOp::kLNot;
+      else e->un = UnOp::kBitNot;
+      eat();
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_primary();
+  }
+  ExprPtr parse_primary() {
+    auto e = std::make_unique<Expr>();
+    e->line = cur().line;
+    e->col = cur().col;
+    if (at(TokKind::kNumber)) {
+      e->kind = Expr::Kind::kNumber;
+      e->number = eat().number;
+      return e;
+    }
+    if (at(TokKind::kSizeof)) {
+      eat();
+      expect(TokKind::kLParen, "'('");
+      e->kind = Expr::Kind::kSizeof;
+      e->name = expect(TokKind::kIdent, "type name").text;
+      expect(TokKind::kRParen, "')'");
+      return e;
+    }
+    if (at(TokKind::kLParen)) {
+      eat();
+      auto inner = parse_expr();
+      expect(TokKind::kRParen, "')'");
+      return inner;
+    }
+    if (at(TokKind::kIdent)) {
+      std::string name = eat().text;
+      if (at(TokKind::kLParen)) {
+        eat();
+        e->kind = Expr::Kind::kIntrinsic;
+        e->name = std::move(name);
+        if (!at(TokKind::kRParen)) {
+          e->args.push_back(parse_expr());
+          while (at(TokKind::kComma)) {
+            eat();
+            e->args.push_back(parse_expr());
+          }
+        }
+        expect(TokKind::kRParen, "')'");
+        return e;
+      }
+      if (at(TokKind::kLBracket)) {
+        eat();
+        e->kind = Expr::Kind::kIndex;
+        e->name = std::move(name);
+        e->lhs = parse_expr();
+        expect(TokKind::kRBracket, "']'");
+        return e;
+      }
+      if (at(TokKind::kArrow)) {
+        eat();
+        e->kind = Expr::Kind::kField;
+        e->arrow = true;
+        e->name = std::move(name);
+        e->field = expect(TokKind::kIdent, "field name").text;
+        return e;
+      }
+      if (at(TokKind::kDot)) {
+        // Either struct-var field access or a dotted builtin
+        // (r_work.pkt_len); the compiler disambiguates.
+        eat();
+        e->kind = Expr::Kind::kField;
+        e->arrow = false;
+        e->name = std::move(name);
+        e->field = expect(TokKind::kIdent, "field name").text;
+        return e;
+      }
+      e->kind = Expr::Kind::kVar;
+      e->name = std::move(name);
+      return e;
+    }
+    fail(std::string("expected expression, got ") + tok_name(cur().kind));
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Module parse(const std::string& source) {
+  Parser p(lex(source));
+  return p.parse_module();
+}
+
+}  // namespace microcode

@@ -1,0 +1,14 @@
+// Recursive-descent parser for the Microcode language. Produces the AST
+// consumed by the compiler (compiler.hpp). Throws CompileError with
+// line/column on any syntax error.
+#pragma once
+
+#include <string>
+
+#include "microcode/ast.hpp"
+
+namespace microcode {
+
+Module parse(const std::string& source);
+
+}  // namespace microcode

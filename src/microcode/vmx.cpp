@@ -1,0 +1,49 @@
+#include "microcode/vmx.hpp"
+
+namespace microcode {
+namespace vmx {
+
+VirtualForwardingPlane::VirtualForwardingPlane(
+    std::shared_ptr<const CompiledProgram> program)
+    : VirtualForwardingPlane(std::move(program), Config{}) {}
+
+VirtualForwardingPlane::VirtualForwardingPlane(
+    std::shared_ptr<const CompiledProgram> program, Config config)
+    : program_(std::move(program)) {
+  router_ = std::make_unique<trio::Router>(sim_, config.cal, 1, config.ports,
+                                           "vmx-vfp");
+  // Default nexthop table: nexthop id N egresses port N+1 (port 0 is the
+  // injection port), so simple programs can Forward(0) out of the box.
+  for (int p = 1; p < config.ports; ++p) {
+    router_->forwarding().add_nexthop(trio::NexthopUnicast{p, {}});
+  }
+  router_->pfe(0).set_program_factory(make_program_factory(program_));
+  for (int p = 0; p < config.ports; ++p) {
+    router_->attach_port_sink(p, [this, p](net::PacketPtr pkt) {
+      if (last_) {
+        last_->forwarded = true;
+        last_->egress_port = p;
+        last_->packet = std::move(pkt);
+      }
+    });
+  }
+}
+
+VirtualForwardingPlane::Verdict VirtualForwardingPlane::process(
+    net::Buffer frame, int ingress_port) {
+  last_.emplace();
+  const sim::Time start = sim_.now();
+  const std::uint64_t instr_before =
+      router_->pfe(0).instructions_issued();
+  router_->receive(net::Packet::make(std::move(frame)), ingress_port);
+  sim_.run();  // drive this packet to completion, x86-synchronously
+  Verdict v = std::move(*last_);
+  last_.reset();
+  v.instructions = router_->pfe(0).instructions_issued() - instr_before;
+  v.simulated_time = sim_.now() - start;
+  ++packets_;
+  return v;
+}
+
+}  // namespace vmx
+}  // namespace microcode

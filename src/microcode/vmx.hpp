@@ -1,0 +1,71 @@
+// vMX-style Virtual Forwarding Plane (paper §3.1).
+//
+// "Juniper Networks developed the vMX Virtual Router [...] consists of a
+// virtual control plane (VCP) and a virtual forwarding plane (VFP). [...]
+// the VFP runs the Microcode engine optimized for x86 environments."
+//
+// VirtualForwardingPlane runs a compiled Microcode program on an
+// in-process simulated PFE and drives each packet to completion
+// synchronously — the development/validation environment a Microcode
+// programmer uses before deploying the image to hardware. Verdicts
+// (forwarded/dropped, nexthop, instruction count) come back per packet,
+// and the shared-memory state (counters, tables) is inspectable between
+// packets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "microcode/compiler.hpp"
+#include "microcode/interpreter.hpp"
+#include "trio/router.hpp"
+
+namespace microcode {
+namespace vmx {
+
+class VirtualForwardingPlane {
+ public:
+  struct Config {
+    int ports = 4;
+    trio::Calibration cal;
+  };
+
+  explicit VirtualForwardingPlane(
+      std::shared_ptr<const CompiledProgram> program);
+  VirtualForwardingPlane(std::shared_ptr<const CompiledProgram> program,
+                         Config config);
+
+  struct Verdict {
+    bool forwarded = false;
+    int egress_port = -1;
+    std::uint64_t instructions = 0;  // executed for this packet
+    sim::Duration simulated_time;    // what the hardware model charged
+    net::PacketPtr packet;           // the (possibly rewritten) frame
+  };
+
+  /// Processes one frame to completion and returns what happened.
+  Verdict process(net::Buffer frame, int ingress_port = 0);
+
+  /// Maps Microcode nexthop id N to egress port N+1 by default; override
+  /// with explicit nexthops for richer topologies.
+  trio::ForwardingTable& forwarding() { return router_->forwarding(); }
+
+  /// The VFP's shared memory, for inspecting counters and tables the
+  /// program maintains.
+  trio::SharedMemorySystem& sms() { return router_->pfe(0).sms(); }
+  trio::HwHashTable& hash_table() { return router_->pfe(0).hash_table(); }
+
+  const CompiledProgram& program() const { return *program_; }
+  std::uint64_t packets_processed() const { return packets_; }
+
+ private:
+  std::shared_ptr<const CompiledProgram> program_;
+  sim::Simulator sim_;
+  std::unique_ptr<trio::Router> router_;
+  std::optional<Verdict> last_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace vmx
+}  // namespace microcode

@@ -1,0 +1,54 @@
+#include "mltrain/model.hpp"
+
+#include <stdexcept>
+
+namespace mltrain {
+
+const std::vector<ModelSpec>& model_zoo() {
+  // Table 1 of the paper; compute_ms / tau calibrated per EXPERIMENTS.md.
+  static const std::vector<ModelSpec> zoo = {
+      {
+          .name = "ResNet50",
+          .size_mb = 98,
+          .batch_size_per_gpu = 64,
+          .dataset = "ImageNet",
+          .compute_ms = 92.0,
+          .acc0 = 20.0,
+          .acc_max = 93.0,
+          .tau_iters = 36'600,
+          .target_acc = 90.0,
+      },
+      {
+          .name = "DenseNet161",
+          .size_mb = 109,
+          .batch_size_per_gpu = 64,
+          .dataset = "ImageNet",
+          .compute_ms = 215.0,
+          .acc0 = 20.0,
+          .acc_max = 93.5,
+          .tau_iters = 14'450,
+          .target_acc = 90.0,
+      },
+      {
+          .name = "VGG11",
+          .size_mb = 507,
+          .batch_size_per_gpu = 128,
+          .dataset = "ImageNet",
+          .compute_ms = 512.0,
+          .acc0 = 20.0,
+          .acc_max = 85.0,
+          .tau_iters = 14'000,
+          .target_acc = 80.0,
+      },
+  };
+  return zoo;
+}
+
+const ModelSpec& model_by_name(const std::string& name) {
+  for (const auto& m : model_zoo()) {
+    if (m.name == name) return m;
+  }
+  throw std::invalid_argument("unknown model '" + name + "'");
+}
+
+}  // namespace mltrain

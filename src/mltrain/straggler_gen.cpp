@@ -1,0 +1,26 @@
+#include "mltrain/straggler_gen.hpp"
+
+namespace mltrain {
+
+std::vector<StragglerEvent> SlowWorkerPattern::next_iteration() {
+  std::vector<StragglerEvent> events;
+  for (int point = 0; point < kDelayPoints; ++point) {
+    const int worker =
+        static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(num_workers_)));
+    if (rng_.bernoulli(p_)) {
+      events.push_back(StragglerEvent{
+          worker, rng_.uniform(0.5, 2.0) * typical_ms_});
+    }
+  }
+  return events;
+}
+
+std::vector<double> SlowWorkerPattern::next_iteration_delays() {
+  std::vector<double> delays(static_cast<std::size_t>(num_workers_), 0.0);
+  for (const auto& e : next_iteration()) {
+    delays[static_cast<std::size_t>(e.worker)] += e.sleep_ms;
+  }
+  return delays;
+}
+
+}  // namespace mltrain

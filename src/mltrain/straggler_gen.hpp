@@ -1,0 +1,43 @@
+// The "Slow Worker Pattern" straggler generator (paper §6.1, after
+// FlexRR): each iteration has three possible delay points; at each point
+// one randomly chosen server decides to slow down with probability p, and
+// a straggling server sleeps for a period uniformly random in
+// [0.5, 2] x the model's typical (no-straggler) iteration time.
+#pragma once
+
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace mltrain {
+
+struct StragglerEvent {
+  int worker = -1;
+  double sleep_ms = 0;
+};
+
+class SlowWorkerPattern {
+ public:
+  SlowWorkerPattern(double probability, int num_workers,
+                    double typical_iteration_ms, std::uint64_t seed = 1)
+      : p_(probability),
+        num_workers_(num_workers),
+        typical_ms_(typical_iteration_ms),
+        rng_(seed) {}
+
+  /// Draws the straggler events for one iteration (0 to 3 events).
+  std::vector<StragglerEvent> next_iteration();
+
+  /// Per-worker total sleep for one iteration, ms.
+  std::vector<double> next_iteration_delays();
+
+  static constexpr int kDelayPoints = 3;
+
+ private:
+  double p_;
+  int num_workers_;
+  double typical_ms_;
+  sim::Rng rng_;
+};
+
+}  // namespace mltrain

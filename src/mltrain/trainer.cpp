@@ -1,0 +1,173 @@
+#include "mltrain/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mltrain {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kIdeal: return "Ideal";
+    case Backend::kSwitchML: return "SwitchML";
+    case Backend::kTrioML: return "Trio-ML";
+  }
+  return "?";
+}
+
+double Trainer::ring_allreduce_ms(double bytes, int workers, double gbps) {
+  // Ring allreduce moves 2*(N-1)/N of the data over each link.
+  const double on_wire =
+      2.0 * (workers - 1) / workers * bytes * 8.0;  // bits
+  return on_wire / (gbps * 1e9) * 1e3;
+}
+
+Trainer::Trainer(const ModelSpec& model, Backend backend, TrainConfig config)
+    : model_(model),
+      backend_(backend),
+      config_(config),
+      stragglers_(config.straggle_probability, config.num_workers,
+                  /*typical placeholder, set below*/ 1.0, config.seed),
+      rng_(config.seed ^ 0x5eedc0ffee) {
+  typical_ms_ = model_.compute_ms + comm_ms();
+  stragglers_ = SlowWorkerPattern(config_.straggle_probability,
+                                  config_.num_workers, typical_ms_,
+                                  config_.seed);
+}
+
+double Trainer::comm_ms() const {
+  const double bytes = model_.size_mb * 1e6;
+  switch (backend_) {
+    case Backend::kIdeal:
+      return ring_allreduce_ms(bytes, config_.num_workers,
+                               config_.rdma_ring_gbps);
+    case Backend::kSwitchML:
+      // Each worker streams the model once up and receives it once down,
+      // window-pipelined: the DPDK goodput bounds the rate.
+      return bytes * 8.0 / (config_.switchml_goodput_gbps * 1e9) * 1e3;
+    case Backend::kTrioML:
+      return bytes * 8.0 / (config_.trioml_goodput_gbps * 1e9) * 1e3;
+  }
+  return 0;
+}
+
+IterationOutcome Trainer::step() {
+  IterationOutcome out;
+  out.contributors = config_.num_workers;
+
+  // The Ideal setup has no stragglers injected (paper §6.1).
+  std::vector<StragglerEvent> events;
+  if (backend_ != Backend::kIdeal) {
+    events = stragglers_.next_iteration();
+  }
+
+  switch (backend_) {
+    case Backend::kIdeal:
+      out.duration_ms = model_.compute_ms + comm_ms();
+      break;
+
+    case Backend::kSwitchML: {
+      // The aggregation cannot finish before the slowest worker has
+      // contributed every block ("its aggregation logic requires all
+      // participating workers to contribute before making progress").
+      // Sleeps at distinct delay points stall the synchronous pipeline
+      // at different phases of the iteration and therefore compose
+      // additively; each stall additionally drains the pool and restarts
+      // the windowed pipeline cold (stall amplification, [cal]).
+      double extra = 0;
+      for (const auto& e : events) {
+        extra += e.sleep_ms * config_.switchml_stall_amplification;
+      }
+      out.duration_ms = model_.compute_ms + extra + comm_ms();
+      break;
+    }
+
+    case Backend::kTrioML: {
+      // Timer threads age blocks untouched for one timeout period; the
+      // scan that notices lands within [timeout, 2*timeout] (Fig 14).
+      // Each straggle event costs at most the detection delay: once the
+      // block ages out, a degraded partial result unblocks everyone.
+      double extra = 0;
+      std::vector<bool> aged(static_cast<std::size_t>(config_.num_workers),
+                             false);
+      for (const auto& e : events) {
+        const double detect_ms =
+            config_.straggler_timeout_ms * rng_.uniform(1.0, 2.0);
+        if (e.sleep_ms <= detect_ms) {
+          extra += e.sleep_ms;  // recovered before any block aged out
+        } else {
+          extra += detect_ms;
+          aged[static_cast<std::size_t>(e.worker)] = true;
+        }
+      }
+      int straggling = 0;
+      for (bool a : aged) straggling += a ? 1 : 0;
+      if (straggling > 0) {
+        out.degraded = true;
+        out.contributors = config_.num_workers - straggling;
+      }
+      out.duration_ms = model_.compute_ms + extra + comm_ms();
+      break;
+    }
+  }
+
+  if (out.degraded) {
+    const double frac =
+        static_cast<double>(out.contributors) / config_.num_workers;
+    out.progress = std::pow(frac, config_.efficiency_alpha);
+  }
+  effective_iterations_ += out.progress;
+  wall_ms_ += out.duration_ms;
+  return out;
+}
+
+double Trainer::accuracy() const {
+  return model_.acc_max -
+         (model_.acc_max - model_.acc0) *
+             std::exp(-effective_iterations_ / model_.tau_iters);
+}
+
+TrainResult Trainer::run_iterations(std::uint64_t n) {
+  TrainResult res;
+  double total_ms = 0;
+  std::uint64_t degraded = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto out = step();
+    total_ms += out.duration_ms;
+    if (out.degraded) ++degraded;
+  }
+  res.iterations = n;
+  res.mean_iteration_ms = n ? total_ms / static_cast<double>(n) : 0;
+  res.degraded_fraction = n ? static_cast<double>(degraded) / n : 0;
+  return res;
+}
+
+TrainResult Trainer::train_to_accuracy(double target_acc,
+                                       double max_minutes) {
+  TrainResult res;
+  double total_ms = 0;
+  std::uint64_t degraded = 0;
+  double next_sample_min = 0;
+  const double sample_every_min = max_minutes / 200.0;
+  while (wall_ms_ < max_minutes * 60e3) {
+    const auto out = step();
+    total_ms += out.duration_ms;
+    ++res.iterations;
+    if (out.degraded) ++degraded;
+    const double minutes = wall_ms_ / 60e3;
+    if (minutes >= next_sample_min) {
+      res.curve.emplace_back(minutes, accuracy());
+      next_sample_min += sample_every_min;
+    }
+    if (accuracy() >= target_acc) {
+      res.time_to_target_minutes = minutes;
+      break;
+    }
+  }
+  res.mean_iteration_ms =
+      res.iterations ? total_ms / static_cast<double>(res.iterations) : 0;
+  res.degraded_fraction =
+      res.iterations ? static_cast<double>(degraded) / res.iterations : 0;
+  return res;
+}
+
+}  // namespace mltrain

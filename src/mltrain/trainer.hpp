@@ -1,0 +1,116 @@
+// Flow-level distributed training simulation for the paper's Figures 12
+// and 13: data-parallel training of a model across N workers, with
+// allreduce served by one of three backends:
+//
+//   kIdeal    — PyTorch + NCCL ring-allreduce over RDMA, no stragglers
+//               injected (the paper's "Ideal setup");
+//   kSwitchML — in-network aggregation that must hear from every worker:
+//               the iteration completes only after the slowest worker has
+//               contributed (no straggler escape);
+//   kTrioML   — Trio in-network aggregation with timer-thread straggler
+//               mitigation: blocks touched only by non-stragglers age out
+//               within [timeout, 2*timeout] and a *degraded* partial
+//               result is returned, so the iteration proceeds at roughly
+//               the non-stragglers' pace — at the price of a small
+//               statistical-efficiency penalty on degraded iterations.
+//
+// Why flow level: Figures 12-13 span hours of training; the packet-level
+// simulator (trioml/, switchml/) validates the mechanisms and calibrates
+// the per-backend communication rates, and this model composes them with
+// compute and straggler sleeps per iteration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mltrain/model.hpp"
+#include "mltrain/straggler_gen.hpp"
+#include "sim/stats.hpp"
+
+namespace mltrain {
+
+enum class Backend { kIdeal, kSwitchML, kTrioML };
+
+const char* backend_name(Backend backend);
+
+struct TrainConfig {
+  int num_workers = 6;
+  double straggle_probability = 0.0;  // the paper's p
+
+  // Communication rates (per-worker sustained goodput). The in-network
+  // rates come from the packet-level benchmarks (Figure 15/16); the ring
+  // rate is RDMA line rate.
+  double rdma_ring_gbps = 100.0;
+  double trioml_goodput_gbps = 55.0;    // 1024-grad packets + DPDK hosts
+  double switchml_goodput_gbps = 45.0;  // 256-grad packets + DPDK hosts
+
+  // Trio straggler mitigation (paper defaults: N=100 threads, 10 ms).
+  double straggler_timeout_ms = 10.0;
+
+  /// [cal] When a SwitchML worker stalls mid-allreduce, the whole pool
+  /// drains and the windowed pipeline restarts cold once it resumes, so
+  /// the wall-clock cost exceeds the raw sleep. Calibrated against the
+  /// paper's Fig 13 SwitchML slope (see EXPERIMENTS.md).
+  double switchml_stall_amplification = 1.35;
+
+  /// Statistical-efficiency exponent: a degraded iteration aggregated
+  /// over k of n workers contributes (k/n)^alpha of a full iteration's
+  /// convergence progress. Calibrated so the Fig 12 time-to-accuracy
+  /// speedups sit below the Fig 13 iteration-time speedups, as measured
+  /// in the paper (see EXPERIMENTS.md).
+  double efficiency_alpha = 1.55;
+
+  std::uint64_t seed = 1;
+};
+
+struct IterationOutcome {
+  double duration_ms = 0;
+  bool degraded = false;
+  int contributors = 0;   // k of n workers in the aggregation result
+  double progress = 1.0;  // effective iterations of convergence progress
+};
+
+struct TrainResult {
+  double mean_iteration_ms = 0;
+  std::uint64_t iterations = 0;
+  double degraded_fraction = 0;
+  /// (minutes, accuracy) samples of the validation-accuracy curve.
+  std::vector<std::pair<double, double>> curve;
+  double time_to_target_minutes = -1;  // -1: target not reached
+};
+
+class Trainer {
+ public:
+  Trainer(const ModelSpec& model, Backend backend, TrainConfig config);
+
+  /// Simulates one training iteration.
+  IterationOutcome step();
+
+  /// Average iteration time over the first `n` iterations (Figure 13).
+  TrainResult run_iterations(std::uint64_t n);
+
+  /// Trains until the target accuracy (or `max_minutes`), sampling the
+  /// accuracy curve (Figure 12).
+  TrainResult train_to_accuracy(double target_acc, double max_minutes);
+
+  /// Ring-allreduce time for `bytes` over N workers at `gbps`, ms.
+  static double ring_allreduce_ms(double bytes, int workers, double gbps);
+
+  double typical_iteration_ms() const { return typical_ms_; }
+  double accuracy() const;
+
+ private:
+  double comm_ms() const;
+
+  ModelSpec model_;
+  Backend backend_;
+  TrainConfig config_;
+  SlowWorkerPattern stragglers_;
+  sim::Rng rng_;
+  double typical_ms_;
+  double effective_iterations_ = 0;
+  double wall_ms_ = 0;
+};
+
+}  // namespace mltrain

@@ -1,0 +1,112 @@
+#include "net/headers.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace net {
+
+std::string mac_to_string(const MacAddr& mac) {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", mac[0],
+                mac[1], mac[2], mac[3], mac[4], mac[5]);
+  return buf;
+}
+
+Ipv4Addr Ipv4Addr::from_string(const std::string& dotted) {
+  unsigned a, b, c, d;
+  char tail;
+  if (std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("Ipv4Addr::from_string: bad address '" +
+                                dotted + "'");
+  }
+  return from_octets(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", v_ >> 24 & 0xff,
+                v_ >> 16 & 0xff, v_ >> 8 & 0xff, v_ & 0xff);
+  return buf;
+}
+
+void EthernetHeader::write(Buffer& buf, std::size_t off) const {
+  buf.write(off, dst);
+  buf.write(off + 6, src);
+  buf.set_u16(off + 12, ether_type);
+}
+
+EthernetHeader EthernetHeader::parse(const Buffer& buf, std::size_t off) {
+  EthernetHeader h;
+  auto d = buf.view(off, 6);
+  auto s = buf.view(off + 6, 6);
+  std::copy(d.begin(), d.end(), h.dst.begin());
+  std::copy(s.begin(), s.end(), h.src.begin());
+  h.ether_type = buf.u16(off + 12);
+  return h;
+}
+
+std::uint16_t internet_checksum(const Buffer& buf, std::size_t off,
+                                std::size_t len) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < len; i += 2) sum += buf.u16(off + i);
+  if (i < len) sum += std::uint32_t(buf.u8(off + i)) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void Ipv4Header::write(Buffer& buf, std::size_t off) const {
+  buf.set_u8(off, static_cast<std::uint8_t>(version << 4 | (ihl & 0xf)));
+  buf.set_u8(off + 1, dscp);
+  buf.set_u16(off + 2, total_length);
+  buf.set_u16(off + 4, identification);
+  buf.set_u16(off + 6, 0);  // flags/fragment offset unused in the simulator
+  buf.set_u8(off + 8, ttl);
+  buf.set_u8(off + 9, protocol);
+  buf.set_u16(off + 10, 0);  // checksum placeholder
+  buf.set_u32(off + 12, src.value());
+  buf.set_u32(off + 16, dst.value());
+  buf.set_u16(off + 10, internet_checksum(buf, off, header_bytes()));
+}
+
+Ipv4Header Ipv4Header::parse(const Buffer& buf, std::size_t off) {
+  Ipv4Header h;
+  const std::uint8_t vi = buf.u8(off);
+  h.version = vi >> 4;
+  h.ihl = vi & 0xf;
+  h.dscp = buf.u8(off + 1);
+  h.total_length = buf.u16(off + 2);
+  h.identification = buf.u16(off + 4);
+  h.ttl = buf.u8(off + 8);
+  h.protocol = buf.u8(off + 9);
+  h.checksum = buf.u16(off + 10);
+  h.src = Ipv4Addr(buf.u32(off + 12));
+  h.dst = Ipv4Addr(buf.u32(off + 16));
+  return h;
+}
+
+bool Ipv4Header::checksum_ok(const Buffer& buf, std::size_t off) {
+  const std::uint8_t ihl = buf.u8(off) & 0xf;
+  if (ihl < 5) return false;
+  return internet_checksum(buf, off, std::size_t(ihl) * 4) == 0;
+}
+
+void UdpHeader::write(Buffer& buf, std::size_t off) const {
+  buf.set_u16(off, src_port);
+  buf.set_u16(off + 2, dst_port);
+  buf.set_u16(off + 4, length);
+  buf.set_u16(off + 6, checksum);
+}
+
+UdpHeader UdpHeader::parse(const Buffer& buf, std::size_t off) {
+  UdpHeader h;
+  h.src_port = buf.u16(off);
+  h.dst_port = buf.u16(off + 2);
+  h.length = buf.u16(off + 4);
+  h.checksum = buf.u16(off + 6);
+  return h;
+}
+
+}  // namespace net

@@ -1,0 +1,96 @@
+// Ethernet / IPv4 / UDP header types with parse/serialize against Buffer
+// and IPv4 & UDP checksum computation. These are the protocols Trio-ML
+// packets ride on (Fig 7 of the paper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/buffer.hpp"
+
+namespace net {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+std::string mac_to_string(const MacAddr& mac);
+
+/// IPv4 address as a host-order 32-bit value with dotted-quad helpers.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t v) : v_(v) {}
+  static Ipv4Addr from_string(const std::string& dotted);
+  static constexpr Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b,
+                                        std::uint8_t c, std::uint8_t d) {
+    return Ipv4Addr(std::uint32_t(a) << 24 | std::uint32_t(b) << 16 |
+                    std::uint32_t(c) << 8 | d);
+  }
+  constexpr std::uint32_t value() const { return v_; }
+  std::string to_string() const;
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  /// 224.0.0.0/4
+  constexpr bool is_multicast() const { return (v_ >> 28) == 0xe; }
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+  static constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+  static constexpr std::uint16_t kEtherTypeArp = 0x0806;
+
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  void write(Buffer& buf, std::size_t off) const;
+  static EthernetHeader parse(const Buffer& buf, std::size_t off);
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // no options
+  static constexpr std::uint8_t kProtoUdp = 17;
+  static constexpr std::uint8_t kProtoTcp = 6;
+
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  // 32-bit words; 5 = no options
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtoUdp;
+  std::uint16_t checksum = 0;  // filled by write()
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  std::size_t header_bytes() const { return std::size_t(ihl) * 4; }
+
+  /// Serializes with a freshly computed checksum.
+  void write(Buffer& buf, std::size_t off) const;
+  static Ipv4Header parse(const Buffer& buf, std::size_t off);
+
+  /// Validates the checksum of the on-wire header at `off`.
+  static bool checksum_ok(const Buffer& buf, std::size_t off);
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;  // 0 = not computed (legal for UDP/IPv4)
+
+  void write(Buffer& buf, std::size_t off) const;
+  static UdpHeader parse(const Buffer& buf, std::size_t off);
+};
+
+/// RFC 1071 ones'-complement checksum over `len` bytes at `off`.
+std::uint16_t internet_checksum(const Buffer& buf, std::size_t off,
+                                std::size_t len);
+
+}  // namespace net

@@ -1,0 +1,56 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+
+namespace net {
+
+LinkEndpoint::LinkEndpoint(sim::Simulator& simulator, double gbps,
+                           sim::Duration propagation,
+                           std::size_t queue_frames)
+    : sim_(simulator),
+      gbps_(gbps),
+      propagation_(propagation),
+      queue_frames_(queue_frames) {
+  if (gbps <= 0.0) {
+    throw std::invalid_argument("LinkEndpoint: bandwidth must be positive");
+  }
+}
+
+void LinkEndpoint::connect(Node& peer, int port) {
+  peer_ = &peer;
+  peer_port_ = port;
+}
+
+void LinkEndpoint::set_loss(double probability, std::uint64_t seed) {
+  loss_probability_ = probability;
+  loss_rng_.reseed(seed);
+}
+
+bool LinkEndpoint::send(PacketPtr pkt) {
+  if (peer_ == nullptr) {
+    throw std::logic_error("LinkEndpoint::send: endpoint not connected");
+  }
+  if (in_flight_ >= queue_frames_ ||
+      (loss_probability_ > 0.0 && loss_rng_.bernoulli(loss_probability_))) {
+    ++frames_dropped_;
+    return false;
+  }
+  const sim::Time start =
+      busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+  const sim::Time tx_end = start + serialization_delay(pkt->size());
+  busy_until_ = tx_end;
+  ++in_flight_;
+  ++frames_sent_;
+  bytes_sent_ += pkt->size();
+
+  Node* peer = peer_;
+  const int port = peer_port_;
+  sim_.schedule_at(tx_end + propagation_,
+                   [this, peer, port, pkt = std::move(pkt)]() mutable {
+                     --in_flight_;
+                     peer->receive(std::move(pkt), port);
+                   });
+  return true;
+}
+
+}  // namespace net

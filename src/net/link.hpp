@@ -1,0 +1,99 @@
+// Point-to-point full-duplex link with a serialization-rate model.
+//
+// Each direction is an independent transmit queue: a frame occupies the
+// wire for size*8/bandwidth, then arrives after the propagation delay
+// (store-and-forward). A finite transmit queue drops excess frames and
+// counts them, which is how loss enters the simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace net {
+
+/// Anything that can accept a packet on a numbered port: hosts, routers,
+/// switches.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void receive(PacketPtr pkt, int port) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// One direction of a link.
+class LinkEndpoint {
+ public:
+  LinkEndpoint(sim::Simulator& simulator, double gbps,
+               sim::Duration propagation, std::size_t queue_frames = 4096);
+
+  /// Attaches the receiving side. `port` is the port number presented to
+  /// the peer node's receive().
+  void connect(Node& peer, int port);
+
+  /// Queues a frame for transmission. Returns false (and counts a drop)
+  /// when the transmit queue is full or the frame is lost to injected
+  /// random loss.
+  bool send(PacketPtr pkt);
+
+  /// Injects i.i.d. random frame loss (models transient congestion
+  /// drops elsewhere in the fabric — §7 "Packet loss in Trio-ML").
+  void set_loss(double probability, std::uint64_t seed = 1);
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  double gbps() const { return gbps_; }
+
+  /// Time the wire becomes free (>= now when busy).
+  sim::Time busy_until() const { return busy_until_; }
+
+  sim::Duration serialization_delay(std::size_t bytes) const {
+    // bits / (Gbps) = ns exactly when bandwidth is in bits/ns.
+    return sim::Duration(static_cast<std::int64_t>(
+        static_cast<double>(bytes) * 8.0 / gbps_ + 0.5));
+  }
+
+ private:
+  sim::Simulator& sim_;
+  double gbps_;
+  sim::Duration propagation_;
+  std::size_t queue_frames_;
+  Node* peer_ = nullptr;
+  int peer_port_ = -1;
+  sim::Time busy_until_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  double loss_probability_ = 0.0;
+  sim::Rng loss_rng_{1};
+};
+
+/// Full-duplex link: two endpoints wired between nodes a and b.
+class Link {
+ public:
+  Link(sim::Simulator& simulator, double gbps, sim::Duration propagation,
+       std::size_t queue_frames = 4096)
+      : a_to_b_(simulator, gbps, propagation, queue_frames),
+        b_to_a_(simulator, gbps, propagation, queue_frames) {}
+
+  /// Wires node a's view: frames sent via a_to_b() arrive at `b` as `port_b`.
+  void attach(Node& a, int port_a, Node& b, int port_b) {
+    a_to_b_.connect(b, port_b);
+    b_to_a_.connect(a, port_a);
+  }
+
+  LinkEndpoint& a_to_b() { return a_to_b_; }
+  LinkEndpoint& b_to_a() { return b_to_a_; }
+
+ private:
+  LinkEndpoint a_to_b_;
+  LinkEndpoint b_to_a_;
+};
+
+}  // namespace net

@@ -1,0 +1,76 @@
+#include "pisa/pipeline.hpp"
+
+namespace pisa {
+
+int Stage::add_register_array(std::size_t size) {
+  arrays_.emplace_back(size, 0u);
+  touched_.push_back(false);
+  return static_cast<int>(arrays_.size() - 1);
+}
+
+std::uint32_t Stage::stateful_rmw(
+    int array, std::size_t index,
+    const std::function<std::uint32_t(std::uint32_t)>& f) {
+  auto& arr = arrays_.at(static_cast<std::size_t>(array));
+  if (touched_.at(static_cast<std::size_t>(array))) {
+    throw PisaConstraintViolation(
+        "stage " + std::to_string(index_) + ": second access to register "
+        "array " + std::to_string(array) + " in one traversal");
+  }
+  touched_[static_cast<std::size_t>(array)] = true;
+  ++accesses_;
+  auto& cell = arr.at(index);
+  cell = f(cell);
+  return cell;
+}
+
+std::uint32_t Stage::stateful_read(int array, std::size_t index) {
+  return stateful_rmw(array, index, [](std::uint32_t v) { return v; });
+}
+
+Pipeline::Pipeline(sim::Simulator& simulator, const PipelineConfig& config)
+    : sim_(simulator), config_(config) {
+  for (int i = 0; i < config.stages; ++i) {
+    stages_.push_back(std::make_unique<Stage>(i));
+  }
+}
+
+sim::Duration Pipeline::traversal_latency() const {
+  return config_.parser_latency +
+         config_.stage_latency * static_cast<std::int64_t>(stages_.size());
+}
+
+void Pipeline::inject(net::PacketPtr pkt) {
+  ++packets_in_;
+  // Line-rate front end: one packet per 1/packets_per_ns.
+  const auto slot = sim::Duration(
+      static_cast<std::int64_t>(1.0 / config_.packets_per_ns + 0.5));
+  const sim::Time start = sim_.now() > front_free_ ? sim_.now() : front_free_;
+  front_free_ = start + slot;
+
+  Phv phv;
+  phv.packet = std::move(pkt);
+  sim_.schedule_at(start + traversal_latency(),
+                   [this, phv = std::move(phv)]() mutable {
+                     traverse(std::move(phv));
+                   });
+}
+
+void Pipeline::traverse(Phv phv) {
+  if (parser_ && !parser_(phv)) return;  // dropped at parse
+  for (auto& st : stages_) {
+    st->begin_traversal();
+    st->run(phv);
+    if (phv.drop) return;
+  }
+  if (phv.recirculate) {
+    ++recirculations_;
+    phv.recirculate = false;
+    // Recirculation re-enters the front end, stealing a line-rate slot.
+    inject(std::move(phv.packet));
+    return;
+  }
+  if (deparser_) deparser_(std::move(phv));
+}
+
+}  // namespace pisa

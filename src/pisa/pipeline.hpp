@@ -1,0 +1,141 @@
+// A PISA (Protocol Independent Switch Architecture) pipeline model — the
+// baseline architecture the paper contrasts Trio against (Fig 1b).
+//
+// The architectural constraints that matter for the comparison are
+// enforced structurally, not just documented:
+//   * packets traverse a fixed sequence of match-action stages at line
+//     rate — per-packet work is bounded by the stage count;
+//   * stateful memory is per-stage register arrays, and one packet may
+//     perform at most ONE stateful access per register array per
+//     traversal (the RMW-at-stage constraint that makes SwitchML spread a
+//     packet's gradients across stages);
+//   * stages cannot reach other stages' registers, and pipelines cannot
+//     reach other pipelines' registers at all;
+//   * there are no data-plane timers — the only way to revisit state is
+//     to recirculate a packet, consuming ingress bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace pisa {
+
+/// Per-traversal packet context: the PHV (parsed representation plus
+/// metadata scratch) handed from stage to stage.
+struct Phv {
+  net::PacketPtr packet;
+  /// Parsed/computed metadata fields, program-defined meaning.
+  std::vector<std::uint64_t> meta;
+  bool drop = false;
+  bool recirculate = false;
+  int egress_port = -1;
+  /// Multicast group id (0 = none); resolved by the traffic manager.
+  std::uint32_t mcast_group = 0;
+};
+
+class Stage;
+
+/// A stage's match-action logic, supplied by the application.
+using StageLogic = std::function<void(Phv&, Stage&)>;
+
+/// One match-action stage with its register arrays.
+class Stage {
+ public:
+  explicit Stage(int index) : index_(index) {}
+
+  /// Declares a register array of `size` 32-bit cells. Returns its id.
+  int add_register_array(std::size_t size);
+
+  /// Stateful read-modify-write: applies `f` to the cell and returns the
+  /// cell's new value. Enforces the one-access-per-array-per-traversal
+  /// constraint; a second access throws PisaConstraintViolation.
+  std::uint32_t stateful_rmw(int array, std::size_t index,
+                             const std::function<std::uint32_t(std::uint32_t)>& f);
+
+  /// Plain read (counts as the array's single access too).
+  std::uint32_t stateful_read(int array, std::size_t index);
+
+  void set_logic(StageLogic logic) { logic_ = std::move(logic); }
+
+  int index() const { return index_; }
+  std::uint64_t accesses() const { return accesses_; }
+
+  /// Resets the per-traversal access budget. Called by the pipeline for
+  /// each packet; exposed for direct stage-level testing.
+  void begin_traversal() { touched_.assign(arrays_.size(), false); }
+
+ private:
+  friend class Pipeline;
+  void run(Phv& phv) {
+    if (logic_) logic_(phv, *this);
+  }
+
+  int index_;
+  StageLogic logic_;
+  std::vector<std::vector<std::uint32_t>> arrays_;
+  std::vector<bool> touched_;
+  std::uint64_t accesses_ = 0;
+};
+
+class PisaConstraintViolation : public std::logic_error {
+ public:
+  explicit PisaConstraintViolation(const std::string& what)
+      : std::logic_error("PISA constraint violation: " + what) {}
+};
+
+struct PipelineConfig {
+  int stages = 12;
+  /// Per-stage transit latency.
+  sim::Duration stage_latency = sim::Duration::nanos(40);
+  /// Line-rate packet throughput of the pipeline front end.
+  double packets_per_ns = 1.0;  // ~1 packet/cycle
+  /// Parser latency before stage 0 and deparser after the last stage.
+  sim::Duration parser_latency = sim::Duration::nanos(100);
+};
+
+/// Parser logic: fills Phv::meta from the packet; returns false to drop.
+using ParserLogic = std::function<bool(Phv&)>;
+/// Invoked when the packet leaves the deparser (forward/multicast decided
+/// from the Phv by the switch).
+using DeparserSink = std::function<void(Phv&&)>;
+
+class Pipeline {
+ public:
+  Pipeline(sim::Simulator& simulator, const PipelineConfig& config);
+
+  Stage& stage(int i) { return *stages_.at(static_cast<std::size_t>(i)); }
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+
+  void set_parser(ParserLogic parser) { parser_ = std::move(parser); }
+  void set_deparser(DeparserSink sink) { deparser_ = std::move(sink); }
+
+  /// Injects a packet at the pipeline head. Processing completes after
+  /// parser + stages latency; recirculated packets re-enter automatically
+  /// (consuming front-end slots, i.e. reducing usable line rate).
+  void inject(net::PacketPtr pkt);
+
+  std::uint64_t packets_in() const { return packets_in_; }
+  std::uint64_t recirculations() const { return recirculations_; }
+  sim::Duration traversal_latency() const;
+
+ private:
+  void traverse(Phv phv);
+
+  sim::Simulator& sim_;
+  PipelineConfig config_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  ParserLogic parser_;
+  DeparserSink deparser_;
+  sim::Time front_free_;
+  std::uint64_t packets_in_ = 0;
+  std::uint64_t recirculations_ = 0;
+};
+
+}  // namespace pisa

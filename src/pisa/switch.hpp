@@ -1,0 +1,69 @@
+// A Tofino-style PISA switch: four independent pipelines, each serving a
+// group of front-panel ports; a traffic manager that forwards/multicasts
+// between pipelines. Pipelines cannot access each other's register state
+// — cross-pipeline stateful applications must recirculate (paper §6.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "pisa/pipeline.hpp"
+
+namespace pisa {
+
+struct SwitchConfig {
+  int pipelines = 4;
+  int ports_per_pipeline = 16;
+  PipelineConfig pipeline;
+};
+
+class Switch : public net::Node {
+ public:
+  Switch(sim::Simulator& simulator, const SwitchConfig& config,
+         std::string name = "tofino");
+
+  // --- net::Node ----------------------------------------------------------
+  void receive(net::PacketPtr pkt, int port) override;
+  std::string name() const override { return name_; }
+
+  Pipeline& pipeline(int i) { return *pipes_.at(static_cast<std::size_t>(i)); }
+  int num_pipelines() const { return static_cast<int>(pipes_.size()); }
+  int num_ports() const {
+    return num_pipelines() * config_.ports_per_pipeline;
+  }
+  int pipeline_of_port(int port) const {
+    return port / config_.ports_per_pipeline;
+  }
+
+  void attach_port(int port, net::LinkEndpoint& tx);
+  void attach_port_sink(int port, std::function<void(net::PacketPtr)> sink);
+
+  /// Registers a multicast group: group id -> egress ports.
+  void set_mcast_group(std::uint32_t group, std::vector<int> ports);
+
+  /// Egress path used by pipeline deparsers.
+  void egress(Phv&& phv);
+
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t packets_transmitted() const { return packets_transmitted_; }
+
+ private:
+  void port_out(int port, net::PacketPtr pkt);
+
+  sim::Simulator& sim_;
+  SwitchConfig config_;
+  std::string name_;
+  std::vector<std::unique_ptr<Pipeline>> pipes_;
+  std::vector<net::LinkEndpoint*> port_tx_;
+  std::vector<std::function<void(net::PacketPtr)>> port_sinks_;
+  std::vector<std::vector<int>> mcast_groups_;  // indexed by group id
+
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t packets_transmitted_ = 0;
+};
+
+}  // namespace pisa

@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sim {
+
+EventId EventQueue::schedule(Time at, Callback cb) {
+  if (at < last_popped_) {
+    throw std::logic_error("EventQueue::schedule: event scheduled in the past");
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(cb)});
+  pending_.insert(seq);
+  return EventId(seq);
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return pending_.erase(id.seq_) != 0;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled_top();
+  if (heap_.empty()) return Time::max();
+  return heap_.top().at;
+}
+
+Time EventQueue::pop_and_run() {
+  drop_cancelled_top();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::pop_and_run: queue is empty");
+  }
+  Callback cb = std::move(heap_.top().cb);
+  const Time at = heap_.top().at;
+  pending_.erase(heap_.top().seq);
+  heap_.pop();
+  last_popped_ = at;
+  cb();
+  return at;
+}
+
+}  // namespace sim

@@ -1,0 +1,84 @@
+// Discrete-event queue: a priority queue of (time, sequence, callback)
+// entries with O(log n) push/pop and O(1) lazy cancellation.
+//
+// Determinism: two events scheduled for the same instant fire in the order
+// they were scheduled (FIFO tie-break on a monotonically increasing
+// sequence number), so simulation runs are exactly reproducible for a given
+// seed regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr bool valid() const { return seq_ != 0; }
+  constexpr auto operator<=>(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;  // 0 = invalid
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at absolute time `at`. Scheduling in the past
+  /// (before the most recently popped event) is a programming error and
+  /// throws std::logic_error.
+  EventId schedule(Time at, Callback cb);
+
+  /// Cancels a pending event. Returns false if the event already fired or
+  /// was already cancelled. O(1) amortised (lazy deletion).
+  bool cancel(EventId id);
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest pending event; Time::max() when empty.
+  Time next_time();
+
+  /// Pops and runs the earliest event. Returns its time. Precondition:
+  /// !empty().
+  Time pop_and_run();
+
+  Time last_popped() const { return last_popped_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    // Mutable so the callback can be moved out of the (const) heap top
+    // right before execution.
+    mutable Callback cb;
+  };
+  struct Cmp {
+    // std::priority_queue is a max-heap; invert so the earliest
+    // (time, seq) pair is on top.
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Discards cancelled entries sitting on top of the heap.
+  void drop_cancelled_top();
+
+  std::priority_queue<Entry, std::vector<Entry>, Cmp> heap_;
+  std::unordered_set<std::uint64_t> pending_;  // live (not fired/cancelled)
+  std::uint64_t next_seq_ = 1;
+  Time last_popped_ = Time::zero();
+};
+
+}  // namespace sim

@@ -1,0 +1,29 @@
+#include "sim/logging.hpp"
+
+namespace sim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, Time t, const std::string& msg) {
+  std::fprintf(stderr, "[%s %12s] %s\n", level_name(level),
+               t.to_string().c_str(), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace sim

@@ -1,0 +1,28 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it up to narrate what the simulated router is doing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace sim {
+
+enum class LogLevel { kOff = 0, kError, kInfo, kDebug, kTrace };
+
+/// Process-wide log threshold. Not thread-safe by design: the simulator is
+/// single-threaded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, Time t, const std::string& msg);
+}
+
+/// Logs `msg` stamped with simulated time `t` when `level` is enabled.
+inline void log(LogLevel level, Time t, const std::string& msg) {
+  if (level <= log_level()) detail::log_line(level, t, msg);
+}
+
+}  // namespace sim

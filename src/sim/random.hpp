@@ -1,0 +1,50 @@
+// Deterministic pseudo-random source for the simulator.
+//
+// xoshiro256++ seeded through splitmix64, plus the handful of distributions
+// the experiments need (uniform, exponential, Bernoulli). Self-contained so
+// results are bit-identical across standard libraries, unlike
+// std::uniform_real_distribution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling, so
+  /// the result is unbiased.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Forks an independent stream; deterministic function of this stream's
+  /// state. Used to give each simulated worker its own stream.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace sim

@@ -1,0 +1,42 @@
+#include "sim/simulator.hpp"
+
+namespace sim {
+
+// The clock must advance to the event's time *before* its callback runs,
+// so callbacks observe a consistent now() and may schedule relative work.
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++n;
+  }
+  events_executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  events_executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_events(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && !queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++n;
+  }
+  events_executed_ += n;
+  return n;
+}
+
+}  // namespace sim

@@ -1,0 +1,55 @@
+// The simulation kernel: owns the clock and the event queue and drives the
+// run loop. Every simulated component holds a Simulator& and schedules its
+// future work through it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run after `delay` (>= 0) from now.
+  EventId schedule_in(Duration delay, EventQueue::Callback cb) {
+    return queue_.schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` at an absolute time (>= now).
+  EventId schedule_at(Time at, EventQueue::Callback cb) {
+    return queue_.schedule(at, std::move(cb));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue drains. Returns the number of events run.
+  std::uint64_t run();
+
+  /// Runs events with time <= deadline; the clock is advanced to `deadline`
+  /// even if the queue drains earlier. Returns the number of events run.
+  std::uint64_t run_until(Time deadline);
+
+  /// Runs at most `max_events` events. Returns the number run.
+  std::uint64_t run_events(std::uint64_t max_events);
+
+  bool pending() { return !queue_.empty(); }
+  std::size_t queue_size() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,22 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+namespace sim {
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Samples::percentile(double p) {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  if (p <= 0.0) return values_.front();
+  if (p >= 100.0) return values_.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values_.size())));
+  return values_[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace sim

@@ -1,0 +1,69 @@
+// Small statistics helpers used by the benchmark harnesses: streaming
+// mean/min/max and percentile extraction over stored samples.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sim {
+
+/// Streaming summary: count, mean, min, max, variance (Welford).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples and answers percentile queries (nearest-rank).
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+    summary_.add(x);
+  }
+
+  std::size_t count() const { return values_.size(); }
+  double mean() const { return summary_.mean(); }
+  double min() const { return summary_.min(); }
+  double max() const { return summary_.max(); }
+  double stddev() const { return summary_.stddev(); }
+
+  /// Nearest-rank percentile, p in [0, 100]. 0 samples -> 0.
+  double percentile(double p);
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+  Summary summary_;
+  bool sorted_ = false;
+};
+
+}  // namespace sim

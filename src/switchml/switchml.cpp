@@ -1,0 +1,277 @@
+#include "switchml/switchml.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace switchml {
+
+using trioml::TrioMlHeader;
+
+namespace {
+
+// PHV metadata slots used by the SwitchML program.
+enum Meta : std::size_t {
+  kMetaBlock = 0,
+  kMetaWorker = 1,
+  kMetaSlot = 2,   // set-qualified slot index
+  kMetaLast = 3,   // 1 when this packet completed the slot
+  kMetaGrads = 4,
+  kMetaDrop = 5,
+  kMetaCount = 6,  // meta size
+};
+
+}  // namespace
+
+SwitchMlAggregator::SwitchMlAggregator(pisa::Switch& sw,
+                                       SwitchMlConfig config,
+                                       std::vector<int> worker_ports)
+    : sw_(sw), config_(config), worker_ports_(std::move(worker_ports)) {
+  if (config_.num_workers > 32) {
+    throw std::invalid_argument("SwitchML bitmap is a 32-bit register cell");
+  }
+  if (config_.grads_per_packet != 64 && config_.grads_per_packet != 256) {
+    throw std::invalid_argument("SwitchML supports 64 or 256 grads/packet");
+  }
+  install();
+  sw_.set_mcast_group(config_.mcast_group, worker_ports_);
+
+  // Workers attached to pipelines other than pipeline 0 cannot reach its
+  // register state: their packets must be recirculated into pipeline 0,
+  // stealing a line-rate slot there and adding a full extra traversal.
+  std::vector<bool> relayed(static_cast<std::size_t>(sw_.num_pipelines()),
+                            false);
+  for (int port : worker_ports_) {
+    const int pipe = sw_.pipeline_of_port(port);
+    if (pipe == 0 || relayed[static_cast<std::size_t>(pipe)]) continue;
+    relayed[static_cast<std::size_t>(pipe)] = true;
+    pisa::Pipeline& remote = sw_.pipeline(pipe);
+    remote.set_parser([](pisa::Phv& phv) {
+      phv.meta.assign(1, 0);
+      return true;
+    });
+    remote.set_deparser([this](pisa::Phv&& phv) {
+      ++cross_pipe_recirc_;
+      sw_.pipeline(0).inject(std::move(phv.packet));
+    });
+  }
+}
+
+void SwitchMlAggregator::install() {
+  pisa::Pipeline& pipe = sw_.pipeline(0);
+  const std::size_t cells = std::size_t(config_.pool_size) * 2;  // two sets
+
+  pipe.set_parser([this](pisa::Phv& phv) {
+    const net::Buffer& frame = phv.packet->frame();
+    if (!trioml::is_aggregation_frame(frame)) {
+      phv.drop = true;  // non-aggregation traffic is not modelled here
+      return false;
+    }
+    const TrioMlHeader hdr = TrioMlHeader::parse(frame, trioml::kTrioMlHdrOff);
+    phv.meta.assign(kMetaCount, 0);
+    phv.meta[kMetaBlock] = hdr.block_id;
+    phv.meta[kMetaWorker] = hdr.src_id;
+    phv.meta[kMetaSlot] =
+        hdr.block_id % (std::uint64_t(config_.pool_size) * 2);
+    phv.meta[kMetaGrads] = hdr.grad_cnt;
+    ++packets_;
+    return true;
+  });
+
+  // Stage 0: per-slot worker bitmap. One RMW computes membership,
+  // duplicate detection and completion, and self-resets on completion.
+  pisa::Stage& st0 = pipe.stage(0);
+  bitmap_array_ = st0.add_register_array(cells);
+  st0.set_logic([this](pisa::Phv& phv, pisa::Stage& st) {
+    const auto slot = static_cast<std::size_t>(phv.meta[kMetaSlot]);
+    const auto bit = std::uint32_t(1) << phv.meta[kMetaWorker];
+    bool dup = false;
+    bool last = false;
+    st.stateful_rmw(bitmap_array_, slot, [&](std::uint32_t old) {
+      if ((old & bit) != 0) {
+        dup = true;
+        return old;
+      }
+      const std::uint32_t nb = old | bit;
+      if (std::popcount(nb) == config_.num_workers) {
+        last = true;
+        return std::uint32_t{0};  // completing packet resets the slot
+      }
+      return nb;
+    });
+    if (dup) {
+      ++duplicates_;
+      phv.drop = true;
+      return;
+    }
+    phv.meta[kMetaLast] = last ? 1 : 0;
+  });
+
+  // Gradient stages: gradient i lives in array (i / per_stage) of stage
+  // 1 + i % ... — spread evenly so each packet touches each array once.
+  const int gps =
+      (config_.grads_per_packet + config_.grad_stages - 1) /
+      config_.grad_stages;
+  grad_arrays_.resize(static_cast<std::size_t>(config_.grad_stages));
+  for (int s = 0; s < config_.grad_stages; ++s) {
+    pisa::Stage& st = pipe.stage(1 + s);
+    auto& arrays = grad_arrays_[static_cast<std::size_t>(s)];
+    for (int j = 0; j < gps; ++j) arrays.push_back(st.add_register_array(cells));
+    st.set_logic([this, s, gps](pisa::Phv& phv, pisa::Stage& stage) {
+      if (phv.drop) return;
+      const auto slot = static_cast<std::size_t>(phv.meta[kMetaSlot]);
+      const bool last = phv.meta[kMetaLast] != 0;
+      const auto grads = static_cast<int>(phv.meta[kMetaGrads]);
+      net::Buffer& frame = phv.packet->frame();
+      for (int j = 0; j < gps; ++j) {
+        const int gi = s * gps + j;
+        if (gi >= grads) break;
+        const std::uint32_t g =
+            trioml::read_gradient(frame, static_cast<std::size_t>(gi));
+        std::uint32_t out = 0;
+        stage.stateful_rmw(
+            grad_arrays_[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(j)],
+            slot, [&](std::uint32_t old) {
+              out = old + g;
+              return last ? std::uint32_t{0} : out;  // read-out + reset
+            });
+        if (last) {
+          trioml::write_gradient(frame, static_cast<std::size_t>(gi), out);
+        }
+      }
+    });
+  }
+
+  pipe.set_deparser([this](pisa::Phv&& phv) {
+    if (phv.drop) return;
+    if (phv.meta[kMetaLast] != 0) {
+      // The completing packet becomes the result: stamp the contributor
+      // count and multicast to all workers.
+      net::Buffer& frame = phv.packet->frame();
+      TrioMlHeader hdr = TrioMlHeader::parse(frame, trioml::kTrioMlHdrOff);
+      hdr.src_cnt = static_cast<std::uint8_t>(config_.num_workers);
+      hdr.write(frame, trioml::kTrioMlHdrOff);
+      phv.mcast_group = config_.mcast_group;
+      ++completions_;
+      sw_.egress(std::move(phv));
+    }
+    // Non-completing packets are absorbed by the switch (no response --
+    // workers learn nothing until the slot completes).
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SwitchMlWorker
+
+SwitchMlWorker::SwitchMlWorker(sim::Simulator& simulator, Config config,
+                               net::LinkEndpoint& tx)
+    : sim_(simulator), config_(config), tx_(tx) {
+  slot_busy_until_block_.assign(std::size_t(config_.pool_size) * 2, -1);
+  slot_sent_.assign(std::size_t(config_.pool_size) * 2, sim::Time::zero());
+}
+
+void SwitchMlWorker::start_allreduce(
+    std::vector<std::uint32_t> grads, std::uint16_t gen_id,
+    std::function<void(std::vector<std::uint32_t>)> done) {
+  if (done_) {
+    throw std::logic_error("SwitchMlWorker: allreduce already in progress");
+  }
+  grads_ = std::move(grads);
+  gen_id_ = gen_id;
+  done_ = std::move(done);
+  result_.assign(grads_.size(), 0);
+  num_blocks_ = static_cast<std::uint32_t>(
+      (grads_.size() + config_.grads_per_packet - 1) /
+      static_cast<std::size_t>(config_.grads_per_packet));
+  next_block_ = 0;
+  completed_ = 0;
+  std::fill(slot_busy_until_block_.begin(), slot_busy_until_block_.end(), -1);
+  pump();
+}
+
+void SwitchMlWorker::stall_for(sim::Duration d) {
+  const sim::Time until = sim_.now() + d;
+  if (until > stalled_until_) stalled_until_ = until;
+}
+
+void SwitchMlWorker::pump() {
+  if (!done_) return;
+  if (sim_.now() < stalled_until_) {
+    if (!pump_scheduled_) {
+      pump_scheduled_ = true;
+      sim_.schedule_at(stalled_until_, [this] {
+        pump_scheduled_ = false;
+        pump();
+      });
+    }
+    return;
+  }
+  // SwitchML window: at most pool_size outstanding, and a set-qualified
+  // slot must be free before its next occupant may be sent.
+  while (next_block_ < num_blocks_) {
+    const std::size_t qslot =
+        next_block_ % (std::size_t(config_.pool_size) * 2);
+    if (slot_busy_until_block_[qslot] >= 0) break;
+    if (next_block_ - completed_ >=
+        static_cast<std::uint32_t>(config_.pool_size)) {
+      break;
+    }
+    slot_busy_until_block_[qslot] = next_block_;
+    slot_sent_[qslot] = sim_.now();
+    send_block(next_block_++);
+  }
+}
+
+void SwitchMlWorker::send_block(std::uint32_t block) {
+  const std::size_t begin =
+      std::size_t(block) * static_cast<std::size_t>(config_.grads_per_packet);
+  const std::size_t count = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.grads_per_packet),
+      grads_.size() - begin);
+  TrioMlHeader hdr;
+  hdr.job_id = config_.job_id;
+  hdr.block_id = block;
+  hdr.gen_id = gen_id_;
+  hdr.src_id = config_.worker_id;
+  hdr.src_cnt = 1;
+  net::Buffer frame = trioml::build_aggregation_frame(
+      config_.mac, config_.switch_mac, config_.ip, config_.switch_ip,
+      static_cast<std::uint16_t>(21000 + config_.worker_id), hdr,
+      std::span<const std::uint32_t>(grads_.data() + begin, count));
+  tx_.send(net::Packet::make(std::move(frame)));
+  ++packets_sent_;
+}
+
+void SwitchMlWorker::receive(net::PacketPtr pkt, int) {
+  const net::Buffer& frame = pkt->frame();
+  if (!trioml::is_aggregation_frame(frame)) return;
+  const TrioMlHeader hdr = TrioMlHeader::parse(frame, trioml::kTrioMlHdrOff);
+  if (!done_ || hdr.job_id != config_.job_id || hdr.gen_id != gen_id_) return;
+  const std::size_t qslot =
+      hdr.block_id % (std::size_t(config_.pool_size) * 2);
+  if (slot_busy_until_block_[qslot] !=
+      static_cast<std::int64_t>(hdr.block_id)) {
+    return;  // stale/duplicate result
+  }
+  slot_busy_until_block_[qslot] = -1;
+  ++results_received_;
+  block_latency_us_.add((sim_.now() - slot_sent_[qslot]).us());
+
+  const std::size_t base =
+      std::size_t(hdr.block_id) *
+      static_cast<std::size_t>(config_.grads_per_packet);
+  for (std::size_t i = 0;
+       i < hdr.grad_cnt && base + i < result_.size(); ++i) {
+    result_[base + i] = trioml::read_gradient(frame, i);
+  }
+  ++completed_;
+  if (completed_ == num_blocks_) {
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done(std::move(result_));
+    return;
+  }
+  pump();
+}
+
+}  // namespace switchml

@@ -1,0 +1,138 @@
+// SwitchML baseline (Sapio et al., NSDI'21) on the PISA substrate — the
+// comparison system of the paper's evaluation (§6.1 "SwitchML setup").
+//
+// Protocol essentials reproduced here:
+//   * a pool of aggregation slots with two shadow sets; a worker's packet
+//     addresses slot = block % pool, set = (block / pool) & 1;
+//   * per-slot worker bitmap and counter in the first stage; gradient
+//     values spread across the remaining stages' register arrays, one
+//     register-array access per packet per array (PISA constraint,
+//     enforced by pisa::Stage);
+//   * the packet that completes a slot reads out + resets the values and
+//     is multicast back to all workers as the result;
+//   * NO timers in the data plane: a slot with a missing worker waits
+//     forever — this is precisely why SwitchML cannot mitigate stragglers
+//     (paper §5) and what Figures 12-13 measure.
+//
+// SwitchML-64 fits one pipeline; SwitchML-256 carries 256 gradients and
+// requires the resources of all four pipelines (modelled as all workers
+// attached to one pipeline whose stages hold 4x the arrays, matching the
+// paper's single-pipeline best-case deployment).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pisa/switch.hpp"
+#include "sim/stats.hpp"
+#include "trioml/aggregator.hpp"
+#include "trioml/wire_format.hpp"
+
+namespace switchml {
+
+struct SwitchMlConfig {
+  int num_workers = 6;
+  int pool_size = 512;          // slots per set (paper: pool 512)
+  int grads_per_packet = 256;   // 64 (one pipeline) or 256 (four pipelines)
+  std::uint32_t mcast_group = 1;
+  int grad_stages = 8;          // stages carrying gradient arrays
+};
+
+/// Installs the SwitchML program on `sw` (parser, stages, deparser) for
+/// workers attached to `worker_ports` of pipeline 0, and registers the
+/// result multicast group.
+class SwitchMlAggregator {
+ public:
+  SwitchMlAggregator(pisa::Switch& sw, SwitchMlConfig config,
+                     std::vector<int> worker_ports);
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t completions() const { return completions_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  /// Packets that arrived on a pipeline other than the aggregating one
+  /// and had to be recirculated to it (paper §6.1: "If servers are
+  /// connected to multiple pipelines, recirculation is required and will
+  /// result in performance degradation").
+  std::uint64_t cross_pipeline_recirculations() const {
+    return cross_pipe_recirc_;
+  }
+
+  const SwitchMlConfig& config() const { return config_; }
+
+ private:
+  void install();
+
+  pisa::Switch& sw_;
+  SwitchMlConfig config_;
+  std::vector<int> worker_ports_;
+  // Register-array ids: per gradient-stage, the arrays it owns.
+  int bitmap_array_ = -1;
+  int count_array_ = -1;
+  std::vector<std::vector<int>> grad_arrays_;  // [stage][array]
+  std::uint64_t packets_ = 0;
+  std::uint64_t completions_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t cross_pipe_recirc_ = 0;
+};
+
+/// End-host worker for SwitchML: window == pool semantics (a slot is
+/// reusable only after its previous occupant's result returned).
+class SwitchMlWorker : public net::Node {
+ public:
+  struct Config {
+    std::uint8_t job_id = 1;
+    std::uint8_t worker_id = 0;
+    int num_workers = 6;
+    net::Ipv4Addr ip;
+    net::MacAddr mac{0x02, 0, 0, 0, 2, 1};
+    net::Ipv4Addr switch_ip;
+    net::MacAddr switch_mac{0x02, 0, 0, 0, 2, 0xfe};
+    int pool_size = 512;
+    int grads_per_packet = 256;
+    bool retransmit = false;  // disabled in the paper's experiments
+    sim::Duration retransmit_timeout = sim::Duration::millis(1);
+  };
+
+  SwitchMlWorker(sim::Simulator& simulator, Config config,
+                 net::LinkEndpoint& tx);
+
+  void start_allreduce(std::vector<std::uint32_t> grads, std::uint16_t gen_id,
+                       std::function<void(std::vector<std::uint32_t>)> done);
+
+  void receive(net::PacketPtr pkt, int port) override;
+  std::string name() const override {
+    return "sml-worker-" + std::to_string(config_.worker_id);
+  }
+
+  /// Pause sending (straggler injection).
+  void stall_for(sim::Duration d);
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t results_received() const { return results_received_; }
+  sim::Samples& block_latency_us() { return block_latency_us_; }
+
+ private:
+  void pump();
+  void send_block(std::uint32_t block);
+
+  sim::Simulator& sim_;
+  Config config_;
+  net::LinkEndpoint& tx_;
+  std::vector<std::uint32_t> grads_;
+  std::vector<std::uint32_t> result_;
+  std::uint16_t gen_id_ = 0;
+  std::function<void(std::vector<std::uint32_t>)> done_;
+  std::uint32_t num_blocks_ = 0;
+  std::uint32_t next_block_ = 0;
+  std::uint32_t completed_ = 0;
+  std::vector<std::int64_t> slot_busy_until_block_;  // -1 = free
+  std::vector<sim::Time> slot_sent_;
+  sim::Time stalled_until_;
+  bool pump_scheduled_ = false;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t results_received_ = 0;
+  sim::Samples block_latency_us_;
+};
+
+}  // namespace switchml

@@ -1,0 +1,147 @@
+// Advanced Forwarding Interface (AFI) — paper §3.1.
+//
+// "Packet forwarding is a sequence of operations executed by a PFE. Each
+// operation can be represented by a node on a graph of potential packet
+// forwarding operations. [AFI] provides partial programmability by
+// allowing third-party developers to control and manage a section of this
+// forwarding path graph via a small virtual container called a sandbox.
+// The sandbox enables developers to add, remove and change the order of
+// operations for specific packets."
+//
+// The sandbox here is an ordered list of forwarding-path operations that
+// matching packets traverse before (or instead of) the default IP
+// forwarding path. Operations are small declarative nodes — counters,
+// policers, header rewrites, filters, nexthop overrides — executed by the
+// PPE thread with their natural XTXN costs. Third-party code manipulates
+// the operation list at runtime (add / remove / reorder) without touching
+// the router's own Microcode image, which is exactly AFI's deployment
+// model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "trio/pfe.hpp"
+#include "trio/program.hpp"
+
+namespace trio {
+
+class Router;
+
+namespace afi {
+
+/// Increment a Packet/Byte counter in shared memory.
+struct CountOp {
+  std::uint64_t counter_addr = 0;
+};
+
+/// Charge the packet against a token-bucket policer; non-conforming
+/// packets are dropped (and counted if drop_counter_addr != 0).
+struct PoliceOp {
+  std::uint64_t policer_addr = 0;
+  std::uint64_t drop_counter_addr = 0;
+};
+
+/// Drop packets matching a predicate evaluated on the packet head.
+struct FilterOp {
+  std::function<bool(const net::Buffer& head)> drop_if;
+};
+
+/// Overwrite the IPv4 DSCP field (remark traffic class).
+struct SetDscpOp {
+  std::uint8_t dscp = 0;
+};
+
+/// Leave the sandbox and emit via a fixed nexthop.
+struct NexthopOp {
+  std::uint32_t nexthop_id = 0;
+};
+
+/// Leave the sandbox and continue on the router's default IP forwarding
+/// path.
+struct DefaultForwardOp {};
+
+using Operation = std::variant<CountOp, PoliceOp, FilterOp, SetDscpOp,
+                               NexthopOp, DefaultForwardOp>;
+
+/// Which packets enter the sandbox.
+using Match = std::function<bool(const net::Packet&)>;
+
+/// A named handle for one installed operation, usable to remove or
+/// reorder it later.
+using OpId = std::uint64_t;
+
+class Sandbox {
+ public:
+  explicit Sandbox(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Appends an operation; returns its handle.
+  OpId add(Operation op);
+  /// Inserts before the operation `before`.
+  OpId insert_before(OpId before, Operation op);
+  /// Removes an operation. Returns false if the handle is unknown.
+  bool remove(OpId id);
+  /// Moves `id` to position `index` in the chain.
+  bool reorder(OpId id, std::size_t index);
+
+  std::size_t size() const { return chain_.size(); }
+  std::vector<OpId> op_ids() const;
+
+  /// Packets processed / dropped inside this sandbox.
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t drops() const { return drops_; }
+
+  // --- Execution interface (used by the sandbox program) -----------------
+  const Operation& op_at(std::size_t index) const {
+    return chain_.at(index).op;
+  }
+  void note_packet() { ++packets_; }
+  void note_drop() { ++drops_; }
+
+ private:
+  struct Entry {
+    OpId id;
+    Operation op;
+  };
+  std::string name_;
+  std::vector<Entry> chain_;
+  OpId next_id_ = 1;
+  std::uint64_t packets_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+/// Hosts sandboxes on a PFE: packets matching a sandbox's Match traverse
+/// its operation chain; everything else takes the default forwarding
+/// path. Install with attach().
+class AfiHost {
+ public:
+  explicit AfiHost(Pfe& pfe) : pfe_(pfe) {}
+
+  /// Creates a sandbox bound to `match`. The returned pointer stays valid
+  /// for the host's lifetime.
+  Sandbox* create_sandbox(std::string name, Match match);
+
+  /// Installs the AFI program factory on the PFE (sandboxes first, then
+  /// the default forwarding program).
+  void attach();
+
+  Pfe& pfe() { return pfe_; }
+
+ private:
+  struct Binding {
+    Match match;
+    std::unique_ptr<Sandbox> sandbox;
+  };
+  Pfe& pfe_;
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace afi
+}  // namespace trio

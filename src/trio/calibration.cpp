@@ -1,0 +1,45 @@
+#include "trio/calibration.hpp"
+
+#include <stdexcept>
+
+namespace trio {
+
+namespace {
+// {ppes, threads/ppe, sms banks, nominal per-PFE Gbps}. PPE counts at the
+// endpoints are the paper's (16 -> 160); intermediate generations are
+// interpolated, and the engine/bank counts scale with the bandwidth.
+struct GenSpec {
+  int ppes;
+  int threads;
+  int banks;
+  double gbps;
+};
+constexpr GenSpec kGens[6] = {
+    {16, 8, 2, 40},     {24, 10, 4, 130},  {40, 12, 6, 260},
+    {64, 16, 8, 400},   {96, 20, 12, 500}, {160, 24, 16, 1600},
+};
+}  // namespace
+
+Calibration Calibration::generation(int gen) {
+  if (gen < 1 || gen > 6) {
+    throw std::invalid_argument("Calibration::generation: 1..6");
+  }
+  const GenSpec& spec = kGens[gen - 1];
+  Calibration c;
+  // The testbed model (defaults) reflects an *effective* gen-5 PFE whose
+  // parallelism was fitted to Figure 16; generation presets scale that
+  // effective parallelism by the architectural ratios.
+  c.ppes_per_pfe = spec.ppes / 6 > 1 ? spec.ppes / 6 : 2;
+  c.threads_per_ppe = spec.threads;
+  c.sms_banks = spec.banks;
+  return c;
+}
+
+double Calibration::generation_bandwidth_gbps(int gen) {
+  if (gen < 1 || gen > 6) {
+    throw std::invalid_argument("Calibration::generation_bandwidth_gbps");
+  }
+  return kGens[gen - 1].gbps;
+}
+
+}  // namespace trio

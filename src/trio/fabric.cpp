@@ -1,0 +1,30 @@
+#include "trio/fabric.hpp"
+
+#include <stdexcept>
+
+namespace trio {
+
+Fabric::Fabric(sim::Simulator& simulator, const Calibration& cal,
+               int num_pfes)
+    : sim_(simulator), cal_(cal) {
+  injection_free_.resize(static_cast<std::size_t>(num_pfes));
+}
+
+void Fabric::send(int src, net::PacketPtr pkt, Deliver deliver) {
+  if (src < 0 || static_cast<std::size_t>(src) >= injection_free_.size()) {
+    throw std::out_of_range("Fabric::send: bad source PFE");
+  }
+  ++packets_;
+  bytes_ += pkt->size();
+  auto& free_at = injection_free_[static_cast<std::size_t>(src)];
+  const sim::Time start = sim_.now() > free_at ? sim_.now() : free_at;
+  const auto ser_ns = static_cast<std::int64_t>(
+      static_cast<double>(pkt->size()) * 8.0 / cal_.fabric_gbps + 0.5);
+  free_at = start + sim::Duration(ser_ns);
+  sim_.schedule_at(free_at + cal_.fabric_latency,
+                   [deliver = std::move(deliver), pkt = std::move(pkt)]() mutable {
+                     deliver(std::move(pkt));
+                   });
+}
+
+}  // namespace trio

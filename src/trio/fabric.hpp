@@ -1,0 +1,39 @@
+// The interconnection fabric (paper §2.1): any-to-any connectivity between
+// PFEs of one chassis. Modelled as per-source injection rate limiting plus
+// a fixed transit latency; delivery invokes a caller-supplied sink (either
+// the destination PFE's ingress path — hierarchical aggregation — or its
+// egress queue).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "trio/calibration.hpp"
+
+namespace trio {
+
+class Fabric {
+ public:
+  using Deliver = std::function<void(net::PacketPtr)>;
+
+  Fabric(sim::Simulator& simulator, const Calibration& cal, int num_pfes);
+
+  /// Sends `pkt` from PFE `src` across the fabric; `deliver` runs at the
+  /// destination when the packet arrives.
+  void send(int src, net::PacketPtr pkt, Deliver deliver);
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  sim::Simulator& sim_;
+  const Calibration cal_;
+  std::vector<sim::Time> injection_free_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace trio

@@ -1,0 +1,60 @@
+#include "trio/forwarding.hpp"
+
+#include <stdexcept>
+
+namespace trio {
+
+std::uint32_t ForwardingTable::add_nexthop(Nexthop nh) {
+  nexthops_.push_back(std::move(nh));
+  return static_cast<std::uint32_t>(nexthops_.size() - 1);
+}
+
+const Nexthop& ForwardingTable::nexthop(std::uint32_t id) const {
+  if (id >= nexthops_.size()) {
+    throw std::out_of_range("ForwardingTable::nexthop: bad id " +
+                            std::to_string(id));
+  }
+  return nexthops_[id];
+}
+
+std::uint32_t ForwardingTable::mask_prefix(net::Ipv4Addr a, int len) {
+  if (len <= 0) return 0;
+  const std::uint32_t mask =
+      len >= 32 ? ~0u : ~((1u << (32 - len)) - 1);
+  return a.value() & mask;
+}
+
+void ForwardingTable::add_route(net::Ipv4Addr prefix, int prefix_len,
+                                std::uint32_t nh_id) {
+  if (prefix_len < 0 || prefix_len > 32) {
+    throw std::invalid_argument("ForwardingTable::add_route: bad prefix len");
+  }
+  if (nh_id >= nexthops_.size()) {
+    throw std::invalid_argument("ForwardingTable::add_route: bad nexthop");
+  }
+  routes_[prefix_len][mask_prefix(prefix, prefix_len)] = nh_id;
+}
+
+std::optional<std::uint32_t> ForwardingTable::lookup(net::Ipv4Addr dst) const {
+  for (const auto& [len, table] : routes_) {
+    auto it = table.find(mask_prefix(dst, len));
+    if (it != table.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t ForwardingTable::join_group(net::Ipv4Addr group,
+                                          std::uint32_t member) {
+  auto it = groups_.find(group.value());
+  if (it == groups_.end()) {
+    const std::uint32_t id = add_nexthop(NexthopMulticast{{member}});
+    groups_.emplace(group.value(), id);
+    add_route(group, 32, id);
+    return id;
+  }
+  auto& mc = std::get<NexthopMulticast>(nexthops_[it->second]);
+  mc.members.push_back(member);
+  return it->second;
+}
+
+}  // namespace trio

@@ -1,0 +1,74 @@
+// Forwarding state shared by all PFEs of a router: a longest-prefix-match
+// route table resolving destination IPv4 addresses to nexthops, a nexthop
+// table (the paper's "forwarding path graph" nodes, referenced by address
+// — Trio-ML job records carry an out_nh_addr pointing here), and multicast
+// group membership (IGMP-style joins or static configuration, §4
+// "Hierarchical aggregation").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "net/headers.hpp"
+
+namespace trio {
+
+/// Deliver out of a (global) router port with the given destination MAC.
+struct NexthopUnicast {
+  int port = -1;
+  net::MacAddr mac{};
+};
+
+/// Replicate to each member nexthop (members are nexthop ids, normally
+/// unicast — multicast replication happens at transmit).
+struct NexthopMulticast {
+  std::vector<std::uint32_t> members;
+};
+
+/// Hand the packet to another PFE for *processing* (not egress). Used by
+/// hierarchical aggregation: first-level PFEs feed the top-level PFE
+/// directly across the fabric, bypassing IP forwarding (paper §4).
+struct NexthopToPfe {
+  int pfe = -1;
+};
+
+/// Drop (a hole in the forwarding graph; also the default route's target
+/// when nothing matches).
+struct NexthopDiscard {};
+
+using Nexthop = std::variant<NexthopUnicast, NexthopMulticast, NexthopToPfe,
+                             NexthopDiscard>;
+
+class ForwardingTable {
+ public:
+  /// Adds a nexthop; returns its id ("address in the forwarding graph").
+  std::uint32_t add_nexthop(Nexthop nh);
+  const Nexthop& nexthop(std::uint32_t id) const;
+  std::size_t nexthop_count() const { return nexthops_.size(); }
+
+  /// Installs prefix/len -> nexthop id.
+  void add_route(net::Ipv4Addr prefix, int prefix_len, std::uint32_t nh_id);
+
+  /// Longest-prefix match.
+  std::optional<std::uint32_t> lookup(net::Ipv4Addr dst) const;
+
+  /// Adds `member` (a nexthop id) to multicast group `group`, creating the
+  /// group nexthop and its /32 route on first join. Returns the group's
+  /// nexthop id.
+  std::uint32_t join_group(net::Ipv4Addr group, std::uint32_t member);
+
+ private:
+  static std::uint32_t mask_prefix(net::Ipv4Addr a, int len);
+
+  std::vector<Nexthop> nexthops_;
+  // prefix_len -> (masked prefix -> nexthop id). Iterated longest-first.
+  std::map<int, std::unordered_map<std::uint32_t, std::uint32_t>,
+           std::greater<>> routes_;
+  std::unordered_map<std::uint32_t, std::uint32_t> groups_;  // group IP -> nh id
+};
+
+}  // namespace trio

@@ -1,0 +1,33 @@
+#include "trio/hash.hpp"
+
+namespace trio {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // Stafford's Mix13 finalizer — excellent avalanche, cheap.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t hash_bytes(std::span<const std::uint8_t> data,
+                         std::uint64_t seed) {
+  std::uint64_t h = mix64(seed ^ (0x9e3779b97f4a7c15ull + data.size()));
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    std::uint64_t lane = 0;
+    for (int b = 7; b >= 0; --b) lane = lane << 8 | data[i + static_cast<std::size_t>(b)];
+    h = mix64(h ^ lane * 0xff51afd7ed558ccdull);
+  }
+  std::uint64_t tail = 0;
+  for (; i < data.size(); ++i) tail = tail << 8 | data[i];
+  return mix64(h ^ tail);
+}
+
+std::uint64_t hash_pair(std::uint64_t a, std::uint64_t b) {
+  return mix64(mix64(a) ^ b * 0xc2b2ae3d27d4eb4full);
+}
+
+}  // namespace trio

@@ -1,0 +1,24 @@
+// Trio's hardwired hash function (paper §2.2, "Efficient hash
+// calculation"): the Microcode program selects which bytes feed the hash;
+// the mixing itself is dedicated logic. We model the dedicated logic with
+// a strong 64-bit mixer (xxh3-style avalanche over 8-byte lanes), which
+// the Dispatch module uses for flow hashing and the hash block uses for
+// bucket selection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace trio {
+
+/// Mixes a 64-bit value to avalanche all bits.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Hashes an arbitrary byte string (the program-selected fields).
+std::uint64_t hash_bytes(std::span<const std::uint8_t> data,
+                         std::uint64_t seed = 0);
+
+/// Convenience: hash of two 64-bit words (e.g. a (job_id, block_id) key).
+std::uint64_t hash_pair(std::uint64_t a, std::uint64_t b);
+
+}  // namespace trio

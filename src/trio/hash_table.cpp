@@ -1,0 +1,147 @@
+#include "trio/hash_table.hpp"
+
+#include <stdexcept>
+
+#include "trio/hash.hpp"
+
+namespace trio {
+
+HwHashTable::HwHashTable(sim::Simulator& simulator, const Calibration& cal,
+                         std::size_t buckets)
+    : sim_(simulator), cal_(cal), buckets_(buckets) {
+  if (buckets == 0) throw std::invalid_argument("HwHashTable: 0 buckets");
+}
+
+std::vector<HwHashTable::Record>& HwHashTable::bucket_for(std::uint64_t key) {
+  return buckets_[mix64(key) % buckets_.size()];
+}
+
+bool HwHashTable::insert(std::uint64_t key, std::uint64_t value) {
+  auto& b = bucket_for(key);
+  for (auto& r : b) {
+    if (r.key == key) return false;
+  }
+  b.push_back(Record{key, value, /*ref=*/true});
+  ++size_;
+  return true;
+}
+
+std::optional<std::uint64_t> HwHashTable::lookup(std::uint64_t key) {
+  auto& b = bucket_for(key);
+  for (auto& r : b) {
+    if (r.key == key) {
+      r.ref = true;  // REF set on every reference
+      return r.value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool HwHashTable::erase(std::uint64_t key) {
+  auto& b = bucket_for(key);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[i].key == key) {
+      b[i] = b.back();
+      b.pop_back();
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HwHashTable::contains(std::uint64_t key) const {
+  const auto& b = buckets_[mix64(key) % buckets_.size()];
+  for (const auto& r : b) {
+    if (r.key == key) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint64_t> HwHashTable::scan_partition(std::uint32_t part,
+                                                       std::uint32_t parts,
+                                                       std::size_t max_out) {
+  if (parts == 0 || part >= parts) {
+    throw std::invalid_argument("HwHashTable::scan_partition: bad partition");
+  }
+  const std::size_t span = partition_buckets(parts);
+  const std::size_t begin = static_cast<std::size_t>(part) * span;
+  const std::size_t end =
+      begin + span < buckets_.size() ? begin + span : buckets_.size();
+  std::vector<std::uint64_t> aged;
+  for (std::size_t i = begin; i < end; ++i) {
+    for (auto& r : buckets_[i]) {
+      if (!r.ref) {
+        if (aged.size() < max_out) aged.push_back(r.key);
+      } else {
+        r.ref = false;
+      }
+    }
+  }
+  return aged;
+}
+
+sim::Time HwHashTable::issue(const XtxnRequest& req, XtxnCallback cb) {
+  ++ops_;
+  XtxnReply reply;
+  int service_cycles = 8;  // bucket walk
+  switch (req.op) {
+    case XtxnOp::kHashLookup: {
+      auto v = lookup(req.arg0);
+      reply.ok = v.has_value();
+      reply.value = v.value_or(0);
+      break;
+    }
+    case XtxnOp::kHashInsert:
+      reply.ok = insert(req.arg0, req.arg1);
+      break;
+    case XtxnOp::kHashDelete: {
+      // The delete reply carries the deleted record's value so a claiming
+      // thread (e.g. the straggler scan) learns the record address.
+      auto& b = bucket_for(req.arg0);
+      reply.ok = false;
+      for (auto& r : b) {
+        if (r.key == req.arg0) {
+          reply.ok = true;
+          reply.value = r.value;
+          break;
+        }
+      }
+      if (reply.ok) erase(req.arg0);
+      break;
+    }
+    case XtxnOp::kHashScanStep: {
+      const auto parts = static_cast<std::uint32_t>(req.arg0 >> 32);
+      const auto part = static_cast<std::uint32_t>(req.arg0);
+      auto aged = scan_partition(part, parts == 0 ? 1 : parts,
+                                 req.arg1 == 0 ? 64 : req.arg1);
+      reply.value = aged.size();
+      reply.data.reserve(aged.size() * 8);
+      for (std::uint64_t k : aged) {
+        for (int i = 0; i < 8; ++i) {
+          reply.data.push_back(static_cast<std::uint8_t>(k >> (8 * i)));
+        }
+      }
+      // A scan touches a whole partition slice; charge proportional time.
+      service_cycles = static_cast<int>(
+          partition_buckets(parts == 0 ? 1 : parts) * 2);
+      break;
+    }
+    default:
+      throw std::logic_error("HwHashTable: unsupported XTXN op");
+  }
+
+  const sim::Time arrive = sim_.now() + cal_.crossbar_latency;
+  const sim::Time start = arrive > engine_free_ ? arrive : engine_free_;
+  engine_free_ = start + sim::Duration::cycles(service_cycles, cal_.clock_hz);
+  const sim::Time reply_at = engine_free_ + cal_.hash_op_latency;
+  if (cb) {
+    sim_.schedule_at(reply_at,
+                     [cb = std::move(cb), reply = std::move(reply)]() mutable {
+                       cb(std::move(reply));
+                     });
+  }
+  return reply_at;
+}
+
+}  // namespace trio

@@ -1,0 +1,73 @@
+// The hardware hash block (paper §3.1 "Hash lookup/insert/delete" XTXN
+// target, and §5's straggler-detection substrate).
+//
+// Stores 64-bit key -> 64-bit value records in fixed buckets with chained
+// overflow. Every record carries a 'Recently Referenced' (REF) flag that
+// is set on insert and on every lookup hit; timer threads age records by
+// scanning a partition of the bucket array, reporting records whose REF
+// flag was already clear and clearing the rest (check-then-clear, exactly
+// the paper's aging scheme).
+//
+// Like the SMS, operations are applied functionally at arrival and timed
+// analytically through a single service engine per table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "trio/calibration.hpp"
+#include "trio/xtxn.hpp"
+
+namespace trio {
+
+class HwHashTable {
+ public:
+  HwHashTable(sim::Simulator& simulator, const Calibration& cal,
+              std::size_t buckets = 1 << 14);
+
+  /// Handles kHashLookup / kHashInsert / kHashDelete / kHashScanStep.
+  /// Returns the reply time; invokes `cb` then if non-null.
+  sim::Time issue(const XtxnRequest& req, XtxnCallback cb);
+
+  // Functional (zero-time) API used by the control plane and tests.
+  bool insert(std::uint64_t key, std::uint64_t value);
+  std::optional<std::uint64_t> lookup(std::uint64_t key);  // sets REF
+  bool erase(std::uint64_t key);
+  bool contains(std::uint64_t key) const;
+
+  /// Check-and-clear REF over partition `part` of `parts`: records whose
+  /// REF flag was already clear are returned (aged out); all visited flags
+  /// are cleared. `max_out` bounds the report size.
+  std::vector<std::uint64_t> scan_partition(std::uint32_t part,
+                                            std::uint32_t parts,
+                                            std::size_t max_out = 64);
+
+  /// Number of buckets a single partition scan visits (for timing).
+  std::size_t partition_buckets(std::uint32_t parts) const {
+    return (buckets_.size() + parts - 1) / parts;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t ops_processed() const { return ops_; }
+
+ private:
+  struct Record {
+    std::uint64_t key;
+    std::uint64_t value;
+    bool ref;
+  };
+
+  std::vector<Record>& bucket_for(std::uint64_t key);
+
+  sim::Simulator& sim_;
+  Calibration cal_;
+  std::vector<std::vector<Record>> buckets_;
+  std::size_t size_ = 0;
+  sim::Time engine_free_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace trio

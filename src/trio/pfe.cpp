@@ -1,0 +1,224 @@
+#include "trio/pfe.hpp"
+
+#include <stdexcept>
+
+#include "trio/hash.hpp"
+#include "trio/router.hpp"
+
+namespace trio {
+
+// ---------------------------------------------------------------------------
+// Mqss
+
+Mqss::Mqss(sim::Simulator& simulator, const Calibration& cal)
+    : sim_(simulator), cal_(cal) {}
+
+sim::Time Mqss::service(std::size_t len, sim::Duration latency) {
+  // The packet buffer moves 64 B per cycle; the single engine's occupancy
+  // provides backpressure under heavy tail traffic.
+  const auto cycles = static_cast<std::int64_t>((len + 63) / 64);
+  const sim::Time arrive = sim_.now() + cal_.crossbar_latency;
+  const sim::Time start = arrive > engine_free_ ? arrive : engine_free_;
+  engine_free_ = start + sim::Duration::cycles(cycles, cal_.clock_hz);
+  return engine_free_ + latency;
+}
+
+sim::Time Mqss::tail_read(const net::Packet& pkt, std::uint64_t offset,
+                          std::uint32_t len, XtxnCallback cb) {
+  if (len > cal_.tail_chunk_bytes) {
+    throw std::invalid_argument("Mqss::tail_read: chunk exceeds 64 bytes");
+  }
+  const std::size_t head = pkt.head_size();
+  if (offset + len > pkt.tail_size()) {
+    throw std::out_of_range("Mqss::tail_read: beyond tail");
+  }
+  tail_bytes_read_ += len;
+  XtxnReply reply;
+  const auto view = pkt.frame().view(head + offset, len);
+  reply.data.assign(view.begin(), view.end());
+  const sim::Time at = service(len, cal_.tail_read_latency);
+  if (cb) {
+    sim_.schedule_at(at, [cb = std::move(cb), reply = std::move(reply)]() mutable {
+      cb(std::move(reply));
+    });
+  }
+  return at;
+}
+
+sim::Time Mqss::pmem_write(std::size_t len, XtxnCallback cb) {
+  if (len > cal_.pmem_chunk_bytes) {
+    throw std::invalid_argument("Mqss::pmem_write: chunk exceeds 256 bytes");
+  }
+  pmem_bytes_written_ += len;
+  const sim::Time at = service(len, cal_.pmem_write_latency);
+  if (cb) {
+    sim_.schedule_at(at, [cb = std::move(cb)]() mutable { cb(XtxnReply{}); });
+  }
+  return at;
+}
+
+// ---------------------------------------------------------------------------
+// Pfe
+
+Pfe::Pfe(sim::Simulator& simulator, const Calibration& cal, Router& router,
+         int index)
+    : sim_(simulator),
+      cal_(cal),
+      router_(router),
+      index_(index),
+      sms_(simulator, cal),
+      hash_(simulator, cal),
+      mqss_(simulator, cal),
+      reorder_([this](ReorderEngine::Output out) {
+        router_.transmit(index_, std::move(out.pkt), out.nexthop_id);
+      }) {
+  ppes_.reserve(static_cast<std::size_t>(cal_.ppes_per_pfe));
+  for (int i = 0; i < cal_.ppes_per_pfe; ++i) {
+    ppes_.push_back(std::make_unique<Ppe>(simulator, cal_, *this, i));
+  }
+  timers_ = std::make_unique<TimerWheel>(simulator, cal_, *this);
+}
+
+std::uint64_t compute_flow_hash(const net::Buffer& frame) {
+  if (frame.size() < net::UdpFrameLayout::kIpOff + net::Ipv4Header::kSize) {
+    return 1;
+  }
+  const auto eth = net::EthernetHeader::parse(frame, 0);
+  if (eth.ether_type != net::EthernetHeader::kEtherTypeIpv4) return 1;
+  const auto ip = net::Ipv4Header::parse(frame, net::UdpFrameLayout::kIpOff);
+  std::uint64_t h =
+      hash_pair(std::uint64_t(ip.src.value()) << 32 | ip.dst.value(),
+                ip.protocol);
+  if ((ip.protocol == net::Ipv4Header::kProtoUdp ||
+       ip.protocol == net::Ipv4Header::kProtoTcp) &&
+      frame.size() >= net::UdpFrameLayout::kUdpOff + 4) {
+    const std::size_t l4 = net::UdpFrameLayout::kIpOff + ip.header_bytes();
+    if (frame.size() >= l4 + 4) {
+      h = hash_pair(h, std::uint64_t(frame.u16(l4)) << 16 | frame.u16(l4 + 2));
+    }
+  }
+  return h == 0 ? 1 : h;
+}
+
+void Pfe::ingress(net::PacketPtr pkt) {
+  ++packets_in_;
+  pkt->set_arrival_time(sim_.now());
+  pkt->set_flow_hash(compute_flow_hash(pkt->frame()));
+  // Open the reorder ticket in arrival order, before any queueing.
+  const std::uint64_t ticket = reorder_.open(pkt->flow_hash());
+  if (dispatch_queue_.size() >= cal_.dispatch_queue_limit) {
+    ++dispatch_drops_;
+    reorder_.close(ticket);  // consumed with no output
+    return;
+  }
+  dispatch_queue_.push_back(Pending{std::move(pkt), ticket});
+  try_dispatch();
+}
+
+Ppe* Pfe::pick_ppe() {
+  // The Dispatch module sends the head to a PPE "based on availability":
+  // choose the PPE with the most free thread slots.
+  Ppe* best = nullptr;
+  int best_free = 0;
+  for (auto& p : ppes_) {
+    const int f = p->free_threads();
+    if (f > best_free) {
+      best_free = f;
+      best = p.get();
+    }
+  }
+  return best;
+}
+
+void Pfe::try_dispatch() {
+  // Internal (timer/event) launches take the freed slot first.
+  while (!internal_queue_.empty()) {
+    Ppe* ppe = pick_ppe();
+    if (ppe == nullptr) return;
+    PendingInternal pi = std::move(internal_queue_.front());
+    internal_queue_.pop_front();
+    ppe->spawn(std::move(pi.program), nullptr, std::nullopt, pi.timer_index);
+  }
+  while (!dispatch_queue_.empty()) {
+    Ppe* ppe = pick_ppe();
+    if (ppe == nullptr) return;  // all threads busy; wait for a free slot
+    Pending pending = std::move(dispatch_queue_.front());
+    dispatch_queue_.pop_front();
+    std::unique_ptr<PpeProgram> program;
+    if (program_factory_) {
+      program = program_factory_(*pending.pkt);
+    } else {
+      program = router_.make_forwarding_program(*pending.pkt);
+    }
+    if (!program) {
+      ++dispatch_drops_;
+      reorder_.close(pending.ticket);
+      continue;
+    }
+    ppe->spawn(std::move(program), std::move(pending.pkt), pending.ticket, 0);
+  }
+}
+
+bool Pfe::spawn_internal(std::unique_ptr<PpeProgram> program,
+                         std::uint32_t timer_index) {
+  Ppe* ppe = pick_ppe();
+  if (ppe != nullptr) {
+    return ppe->spawn(std::move(program), nullptr, std::nullopt, timer_index);
+  }
+  if (internal_queue_.size() >= kInternalQueueLimit) return false;
+  internal_queue_.push_back(PendingInternal{std::move(program), timer_index});
+  return true;
+}
+
+sim::Time Pfe::issue_xtxn(const XtxnRequest& req, const net::PacketPtr& pkt,
+                          XtxnCallback cb) {
+  switch (req.op) {
+    case XtxnOp::kHashLookup:
+    case XtxnOp::kHashInsert:
+    case XtxnOp::kHashDelete:
+    case XtxnOp::kHashScanStep:
+      return hash_.issue(req, std::move(cb));
+    case XtxnOp::kTailRead:
+      if (!pkt) {
+        throw std::logic_error("kTailRead issued by a packet-less thread");
+      }
+      return mqss_.tail_read(*pkt, req.addr, req.len, std::move(cb));
+    case XtxnOp::kPmemWrite:
+      return mqss_.pmem_write(req.data.size(), std::move(cb));
+    default:
+      return sms_.issue(req, std::move(cb));
+  }
+}
+
+void Pfe::emit(std::optional<std::uint64_t> ticket, ReorderEngine::Output out) {
+  if (ticket) {
+    reorder_.attach(*ticket, std::move(out));
+  } else {
+    // Internally generated packet (timer thread): no ordering constraint.
+    router_.transmit(index_, std::move(out.pkt), out.nexthop_id);
+  }
+}
+
+void Pfe::close_ticket(std::uint64_t ticket) { reorder_.close(ticket); }
+
+void Pfe::on_thread_free() { try_dispatch(); }
+
+int Pfe::free_threads() const {
+  int n = 0;
+  for (const auto& p : ppes_) n += p->free_threads();
+  return n;
+}
+
+int Pfe::active_threads() const {
+  int n = 0;
+  for (const auto& p : ppes_) n += p->active_threads();
+  return n;
+}
+
+std::uint64_t Pfe::instructions_issued() const {
+  std::uint64_t n = 0;
+  for (const auto& p : ppes_) n += p->instructions_issued();
+  return n;
+}
+
+}  // namespace trio

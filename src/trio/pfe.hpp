@@ -1,0 +1,142 @@
+// A Packet Forwarding Engine (paper §2.1, Fig 2): the central processing
+// element of the forwarding plane. Owns its PPEs, the Dispatch module
+// (availability-based packet-to-PPE assignment), the Reorder Engine, the
+// Shared Memory System, the hardware hash block, and the Memory &
+// Queueing Subsystem's packet-tail store.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "trio/calibration.hpp"
+#include "trio/hash_table.hpp"
+#include "trio/ppe.hpp"
+#include "trio/program.hpp"
+#include "trio/reorder.hpp"
+#include "trio/sms.hpp"
+#include "trio/timer.hpp"
+
+namespace trio {
+
+class Router;
+
+/// Lightweight model of the Memory & Queueing Subsystem's packet buffer:
+/// tails are read in <=64 B chunks and new tails written in <=256 B chunks
+/// through a single service engine whose occupancy creates backpressure.
+class Mqss {
+ public:
+  Mqss(sim::Simulator& simulator, const Calibration& cal);
+
+  /// Read `len` bytes at `offset` within the packet's tail.
+  sim::Time tail_read(const net::Packet& pkt, std::uint64_t offset,
+                      std::uint32_t len, XtxnCallback cb);
+
+  /// Timed write of a chunk of a new packet's tail (the data itself stays
+  /// with the emitting program).
+  sim::Time pmem_write(std::size_t len, XtxnCallback cb);
+
+  std::uint64_t tail_bytes_read() const { return tail_bytes_read_; }
+  std::uint64_t pmem_bytes_written() const { return pmem_bytes_written_; }
+
+ private:
+  sim::Time service(std::size_t len, sim::Duration latency);
+
+  sim::Simulator& sim_;
+  const Calibration& cal_;
+  sim::Time engine_free_;
+  std::uint64_t tail_bytes_read_ = 0;
+  std::uint64_t pmem_bytes_written_ = 0;
+};
+
+class Pfe {
+ public:
+  Pfe(sim::Simulator& simulator, const Calibration& cal, Router& router,
+      int index);
+
+  /// Packet entering this PFE for processing (from a front-panel port or
+  /// from the fabric in hierarchical-aggregation mode).
+  void ingress(net::PacketPtr pkt);
+
+  /// Program selection. The factory sees the arriving packet; returning
+  /// nullptr drops it. Defaults to the router's IP forwarding program.
+  void set_program_factory(ProgramFactory factory) {
+    program_factory_ = std::move(factory);
+  }
+
+  /// Spawns an internal (timer / event) thread on any available PPE.
+  /// When every thread is busy the launch is queued and served ahead of
+  /// the packet dispatch queue at the next thread-free event (timer
+  /// threads must make progress on a saturated PFE — §5 relies on it).
+  /// Returns false only when the internal queue overflows.
+  bool spawn_internal(std::unique_ptr<PpeProgram> program,
+                      std::uint32_t timer_index);
+
+  /// Routes an XTXN to its target block (SMS, hash, MQSS). `pkt` supplies
+  /// the tail for kTailRead. Returns the reply time; `cb` (optional) runs
+  /// then.
+  sim::Time issue_xtxn(const XtxnRequest& req, const net::PacketPtr& pkt,
+                       XtxnCallback cb);
+
+  /// Called by PPE threads: attach an output to a reorder ticket, or send
+  /// directly when the thread has no ticket (internally generated packet).
+  void emit(std::optional<std::uint64_t> ticket, ReorderEngine::Output out);
+  void close_ticket(std::uint64_t ticket);
+  void on_thread_free();
+
+  SharedMemorySystem& sms() { return sms_; }
+  HwHashTable& hash_table() { return hash_; }
+  Mqss& mqss() { return mqss_; }
+  TimerWheel& timers() { return *timers_; }
+  Router& router() { return router_; }
+  const Calibration& cal() const { return cal_; }
+  int index() const { return index_; }
+
+  int free_threads() const;
+  int active_threads() const;
+  std::uint64_t packets_in() const { return packets_in_; }
+  std::uint64_t packets_dropped_dispatch() const { return dispatch_drops_; }
+  std::uint64_t instructions_issued() const;
+  std::size_t dispatch_queue_depth() const { return dispatch_queue_.size(); }
+
+ private:
+  void try_dispatch();
+  Ppe* pick_ppe();
+
+  sim::Simulator& sim_;
+  Calibration cal_;
+  Router& router_;
+  int index_;
+  SharedMemorySystem sms_;
+  HwHashTable hash_;
+  Mqss mqss_;
+  ReorderEngine reorder_;
+  std::vector<std::unique_ptr<Ppe>> ppes_;
+  std::unique_ptr<TimerWheel> timers_;
+  ProgramFactory program_factory_;
+
+  struct Pending {
+    net::PacketPtr pkt;
+    std::uint64_t ticket;
+  };
+  std::deque<Pending> dispatch_queue_;
+
+  struct PendingInternal {
+    std::unique_ptr<PpeProgram> program;
+    std::uint32_t timer_index;
+  };
+  std::deque<PendingInternal> internal_queue_;
+  static constexpr std::size_t kInternalQueueLimit = 512;
+
+  std::uint64_t packets_in_ = 0;
+  std::uint64_t dispatch_drops_ = 0;
+};
+
+/// Flow hash for the Dispatch module / Reorder Engine: IPv4 5-tuple when
+/// the frame is IPv4 (plus ports for UDP/TCP), else a constant flow.
+std::uint64_t compute_flow_hash(const net::Buffer& frame);
+
+}  // namespace trio

@@ -1,0 +1,122 @@
+#include "trio/ppe.hpp"
+
+#include <stdexcept>
+
+#include "trio/pfe.hpp"
+
+namespace trio {
+
+Ppe::Ppe(sim::Simulator& simulator, const Calibration& cal, Pfe& pfe,
+         int index)
+    : sim_(simulator), cal_(cal), pfe_(pfe), index_(index) {
+  threads_.resize(static_cast<std::size_t>(cal_.threads_per_ppe));
+  free_slots_.reserve(threads_.size());
+  for (int i = static_cast<int>(threads_.size()) - 1; i >= 0; --i) {
+    free_slots_.push_back(i);
+  }
+}
+
+bool Ppe::spawn(std::unique_ptr<PpeProgram> program, net::PacketPtr pkt,
+                std::optional<std::uint64_t> ticket,
+                std::uint32_t timer_index) {
+  if (free_slots_.empty()) return false;
+  const int slot = free_slots_.back();
+  free_slots_.pop_back();
+
+  Thread& th = threads_[static_cast<std::size_t>(slot)];
+  th.ctx = ThreadContext{};
+  th.ctx.lmem.resize(cal_.lmem_bytes);
+  th.ctx.regs.assign(static_cast<std::size_t>(cal_.gprs_per_thread), 0);
+  th.ctx.packet = std::move(pkt);
+  th.ctx.timer_index = timer_index;
+  th.ctx.spawn_time = sim_.now();
+  th.ctx.ppe_index = index_;
+  th.ctx.thread_slot = slot;
+  if (th.ctx.packet) {
+    // The Dispatch module DMAs the packet head into thread LMEM (§2.2
+    // "Before a PPE thread is initiated, the packet head is loaded into
+    // the local memory of that thread").
+    const auto head = th.ctx.packet->frame().view(0, th.ctx.packet->head_size());
+    th.ctx.lmem.write(0, head);
+  }
+  th.program = std::move(program);
+  th.ticket = ticket;
+  th.async_done_at = sim_.now();
+  th.active = true;
+  ++threads_started_;
+
+  sim_.schedule_in(cal_.dispatch_overhead, [this, slot] { advance(slot); });
+  return true;
+}
+
+void Ppe::advance(int slot) {
+  Thread& th = threads_[static_cast<std::size_t>(slot)];
+  if (!th.active) {
+    throw std::logic_error("Ppe::advance on inactive thread");
+  }
+  Action action = th.program->step(th.ctx);
+  const std::uint32_t k = action_instructions(action);
+  th.ctx.instructions_executed += k;
+  instructions_issued_ += k;
+
+  const sim::Time start = sim_.now() > issue_free_ ? sim_.now() : issue_free_;
+  issue_free_ = start + cal_.issue_interval * k;
+  const sim::Time done = start + cal_.instr_latency * k;
+  perform(slot, std::move(action), done);
+}
+
+void Ppe::perform(int slot, Action action, sim::Time done) {
+  Thread& th = threads_[static_cast<std::size_t>(slot)];
+  if (std::holds_alternative<ActContinue>(action)) {
+    sim_.schedule_at(done, [this, slot] { advance(slot); });
+  } else if (auto* sx = std::get_if<ActSyncXtxn>(&action)) {
+    // The thread suspends until the reply returns (§3.1 synchronous XTXN).
+    sim_.schedule_at(done, [this, slot, req = std::move(sx->req)]() mutable {
+      Thread& t = threads_[static_cast<std::size_t>(slot)];
+      pfe_.issue_xtxn(req, t.ctx.packet, [this, slot](XtxnReply reply) {
+        Thread& t2 = threads_[static_cast<std::size_t>(slot)];
+        t2.ctx.reply = std::move(reply);
+        advance(slot);
+      });
+    });
+  } else if (auto* ax = std::get_if<ActAsyncXtxn>(&action)) {
+    if (!xtxn_is_posted(ax->req.op)) {
+      throw std::logic_error("Ppe: async XTXN must be a posted operation");
+    }
+    // Posted: apply and account bank occupancy now (the skew versus `done`
+    // is at most one step), no reply event.
+    const sim::Time reply_at = pfe_.issue_xtxn(ax->req, th.ctx.packet, {});
+    if (reply_at > th.async_done_at) th.async_done_at = reply_at;
+    sim_.schedule_at(done, [this, slot] { advance(slot); });
+  } else if (std::holds_alternative<ActJoinAsync>(action)) {
+    const sim::Time resume =
+        th.async_done_at > done ? th.async_done_at : done;
+    sim_.schedule_at(resume, [this, slot] { advance(slot); });
+  } else if (auto* em = std::get_if<ActEmitPacket>(&action)) {
+    sim_.schedule_at(done, [this, slot, pkt = std::move(em->pkt),
+                            nh = em->nexthop_id]() mutable {
+      Thread& t = threads_[static_cast<std::size_t>(slot)];
+      pfe_.emit(t.ticket, ReorderEngine::Output{std::move(pkt), nh});
+      advance(slot);
+    });
+  } else if (std::holds_alternative<ActExit>(action)) {
+    sim_.schedule_at(done, [this, slot] { finish(slot); });
+  } else {
+    throw std::logic_error("Ppe: unknown action");
+  }
+}
+
+void Ppe::finish(int slot) {
+  Thread& th = threads_[static_cast<std::size_t>(slot)];
+  const auto ticket = th.ticket;
+  th.program.reset();
+  th.ctx.packet.reset();
+  th.active = false;
+  free_slots_.push_back(slot);
+  // Thread destruction is hardware-managed (§2.2): close the reorder
+  // ticket and let Dispatch hand a queued packet to the freed slot.
+  if (ticket) pfe_.close_ticket(*ticket);
+  pfe_.on_thread_free();
+}
+
+}  // namespace trio

@@ -1,0 +1,74 @@
+// A Packet Processing Engine (paper §2.2): a VLIW multi-threaded core.
+//
+// Timing model. Each thread has at most one datapath instruction in the
+// PPE pipeline ("Trio does not dispatch an instruction on the same thread
+// until the previous exits the pipeline"), so a thread sees
+// `instr_latency` per instruction; across threads the PPE issues one
+// instruction per clock, so the core saturates when
+// active_threads * instr_latency cycles > 1 cycle/issue. Both limits are
+// modelled analytically: a step of k instructions starts at
+// max(now, issue_free), advances issue_free by k issue slots, and
+// completes for the thread k * instr_latency later.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "trio/calibration.hpp"
+#include "trio/program.hpp"
+
+namespace trio {
+
+class Pfe;
+
+class Ppe {
+ public:
+  Ppe(sim::Simulator& simulator, const Calibration& cal, Pfe& pfe, int index);
+  Ppe(const Ppe&) = delete;
+  Ppe& operator=(const Ppe&) = delete;
+
+  int free_threads() const { return static_cast<int>(free_slots_.size()); }
+  int active_threads() const {
+    return static_cast<int>(threads_.size() - free_slots_.size());
+  }
+
+  /// Starts a thread running `program`. For packet threads, the packet
+  /// head is preloaded into LMEM and `ticket` orders the packet's outputs
+  /// through the Reorder Engine. Returns false when no thread slot is
+  /// free.
+  bool spawn(std::unique_ptr<PpeProgram> program, net::PacketPtr pkt,
+             std::optional<std::uint64_t> ticket, std::uint32_t timer_index);
+
+  std::uint64_t instructions_issued() const { return instructions_issued_; }
+  std::uint64_t threads_started() const { return threads_started_; }
+  int index() const { return index_; }
+
+ private:
+  struct Thread {
+    ThreadContext ctx;
+    std::unique_ptr<PpeProgram> program;
+    std::optional<std::uint64_t> ticket;
+    sim::Time async_done_at;
+    bool active = false;
+  };
+
+  void advance(int slot);
+  void perform(int slot, Action action, sim::Time done);
+  void finish(int slot);
+
+  sim::Simulator& sim_;
+  const Calibration& cal_;
+  Pfe& pfe_;
+  int index_;
+  std::vector<Thread> threads_;
+  std::vector<int> free_slots_;
+  sim::Time issue_free_;
+  std::uint64_t instructions_issued_ = 0;
+  std::uint64_t threads_started_ = 0;
+};
+
+}  // namespace trio

@@ -1,0 +1,54 @@
+#include "trio/reorder.hpp"
+
+#include <stdexcept>
+
+namespace trio {
+
+std::uint64_t ReorderEngine::open(std::uint64_t flow) {
+  const std::uint64_t id = next_ticket_++;
+  tickets_.emplace(id, Ticket{flow, false, {}});
+  flows_[flow].push_back(id);
+  return id;
+}
+
+void ReorderEngine::attach(std::uint64_t ticket, Output out) {
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) {
+    throw std::logic_error("ReorderEngine::attach: unknown ticket");
+  }
+  if (it->second.closed) {
+    throw std::logic_error("ReorderEngine::attach: ticket already closed");
+  }
+  it->second.outputs.push_back(std::move(out));
+}
+
+void ReorderEngine::close(std::uint64_t ticket) {
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) {
+    throw std::logic_error("ReorderEngine::close: unknown ticket");
+  }
+  if (it->second.closed) {
+    throw std::logic_error("ReorderEngine::close: ticket closed twice");
+  }
+  it->second.closed = true;
+  flush(it->second.flow);
+}
+
+void ReorderEngine::flush(std::uint64_t flow) {
+  auto fit = flows_.find(flow);
+  if (fit == flows_.end()) return;
+  auto& q = fit->second;
+  while (!q.empty()) {
+    auto tit = tickets_.find(q.front());
+    if (!tit->second.closed) break;
+    for (auto& out : tit->second.outputs) {
+      ++released_;
+      release_(std::move(out));
+    }
+    tickets_.erase(tit);
+    q.pop_front();
+  }
+  if (q.empty()) flows_.erase(fit);
+}
+
+}  // namespace trio

@@ -1,0 +1,63 @@
+// The Reorder Engine (paper §2.1): packets of the same flow must leave in
+// arrival order even though their threads run to completion independently
+// and may finish out of order.
+//
+// Each dispatched packet opens a *ticket* on its flow. A thread attaches
+// zero or more output packets to its ticket (zero = packet consumed, e.g.
+// an aggregation packet absorbed into a block; more than one = locally
+// generated packets such as aggregation results). When the ticket at the
+// front of the flow queue closes, its outputs — and those of any
+// subsequently contiguous closed tickets — are released downstream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace trio {
+
+class ReorderEngine {
+ public:
+  struct Output {
+    net::PacketPtr pkt;
+    std::uint32_t nexthop_id;
+  };
+  /// Downstream sink: the PFE's transmit path.
+  using Release = std::function<void(Output)>;
+
+  explicit ReorderEngine(Release release) : release_(std::move(release)) {}
+
+  /// Opens a ticket on `flow`. Tickets on one flow release in open order.
+  std::uint64_t open(std::uint64_t flow);
+
+  /// Attaches an output to an open ticket.
+  void attach(std::uint64_t ticket, Output out);
+
+  /// Marks the ticket's processing complete; releases any now-unblocked
+  /// contiguous outputs.
+  void close(std::uint64_t ticket);
+
+  std::size_t pending() const { return tickets_.size(); }
+  std::uint64_t released() const { return released_; }
+
+ private:
+  struct Ticket {
+    std::uint64_t flow;
+    bool closed = false;
+    std::vector<Output> outputs;
+  };
+
+  void flush(std::uint64_t flow);
+
+  Release release_;
+  std::unordered_map<std::uint64_t, Ticket> tickets_;
+  std::unordered_map<std::uint64_t, std::deque<std::uint64_t>> flows_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t released_ = 0;
+};
+
+}  // namespace trio

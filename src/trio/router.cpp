@@ -1,0 +1,170 @@
+#include "trio/router.hpp"
+
+#include <stdexcept>
+
+namespace trio {
+
+namespace {
+
+/// The default IP forwarding Microcode path, as a native program: parse
+/// the Ethernet and IPv4 headers out of LMEM, decrement TTL, consult the
+/// FIB (one shared-memory access models the lookup walk), emit via the
+/// resolved nexthop. Non-IP and routeless packets are dropped.
+class ForwardingProgram : public PpeProgram {
+ public:
+  explicit ForwardingProgram(Router& router) : router_(router) {}
+
+  Action step(ThreadContext& ctx) override {
+    switch (state_) {
+      case State::kParse: {
+        const auto eth = net::EthernetHeader::parse(ctx.lmem, 0);
+        if (eth.ether_type != net::EthernetHeader::kEtherTypeIpv4) {
+          state_ = State::kDone;
+          return ActExit{6};
+        }
+        auto ip = net::Ipv4Header::parse(ctx.lmem, net::UdpFrameLayout::kIpOff);
+        if (ip.ttl <= 1) {
+          state_ = State::kDone;
+          return ActExit{8};
+        }
+        dst_ = ip.dst;
+        // Rewrite TTL in the packet head (LMEM and the frame copy).
+        ctx.lmem.set_u8(net::UdpFrameLayout::kIpOff + 8,
+                        static_cast<std::uint8_t>(ip.ttl - 1));
+        ctx.packet->frame().set_u8(net::UdpFrameLayout::kIpOff + 8,
+                                   static_cast<std::uint8_t>(ip.ttl - 1));
+        state_ = State::kLookup;
+        // Route lookup: the table walk is a shared-memory transaction.
+        XtxnRequest req;
+        req.op = XtxnOp::kRead;
+        req.addr = 0;  // FIB root (timing model; resolution is functional)
+        req.len = 8;
+        return ActSyncXtxn{std::move(req), 14};
+      }
+      case State::kLookup: {
+        const auto nh = router_.forwarding().lookup(dst_);
+        if (!nh) {
+          router_.count_no_route_drop();
+          state_ = State::kDone;
+          return ActExit{4};
+        }
+        state_ = State::kDone;
+        return ActEmitPacket{ctx.packet, *nh, 8};
+      }
+      case State::kDone:
+      default:
+        return ActExit{1};
+    }
+  }
+
+ private:
+  enum class State { kParse, kLookup, kDone };
+  Router& router_;
+  State state_ = State::kParse;
+  net::Ipv4Addr dst_;
+};
+
+}  // namespace
+
+Router::Router(sim::Simulator& simulator, Calibration cal, int num_pfes,
+               int ports_per_pfe, std::string name)
+    : sim_(simulator),
+      cal_(cal),
+      ports_per_pfe_(ports_per_pfe),
+      name_(std::move(name)),
+      fabric_(simulator, cal_, num_pfes) {
+  if (num_pfes <= 0 || ports_per_pfe <= 0) {
+    throw std::invalid_argument("Router: need at least one PFE and port");
+  }
+  for (int i = 0; i < num_pfes; ++i) {
+    pfes_.push_back(std::make_unique<Pfe>(simulator, cal_, *this, i));
+  }
+  port_tx_.resize(static_cast<std::size_t>(num_ports()), nullptr);
+  port_sinks_.resize(static_cast<std::size_t>(num_ports()));
+}
+
+void Router::receive(net::PacketPtr pkt, int port) {
+  if (port < 0 || port >= num_ports()) {
+    throw std::out_of_range("Router::receive: bad port");
+  }
+  ++packets_received_;
+  pkt->set_ingress_port(port);
+  pfe(pfe_of_port(port)).ingress(std::move(pkt));
+}
+
+void Router::attach_port(int global_port, net::LinkEndpoint& tx) {
+  port_tx_.at(static_cast<std::size_t>(global_port)) = &tx;
+}
+
+void Router::attach_port_sink(int global_port,
+                              std::function<void(net::PacketPtr)> sink) {
+  port_sinks_.at(static_cast<std::size_t>(global_port)) = std::move(sink);
+}
+
+std::unique_ptr<PpeProgram> Router::make_forwarding_program(
+    const net::Packet&) {
+  return std::make_unique<ForwardingProgram>(*this);
+}
+
+void Router::transmit(int src_pfe, net::PacketPtr pkt,
+                      std::uint32_t nexthop_id) {
+  const Nexthop& nh = fwd_.nexthop(nexthop_id);
+  if (const auto* uc = std::get_if<NexthopUnicast>(&nh)) {
+    egress_enqueue(src_pfe, uc->port, std::move(pkt), uc->mac);
+  } else if (const auto* mc = std::get_if<NexthopMulticast>(&nh)) {
+    // Replication: each member gets its own copy of the frame.
+    for (std::uint32_t member : mc->members) {
+      auto clone = net::Packet::make(pkt->frame());
+      clone->set_ingress_port(pkt->ingress_port());
+      transmit(src_pfe, std::move(clone), member);
+    }
+  } else if (const auto* tp = std::get_if<NexthopToPfe>(&nh)) {
+    // Hierarchical aggregation: hand the packet to the target PFE for
+    // *processing*, bypassing IP forwarding (paper §4).
+    Pfe& dst = pfe(tp->pfe);
+    fabric_.send(src_pfe, std::move(pkt),
+                 [&dst](net::PacketPtr p) { dst.ingress(std::move(p)); });
+  } else {
+    ++packets_discarded_;
+  }
+}
+
+void Router::egress_enqueue(int src_pfe, int global_port, net::PacketPtr pkt,
+                            const net::MacAddr& dst_mac) {
+  if (global_port < 0 || global_port >= num_ports()) {
+    ++packets_discarded_;
+    return;
+  }
+  // Egress rewrite: destination MAC from the nexthop.
+  net::EthernetHeader eth = net::EthernetHeader::parse(pkt->frame(), 0);
+  eth.dst = dst_mac;
+  eth.write(pkt->frame(), 0);
+
+  const int dst_pfe = pfe_of_port(global_port);
+  if (dst_pfe == src_pfe) {
+    port_out(global_port, std::move(pkt));
+  } else {
+    fabric_.send(src_pfe, std::move(pkt),
+                 [this, global_port](net::PacketPtr p) {
+                   port_out(global_port, std::move(p));
+                 });
+  }
+}
+
+void Router::port_out(int global_port, net::PacketPtr pkt) {
+  ++packets_transmitted_;
+  pkt->set_egress_port(global_port);
+  auto* tx = port_tx_[static_cast<std::size_t>(global_port)];
+  if (tx != nullptr) {
+    tx->send(std::move(pkt));
+    return;
+  }
+  auto& sink = port_sinks_[static_cast<std::size_t>(global_port)];
+  if (sink) {
+    sink(std::move(pkt));
+    return;
+  }
+  ++packets_discarded_;  // unattached port
+}
+
+}  // namespace trio

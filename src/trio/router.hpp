@@ -1,0 +1,91 @@
+// A Trio-based router/switch (paper Fig 1a): one or more PFEs joined by
+// the interconnection fabric, front-panel ports mapped onto PFEs, and the
+// forwarding state (routes, nexthops, multicast groups) shared by all
+// PFEs. Implements net::Node so hosts attach with net::Link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "trio/calibration.hpp"
+#include "trio/fabric.hpp"
+#include "trio/forwarding.hpp"
+#include "trio/pfe.hpp"
+
+namespace trio {
+
+class Router : public net::Node {
+ public:
+  /// `ports_per_pfe` front-panel ports are assigned to each PFE in order:
+  /// global port p lives on PFE p / ports_per_pfe.
+  Router(sim::Simulator& simulator, Calibration cal, int num_pfes,
+         int ports_per_pfe, std::string name = "trio-router");
+
+  // --- net::Node ----------------------------------------------------------
+  void receive(net::PacketPtr pkt, int port) override;
+  std::string name() const override { return name_; }
+
+  // --- Topology -----------------------------------------------------------
+  int num_pfes() const { return static_cast<int>(pfes_.size()); }
+  int ports_per_pfe() const { return ports_per_pfe_; }
+  int num_ports() const { return num_pfes() * ports_per_pfe_; }
+  Pfe& pfe(int i) { return *pfes_.at(static_cast<std::size_t>(i)); }
+  int pfe_of_port(int global_port) const { return global_port / ports_per_pfe_; }
+  int local_port(int global_port) const { return global_port % ports_per_pfe_; }
+
+  /// Attaches the transmit side of a port to a link endpoint…
+  void attach_port(int global_port, net::LinkEndpoint& tx);
+  /// …or to an arbitrary sink (tests, loopbacks).
+  void attach_port_sink(int global_port,
+                        std::function<void(net::PacketPtr)> sink);
+
+  // --- Forwarding ----------------------------------------------------------
+  ForwardingTable& forwarding() { return fwd_; }
+  Fabric& fabric() { return fabric_; }
+
+  /// Default per-packet program: parse, TTL, LPM lookup, emit. Used by
+  /// PFEs with no application program factory installed.
+  std::unique_ptr<PpeProgram> make_forwarding_program(const net::Packet& pkt);
+
+  /// Resolves a nexthop for a packet leaving PFE `src_pfe`. Multicast
+  /// fans out here (clone per member); cross-PFE targets transit the
+  /// fabric; NexthopToPfe re-enters the target PFE's ingress.
+  void transmit(int src_pfe, net::PacketPtr pkt, std::uint32_t nexthop_id);
+
+  sim::Simulator& simulator() { return sim_; }
+  const Calibration& cal() const { return cal_; }
+
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t packets_transmitted() const { return packets_transmitted_; }
+  std::uint64_t packets_discarded() const { return packets_discarded_; }
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+  void count_no_route_drop() { ++no_route_drops_; }
+
+ private:
+  void egress_enqueue(int src_pfe, int global_port, net::PacketPtr pkt,
+                      const net::MacAddr& dst_mac);
+  void port_out(int global_port, net::PacketPtr pkt);
+
+  sim::Simulator& sim_;
+  Calibration cal_;
+  int ports_per_pfe_;
+  std::string name_;
+  ForwardingTable fwd_;
+  Fabric fabric_;
+  std::vector<std::unique_ptr<Pfe>> pfes_;
+  std::vector<net::LinkEndpoint*> port_tx_;
+  std::vector<std::function<void(net::PacketPtr)>> port_sinks_;
+
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t packets_transmitted_ = 0;
+  std::uint64_t packets_discarded_ = 0;
+  std::uint64_t no_route_drops_ = 0;
+};
+
+}  // namespace trio

@@ -1,0 +1,82 @@
+#include "trio/timer.hpp"
+
+#include <stdexcept>
+
+#include "trio/pfe.hpp"
+
+namespace trio {
+
+TimerWheel::TimerWheel(sim::Simulator& simulator, const Calibration& cal,
+                       Pfe& pfe)
+    : sim_(simulator), cal_(cal), pfe_(pfe) {}
+
+int TimerWheel::start(int count, sim::Duration period,
+                      TimerProgramFactory factory) {
+  if (count <= 0) throw std::invalid_argument("TimerWheel: count must be > 0");
+  if (period < cal_.timer_resolution) {
+    throw std::invalid_argument("TimerWheel: period below timer resolution");
+  }
+  const int group = static_cast<int>(groups_.size());
+  groups_.push_back(Group{true, count, period, std::move(factory)});
+  // Phase-shift the timers so thread launches are spaced period/count
+  // apart (§5 "the interarrival interval between back-to-back threads is
+  // 1/N of the desired timeout interval").
+  for (int i = 0; i < count; ++i) {
+    const sim::Duration phase = period * i / count;
+    sim_.schedule_in(phase, [this, group, i] {
+      if (groups_[static_cast<std::size_t>(group)].running) {
+        fire(group, static_cast<std::uint32_t>(i));
+      }
+    });
+  }
+  return group;
+}
+
+void TimerWheel::stop_group(int group) {
+  if (group < 0 || static_cast<std::size_t>(group) >= groups_.size()) {
+    throw std::out_of_range("TimerWheel::stop_group: bad group");
+  }
+  groups_[static_cast<std::size_t>(group)].running = false;
+}
+
+void TimerWheel::stop() {
+  for (auto& g : groups_) g.running = false;
+}
+
+bool TimerWheel::running() const {
+  for (const auto& g : groups_) {
+    if (g.running) return true;
+  }
+  return false;
+}
+
+int TimerWheel::count() const {
+  int n = 0;
+  for (const auto& g : groups_) {
+    if (g.running) n += g.count;
+  }
+  return n;
+}
+
+sim::Duration TimerWheel::period() const {
+  for (const auto& g : groups_) {
+    if (g.running) return g.period;
+  }
+  return sim::Duration::zero();
+}
+
+void TimerWheel::fire(int group, std::uint32_t timer_index) {
+  Group& g = groups_[static_cast<std::size_t>(group)];
+  ++fires_;
+  auto program = g.factory(timer_index);
+  if (program) {
+    if (!pfe_.spawn_internal(std::move(program), timer_index)) ++skips_;
+  }
+  sim_.schedule_in(g.period, [this, group, timer_index] {
+    if (groups_[static_cast<std::size_t>(group)].running) {
+      fire(group, timer_index);
+    }
+  });
+}
+
+}  // namespace trio

@@ -1,0 +1,71 @@
+// External transactions (XTXNs): requests a PPE thread issues over the
+// crossbar to other blocks — the Shared Memory System, the hardware hash
+// block, the Memory & Queueing Subsystem (packet tails) — and their
+// replies (paper §3.1 "External transaction").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace trio {
+
+enum class XtxnOp : std::uint8_t {
+  // Shared Memory System (read-modify-write engines, §2.3).
+  kRead,          // addr, len (8..64 B, 8 B steps) -> data
+  kWrite,         // addr, data
+  kCounterInc,    // addr (16 B Packet/Byte counter), arg0 = packet bytes
+  kPolicerCheck,  // addr (policer record), arg0 = packet bytes -> value: 1 conform / 0 exceed
+  kFetchAdd32,    // addr, arg0 = addend -> value: previous 32-bit value
+  kFetchAnd64,    // addr, arg0 = mask   -> value: previous value
+  kFetchOr64,     // addr, arg0 = mask   -> value: previous value
+  kFetchXor64,    // addr, arg0 = mask   -> value: previous value
+  kFetchClear64,  // addr, arg0 = mask   -> value: previous value (clears bits)
+  kFetchSwap64,   // addr, arg0 = new    -> value: previous value
+  kMaskedWrite64, // addr, arg0 = value, arg1 = mask
+  kAddVec32,      // addr, data = packed 32-bit little-endian addends
+  // Hardware hash block (§5): 64-bit key -> 64-bit value records with a
+  // 'Recently Referenced' flag.
+  kHashLookup,    // arg0 = key -> ok, value
+  kHashInsert,    // arg0 = key, arg1 = value -> ok (false if key exists)
+  kHashDelete,    // arg0 = key -> ok
+  kHashScanStep,  // arg0 = partition, arg1 = max records; check-and-clear
+                  // REF over one partition slice; reply data = aged keys
+  // Memory & Queueing Subsystem.
+  kTailRead,      // addr = offset into this thread's packet tail, len <= 64
+  kPmemWrite,     // append chunk to the tail under construction; data
+};
+
+/// True for ops whose reply carries no payload the issuing program needs,
+/// so they may be issued fire-and-forget (async without a reply event).
+constexpr bool xtxn_is_posted(XtxnOp op) {
+  switch (op) {
+    case XtxnOp::kWrite:
+    case XtxnOp::kCounterInc:
+    case XtxnOp::kAddVec32:
+    case XtxnOp::kMaskedWrite64:
+    case XtxnOp::kPmemWrite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct XtxnRequest {
+  XtxnOp op{};
+  std::uint64_t addr = 0;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint32_t len = 0;
+  std::vector<std::uint8_t> data;
+};
+
+struct XtxnReply {
+  bool ok = true;
+  std::uint64_t value = 0;
+  std::vector<std::uint8_t> data;
+};
+
+using XtxnCallback = std::function<void(XtxnReply)>;
+
+}  // namespace trio

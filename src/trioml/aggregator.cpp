@@ -1,0 +1,527 @@
+#include "trioml/aggregator.hpp"
+
+#include <bit>
+
+#include "trio/router.hpp"
+
+namespace trioml {
+
+namespace {
+
+std::uint32_t le32(const std::vector<std::uint8_t>& v, std::size_t off) {
+  return std::uint32_t(v[off]) | std::uint32_t(v[off + 1]) << 8 |
+         std::uint32_t(v[off + 2]) << 16 | std::uint32_t(v[off + 3]) << 24;
+}
+
+}  // namespace
+
+bool is_aggregation_frame(const net::Buffer& frame) {
+  if (frame.size() < kGradOff) return false;
+  const auto eth = net::EthernetHeader::parse(frame, 0);
+  if (eth.ether_type != net::EthernetHeader::kEtherTypeIpv4) return false;
+  const auto ip = net::Ipv4Header::parse(frame, net::UdpFrameLayout::kIpOff);
+  if (ip.protocol != net::Ipv4Header::kProtoUdp || ip.ihl != 5) return false;
+  const auto udp = net::UdpHeader::parse(frame, net::UdpFrameLayout::kUdpOff);
+  return udp.dst_port == kTrioMlUdpPort;
+}
+
+trio::ProgramFactory make_aggregation_factory(TrioMlApp& app) {
+  return [&app](const net::Packet& pkt) -> std::unique_ptr<trio::PpeProgram> {
+    if (is_aggregation_frame(pkt.frame())) {
+      const auto& addr = app.aggregation_address();
+      if (!addr || net::Ipv4Header::parse(pkt.frame(),
+                                          net::UdpFrameLayout::kIpOff)
+                           .dst == *addr) {
+        return std::make_unique<AggregationProgram>(app);
+      }
+      // Aggregation-port traffic addressed elsewhere (e.g. an upstream
+      // aggregator's multicast result in transit) is plain forwarding.
+    }
+    return app.pfe().router().make_forwarding_program(pkt);
+  };
+}
+
+// Queue discipline: synchronous actions are only ever queued as the LAST
+// element of pending_, so when a sync reply re-enters step() the queue is
+// empty and do_step() handles the reply for the current state.
+
+trio::Action AggregationProgram::step(trio::ThreadContext& ctx) {
+  if (!pending_.empty()) {
+    trio::Action a = std::move(pending_.front());
+    pending_.pop_front();
+    return a;
+  }
+  return do_step(ctx);
+}
+
+trio::Action AggregationProgram::pop_pending() {
+  trio::Action a = std::move(pending_.front());
+  pending_.pop_front();
+  return a;
+}
+
+trio::Action AggregationProgram::finish(trio::ThreadContext& ctx,
+                                        std::uint32_t instructions) {
+  // "Time each aggregation packet spends in Trio" (§6.3): arrival at the
+  // PFE to thread completion.
+  const sim::Time now = app_.pfe().router().simulator().now();
+  app_.stats().packet_latency_us.add(
+      (now - ctx.packet->arrival_time()).us());
+  state_ = State::kExit;
+  return trio::ActExit{instructions};
+}
+
+void AggregationProgram::queue_add_slices(std::size_t grad_byte_off,
+                                          std::span<const std::uint8_t> data,
+                                          std::uint32_t instructions) {
+  // The RMW engines sum 32-bit gradients into the aggregation buffer; the
+  // adds are sliced at the 64-byte bank-interleave granule so consecutive
+  // slices land on different engines and proceed in parallel (§2.3).
+  const std::uint64_t base = record_.aggr_paddr + grad_byte_off;
+  std::size_t off = 0;
+  bool first = true;
+  while (off < data.size()) {
+    const std::uint64_t addr = base + off;
+    const std::size_t to_boundary = 64 - static_cast<std::size_t>(addr % 64);
+    const std::size_t len = std::min(to_boundary, data.size() - off);
+    trio::ActAsyncXtxn add;
+    add.req.op = trio::XtxnOp::kAddVec32;
+    add.req.addr = addr;
+    add.req.data.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                        data.begin() + static_cast<std::ptrdiff_t>(off + len));
+    add.instructions = first ? instructions : 1;
+    first = false;
+    pending_.push_back(std::move(add));
+    off += len;
+  }
+}
+
+trio::Action AggregationProgram::begin_aggregation(trio::ThreadContext& ctx) {
+  grad_bytes_ = std::size_t(hdr_.grad_cnt) * 4;
+  const std::size_t head_size = ctx.packet->head_size();
+  const std::size_t head_avail =
+      head_size > kGradOff ? std::min(grad_bytes_, head_size - kGradOff) : 0;
+  // Gradients may straddle the head/tail split (the head holds 192-54 =
+  // 138 gradient bytes — not 32-bit aligned). Aggregate whole gradients
+  // from the head; the straddling bytes are carried into the first tail
+  // chunk.
+  const std::size_t head_aligned = head_avail & ~std::size_t{3};
+  carry_.clear();
+  stream_pos_ = head_aligned;
+  tail_off_ = 0;
+  tail_total_ = grad_bytes_ - head_avail;
+  if (head_avail > head_aligned) {
+    const auto straddle =
+        ctx.lmem.view(kGradOff + head_aligned, head_avail - head_aligned);
+    carry_.assign(straddle.begin(), straddle.end());
+  }
+
+  if (head_aligned > 0) {
+    // Phase one: gradients already in LMEM with the head (Fig 10).
+    const auto head_grads = ctx.lmem.view(kGradOff, head_aligned);
+    const auto instr = static_cast<std::uint32_t>(
+        head_aligned / 4 * 12 / 10 + 4);  // ~1.2 instr/gradient
+    queue_add_slices(0, head_grads, instr);
+  }
+  return next_tail_action(ctx);
+}
+
+trio::Action AggregationProgram::next_tail_action(trio::ThreadContext&) {
+  if (!pending_.empty()) {
+    state_ = State::kAggregate;
+    return pop_pending();
+  }
+  if (tail_off_ < tail_total_) {
+    // Phase two: read the next 64-byte chunk of the tail into LMEM.
+    const auto& cal = app_.pfe().cal();
+    const std::size_t len =
+        std::min(cal.tail_chunk_bytes, tail_total_ - tail_off_);
+    trio::ActSyncXtxn rd;
+    rd.req.op = trio::XtxnOp::kTailRead;
+    rd.req.addr = tail_off_;  // gradients are the last bytes of the frame
+    rd.req.len = static_cast<std::uint32_t>(len);
+    rd.instructions = 2;
+    state_ = State::kTailChunk;
+    return rd;
+  }
+  // All gradient adds issued: wait for the RMW engines to drain before
+  // accounting this source (result correctness depends on this order).
+  state_ = State::kJoined;
+  return trio::ActJoinAsync{2};
+}
+
+trio::Action AggregationProgram::do_step(trio::ThreadContext& ctx) {
+  switch (state_) {
+    case State::kParse: {
+      hdr_ = TrioMlHeader::parse(ctx.lmem, kTrioMlHdrOff);
+      if (hdr_.age_op >= 0xE) {
+        // Classifier notification packets share the port but carry no
+        // gradients; they are not aggregation traffic.
+        ++app_.stats().notices_ignored;
+        return finish(ctx, 2);
+      }
+      key_ = block_key(hdr_.job_id, hdr_.gen_id, hdr_.block_id);
+      ++app_.stats().packets;
+      trio::ActSyncXtxn lu;
+      lu.req.op = trio::XtxnOp::kHashLookup;
+      lu.req.arg0 = key_;
+      lu.instructions = 12;  // parse + key formation
+      state_ = State::kBlockLookup;
+      return lu;
+    }
+
+    case State::kRetryLookup: {
+      if (ctx.reply.ok) {
+        record_addr_ = ctx.reply.value;
+        trio::ActSyncXtxn rd;
+        rd.req.op = trio::XtxnOp::kRead;
+        rd.req.addr = record_addr_;
+        rd.req.len = kBlockSlabBytes;
+        rd.instructions = 3;
+        state_ = State::kReadBlock;
+        return rd;
+      }
+      return finish(ctx, 2);  // truly no memory for a new block
+    }
+
+    case State::kBlockLookup: {
+      if (ctx.reply.ok) {
+        record_addr_ = ctx.reply.value;
+        trio::ActSyncXtxn rd;
+        rd.req.op = trio::XtxnOp::kRead;
+        rd.req.addr = record_addr_;
+        rd.req.len = kBlockSlabBytes;
+        rd.instructions = 3;
+        state_ = State::kReadBlock;
+        return rd;
+      }
+      trio::ActSyncXtxn lu;
+      lu.req.op = trio::XtxnOp::kHashLookup;
+      lu.req.arg0 = job_key(hdr_.job_id);
+      lu.instructions = 4;
+      state_ = State::kJobLookup;
+      return lu;
+    }
+
+    case State::kReadBlock: {
+      record_ = BlockRecord::unpack(ctx.reply.data);
+      job_addr_ = record_.job_ctx_paddr;
+      job_src_cnt_ = ctx.reply.data[63];
+      const std::uint64_t bit = 1ull << (hdr_.src_id % 64);
+      if ((record_.rcvd_mask[hdr_.src_id / 64] & bit) != 0) {
+        // Retransmission: this source already contributed (§4 "recognize
+        // retransmissions by the servers").
+        ++app_.stats().duplicates;
+        return finish(ctx, 4);
+      }
+      return begin_aggregation(ctx);
+    }
+
+    case State::kJobLookup: {
+      if (!ctx.reply.ok) {
+        ++app_.stats().dropped_no_job;
+        return finish(ctx, 2);
+      }
+      job_addr_ = ctx.reply.value;
+      trio::ActSyncXtxn rd;
+      rd.req.op = trio::XtxnOp::kRead;
+      rd.req.addr = job_addr_;
+      rd.req.len = JobRecord::kSize;
+      rd.instructions = 3;
+      state_ = State::kReadJob;
+      return rd;
+    }
+
+    case State::kReadJob: {
+      job_ = JobRecord::unpack(ctx.reply.data);
+      have_job_ = true;
+      job_src_cnt_ = job_.src_cnt;
+      if (hdr_.grad_cnt > job_.block_grad_max) {
+        ++app_.stats().dropped_no_job;
+        return finish(ctx, 2);
+      }
+      // Enforce the job's concurrent-block cap before claiming memory
+      // (Fig 17 block_cnt_max): atomically take an active-block slot.
+      trio::ActSyncXtxn take;
+      take.req.op = trio::XtxnOp::kFetchAdd32;
+      take.req.addr = app_.job_active_counter_addr(hdr_.job_id);
+      take.req.arg0 = 1;
+      take.instructions = 2;
+      state_ = State::kCapCheck;
+      return take;
+    }
+
+    case State::kCapCheck: {
+      if (ctx.reply.value >= job_.block_cnt_max) {
+        // Over the cap: release the slot and drop (the sender's
+        // retransmission recovers once blocks complete or age out).
+        trio::ActAsyncXtxn giveback;
+        giveback.req.op = trio::XtxnOp::kWrite;  // placeholder, replaced below
+        giveback.req.op = trio::XtxnOp::kAddVec32;
+        giveback.req.addr = app_.job_active_counter_addr(hdr_.job_id);
+        giveback.req.data = {0xff, 0xff, 0xff, 0xff};  // += -1 (mod 2^32)
+        giveback.instructions = 1;
+        pending_.push_back(std::move(giveback));
+        ++app_.stats().blocks_capped;
+        state_ = State::kFinish;
+        return pop_pending();
+      }
+      auto slab = app_.alloc_slab();
+      if (!slab) {
+        // Out of slabs — most commonly because a concurrent creator of
+        // THIS block took the last one. Give back the active slot and
+        // retry the lookup once; if the block genuinely doesn't exist,
+        // drop (the sender's retransmission recovers).
+        trio::ActAsyncXtxn dec;
+        dec.req.op = trio::XtxnOp::kAddVec32;
+        dec.req.addr = app_.job_active_counter_addr(hdr_.job_id);
+        dec.req.data = {0xff, 0xff, 0xff, 0xff};
+        dec.instructions = 1;
+        pending_.push_back(std::move(dec));
+        if (!retried_create_) {
+          retried_create_ = true;
+          trio::ActSyncXtxn lu;
+          lu.req.op = trio::XtxnOp::kHashLookup;
+          lu.req.arg0 = key_;
+          lu.instructions = 2;
+          pending_.push_back(std::move(lu));
+          state_ = State::kRetryLookup;
+          return pop_pending();
+        }
+        state_ = State::kFinish;
+        return pop_pending();
+      }
+      record_addr_ = slab->record_addr;
+
+      record_ = BlockRecord{};
+      record_.block_exp = job_.block_exp;
+      record_.block_start_time = static_cast<std::uint64_t>(
+          app_.pfe().router().simulator().now().ns());
+      record_.job_ctx_paddr = static_cast<std::uint32_t>(job_addr_);
+      record_.aggr_paddr = static_cast<std::uint32_t>(slab->buffer_addr);
+      record_.grad_cnt = hdr_.grad_cnt & 0xfff;
+
+      auto bytes = record_.pack();
+      bytes.resize(kBlockSlabBytes, 0);
+      bytes[63] = job_.src_cnt;  // scratch: expected contributor count
+      trio::ActAsyncXtxn wr;
+      wr.req.op = trio::XtxnOp::kWrite;
+      wr.req.addr = record_addr_;
+      wr.req.data = std::move(bytes);
+      wr.instructions = 12;
+      pending_.push_back(std::move(wr));
+
+      trio::ActSyncXtxn ins;
+      ins.req.op = trio::XtxnOp::kHashInsert;
+      ins.req.arg0 = key_;
+      ins.req.arg1 = record_addr_;
+      ins.instructions = 4;
+      pending_.push_back(std::move(ins));
+      state_ = State::kInsert;
+      return pop_pending();
+    }
+
+    case State::kInsert: {
+      if (!ctx.reply.ok) {
+        // Lost the creation race: another thread inserted this block
+        // concurrently. Release our slab and active-block slot, then
+        // take the found path.
+        app_.free_slab(TrioMlApp::Slab{
+            record_addr_, app_.buffer_of_record(record_addr_)});
+        trio::ActAsyncXtxn dec;
+        dec.req.op = trio::XtxnOp::kAddVec32;
+        dec.req.addr = app_.job_active_counter_addr(hdr_.job_id);
+        dec.req.data = {0xff, 0xff, 0xff, 0xff};
+        dec.instructions = 1;
+        pending_.push_back(std::move(dec));
+        trio::ActSyncXtxn lu;
+        lu.req.op = trio::XtxnOp::kHashLookup;
+        lu.req.arg0 = key_;
+        lu.instructions = 2;
+        pending_.push_back(std::move(lu));
+        state_ = State::kBlockLookup;
+        return pop_pending();
+      }
+      ++app_.stats().blocks_created;
+      return begin_aggregation(ctx);
+    }
+
+    case State::kAggregate:
+      return next_tail_action(ctx);
+
+    case State::kTailChunk: {
+      // Chunk landed in LMEM: add its gradients into the aggregation
+      // buffer (~1.2 run-time instructions per gradient, §6.3). Any
+      // bytes carried over from the head/previous chunk are prepended so
+      // adds stay 32-bit aligned.
+      tail_off_ += ctx.reply.data.size();
+      carry_.insert(carry_.end(), ctx.reply.data.begin(),
+                    ctx.reply.data.end());
+      const std::size_t aligned = carry_.size() & ~std::size_t{3};
+      if (aligned > 0) {
+        const auto instr =
+            static_cast<std::uint32_t>(aligned / 4 * 12 / 10 + 1);
+        queue_add_slices(stream_pos_,
+                         std::span<const std::uint8_t>(carry_.data(), aligned),
+                         instr);
+        stream_pos_ += aligned;
+        carry_.erase(carry_.begin(),
+                     carry_.begin() + static_cast<std::ptrdiff_t>(aligned));
+      }
+      return next_tail_action(ctx);
+    }
+
+    case State::kJoined: {
+      // All adds drained. Accumulate the contributor count (hierarchical
+      // aggregation sums child src_cnts; leaf workers send src_cnt = 1),
+      // then take this source's bit in the received mask.
+      if (hdr_.degraded) {
+        trio::ActAsyncXtxn dg;
+        dg.req.op = trio::XtxnOp::kWrite;
+        dg.req.addr = record_addr_ + kDegradedFlagOff;
+        dg.req.data = {1};
+        dg.instructions = 1;
+        pending_.push_back(std::move(dg));
+      }
+      trio::ActSyncXtxn add;
+      add.req.op = trio::XtxnOp::kFetchAdd32;
+      add.req.addr = record_addr_ + kSrcCntAccumOff;
+      add.req.arg0 = hdr_.src_cnt == 0 ? 1 : hdr_.src_cnt;
+      add.instructions = 2;
+      pending_.push_back(std::move(add));
+      state_ = State::kAccumReply;
+      return pop_pending();
+    }
+
+    case State::kAccumReply: {
+      trio::ActSyncXtxn orq;
+      orq.req.op = trio::XtxnOp::kFetchOr64;
+      orq.req.addr = record_addr_ + BlockRecord::kRcvdMask0Off +
+                     std::uint64_t(hdr_.src_id / 64) * 8;
+      orq.req.arg0 = 1ull << (hdr_.src_id % 64);
+      orq.instructions = 2;
+      state_ = State::kMaskReply;
+      return orq;
+    }
+
+    case State::kMaskReply: {
+      const std::uint64_t new_mask =
+          ctx.reply.value | (1ull << (hdr_.src_id % 64));
+      const int count = std::popcount(new_mask);
+      // Keep the record's rcvd_cnt field current (posted byte write).
+      trio::ActAsyncXtxn cnt;
+      cnt.req.op = trio::XtxnOp::kWrite;
+      cnt.req.addr = record_addr_ + BlockRecord::kRcvdCntOff;
+      cnt.req.data = {static_cast<std::uint8_t>(count)};
+      cnt.instructions = 1;
+      pending_.push_back(std::move(cnt));
+
+      // Jobs with more than 64 sources would consult rcvd_mask_1..3; the
+      // datapath fast path serves <= 64 sources (masks 1..3 stay zero).
+      if (hdr_.src_id / 64 != 0 || count < job_src_cnt_) {
+        state_ = State::kFinish;
+        return pop_pending();
+      }
+      // Complete: atomically claim the block by deleting its hash record
+      // (an aging timer thread may race us — exactly one side wins).
+      trio::ActSyncXtxn del;
+      del.req.op = trio::XtxnOp::kHashDelete;
+      del.req.arg0 = key_;
+      del.instructions = 3;
+      pending_.push_back(std::move(del));
+      state_ = State::kDeleted;
+      return pop_pending();
+    }
+
+    case State::kDeleted: {
+      if (!ctx.reply.ok) {
+        // A timer thread aged the block concurrently and owns it now.
+        return finish(ctx, 2);
+      }
+      ++app_.stats().blocks_completed;
+      {
+        // Release the job's active-block slot (posted decrement).
+        trio::ActAsyncXtxn dec;
+        dec.req.op = trio::XtxnOp::kAddVec32;
+        dec.req.addr = app_.job_active_counter_addr(hdr_.job_id);
+        dec.req.data = {0xff, 0xff, 0xff, 0xff};
+        dec.instructions = 1;
+        pending_.push_back(std::move(dec));
+      }
+      const sim::Time now = app_.pfe().router().simulator().now();
+      app_.stats().block_latency_us.add(
+          (now -
+           sim::Time(static_cast<std::int64_t>(record_.block_start_time)))
+              .us());
+      if (have_job_) {
+        state_ = State::kScratch;
+      } else {
+        state_ = State::kJobForResult;
+        trio::ActSyncXtxn rd;
+        rd.req.op = trio::XtxnOp::kRead;
+        rd.req.addr = job_addr_;
+        rd.req.len = JobRecord::kSize;
+        rd.instructions = 2;
+        return rd;
+      }
+      trio::ActSyncXtxn rd;
+      rd.req.op = trio::XtxnOp::kRead;
+      rd.req.addr = record_addr_ + 56;
+      rd.req.len = 8;
+      rd.instructions = 2;
+      return rd;
+    }
+
+    case State::kJobForResult: {
+      job_ = JobRecord::unpack(ctx.reply.data);
+      have_job_ = true;
+      trio::ActSyncXtxn rd;
+      rd.req.op = trio::XtxnOp::kRead;
+      rd.req.addr = record_addr_ + 56;
+      rd.req.len = 8;
+      rd.instructions = 2;
+      state_ = State::kScratch;
+      return rd;
+    }
+
+    case State::kScratch: {
+      accum_src_cnt_ = static_cast<std::uint8_t>(le32(ctx.reply.data, 2));
+      scratch_degraded_ = ctx.reply.data[6] != 0;
+
+      // Per-job Packet/Byte counter: one block completed, grad bytes.
+      trio::ActAsyncXtxn ctr;
+      ctr.req.op = trio::XtxnOp::kCounterInc;
+      ctr.req.addr = app_.job_counter_addr(hdr_.job_id);
+      ctr.req.arg0 = std::uint64_t(record_.grad_cnt) * 4;
+      ctr.instructions = 1;
+      pending_.push_back(std::move(ctr));
+
+      ResultBuilder::Inputs in;
+      in.key = key_;
+      in.record = record_;
+      in.job = job_;
+      in.src_cnt = accum_src_cnt_;
+      in.degraded = scratch_degraded_;
+      in.age_op = 0;
+      in.final_block = hdr_.final_block;
+      builder_.emplace(app_, std::move(in));
+      state_ = State::kResult;
+      return pop_pending();
+    }
+
+    case State::kResult: {
+      auto action = builder_->step(ctx);
+      if (action) return std::move(*action);
+      return finish(ctx, 2);
+    }
+
+    case State::kFinish:
+      return finish(ctx, 2);
+
+    case State::kExit:
+      return trio::ActExit{1};
+  }
+  return trio::ActExit{1};
+}
+
+}  // namespace trioml

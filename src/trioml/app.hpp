@@ -1,0 +1,153 @@
+// TrioMlApp: the per-PFE in-network aggregation application (paper §4-§5).
+//
+// Owns the control-plane side — job records written into the Shared
+// Memory System and the hash table, the pre-allocated pool of block slabs
+// (record + aggregation buffer), straggler-detection timer threads — and
+// hands the PFE a program factory whose threads execute the aggregation
+// workflow of Fig 10 packet by packet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "sim/stats.hpp"
+#include "trio/pfe.hpp"
+#include "trioml/records.hpp"
+#include "trioml/wire_format.hpp"
+
+namespace trioml {
+
+class TrioMlApp {
+ public:
+  struct Config {
+    /// Slabs pre-allocated for the datapath (each = 64 B record slab +
+    /// a 4 KiB aggregation buffer in DMEM).
+    std::size_t slab_pool = 8192;
+  };
+
+  explicit TrioMlApp(trio::Pfe& pfe) : TrioMlApp(pfe, Config()) {}
+  TrioMlApp(trio::Pfe& pfe, Config config);
+
+  /// One aggregation job (paper Fig 9 "Control Plane Job Records").
+  struct JobSetup {
+    std::uint8_t job_id = 1;
+    std::vector<std::uint8_t> src_ids;  // bit positions in src_mask
+    std::uint16_t block_grad_max = kMaxGradsPerPacket;
+    std::uint16_t block_cnt_max = 4095;
+    std::uint8_t block_exp_ms = 10;
+    net::Ipv4Addr out_src;   // result packet source IP
+    net::Ipv4Addr out_dst;   // result destination (usually multicast group)
+    std::uint32_t out_nh = 0;  // nexthop id ("pointer to egress chain")
+    std::uint8_t out_src_id = 0;  // src_id stamped on results (hierarchical)
+  };
+
+  /// Writes the job record into SMS + hash table. Call before traffic.
+  void configure_job(const JobSetup& setup);
+  /// Removes the job (records of in-flight blocks are left to age out).
+  void remove_job(std::uint8_t job_id);
+
+  /// Installs the aggregation program factory on the PFE. Non-aggregation
+  /// packets fall back to the router's IP forwarding program.
+  void install();
+
+  /// Aggregation packets are "addressed to the router" (§4): when set,
+  /// only UDP/12000 packets whose destination IP equals this address are
+  /// aggregated; everything else (e.g. a multicast result transiting from
+  /// an upstream aggregator) takes the forwarding path. Unset = match on
+  /// the UDP port alone.
+  void set_aggregation_address(net::Ipv4Addr addr) { agg_addr_ = addr; }
+  const std::optional<net::Ipv4Addr>& aggregation_address() const {
+    return agg_addr_;
+  }
+
+  /// Launches `threads` straggler-detection timer threads; each scans
+  /// 1/threads of the hash table, giving an aging timeout of `timeout`
+  /// (detection happens within [timeout, 2*timeout] of the last packet).
+  void start_straggler_detection(int threads, sim::Duration timeout);
+  void stop_straggler_detection();
+
+  // --- §5 advanced mitigation: per-source profiling + classification ----
+  /// Allocates per-source straggler event counters and classifier state
+  /// for the job; the detection scan then charges missing sources on
+  /// every aged block.
+  void enable_straggler_profiling(std::uint8_t job_id);
+  bool profiling_enabled(std::uint8_t job_id) const;
+  /// 16-byte Packet/Byte event counter for (job, src); 0 when disabled.
+  std::uint64_t straggler_event_counter_addr(std::uint8_t job_id,
+                                             std::uint8_t src) const;
+  /// 16-byte classifier window state for (job, src); 0 when disabled.
+  std::uint64_t classifier_state_addr(std::uint8_t job_id,
+                                      std::uint8_t src) const;
+  std::uint64_t job_record_addr(std::uint8_t job_id) const;
+  /// Starts the infrequent classification timer group; returns its id.
+  int start_straggler_classification(std::uint8_t job_id,
+                                     sim::Duration period,
+                                     int permanent_after_windows = 3);
+
+  // --- Datapath services (used by the aggregation / scan programs) -------
+  struct Slab {
+    std::uint64_t record_addr = 0;
+    std::uint64_t buffer_addr = 0;
+  };
+  std::optional<Slab> alloc_slab();
+  std::size_t free_slab_count() const { return free_slabs_.size(); }
+  std::size_t slab_pool_size() const { return config_.slab_pool; }
+  void free_slab(const Slab& slab);
+  /// Frees via the aggregation-buffer address (slabs are paired 1:1).
+  void free_slab_by_buffer(std::uint64_t buffer_addr);
+  /// Buffer address belonging to a record address (slabs are paired).
+  std::uint64_t buffer_of_record(std::uint64_t record_addr) const;
+
+  trio::Pfe& pfe() { return pfe_; }
+  std::uint64_t job_counter_addr(std::uint8_t job_id) const;
+  /// Word holding the job's current number of active blocks; the
+  /// datapath FetchAdd32s it to enforce block_cnt_max (Fig 17: "control
+  /// memory sharing across jobs by capping the maximum number of
+  /// concurrent aggregation blocks").
+  std::uint64_t job_active_counter_addr(std::uint8_t job_id) const;
+
+  // --- Statistics ----------------------------------------------------------
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t dropped_no_job = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t out_of_slabs = 0;
+    std::uint64_t blocks_capped = 0;  // dropped: job at block_cnt_max
+    std::uint64_t blocks_created = 0;
+    std::uint64_t blocks_completed = 0;
+    std::uint64_t blocks_aged = 0;
+    std::uint64_t results_emitted = 0;
+    std::uint64_t gradients_aggregated = 0;
+    std::uint64_t straggler_events = 0;        // per-source charges (§5)
+    std::uint64_t straggler_notices_sent = 0;  // classifier notifications
+    std::uint64_t notices_ignored = 0;         // notifications seen by the
+                                               // aggregation datapath
+    sim::Samples packet_latency_us;  // time each aggregation packet spends in Trio
+    sim::Samples block_latency_us;   // first packet -> result emitted
+  };
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  trio::Pfe& pfe_;
+  Config config_;
+  std::vector<Slab> free_slabs_;
+  std::unordered_map<std::uint64_t, std::uint64_t> record_to_buffer_;
+  std::unordered_map<std::uint64_t, std::uint64_t> buffer_to_record_;
+  std::unordered_map<std::uint8_t, std::uint64_t> job_records_;
+  std::unordered_map<std::uint8_t, std::uint64_t> job_counters_;
+  std::unordered_map<std::uint8_t, std::uint64_t> job_active_counters_;
+  struct Profiling {
+    std::uint64_t events_base = 0;
+    std::uint64_t state_base = 0;
+  };
+  std::unordered_map<std::uint8_t, Profiling> profiling_;
+  std::optional<net::Ipv4Addr> agg_addr_;
+  Stats stats_;
+};
+
+}  // namespace trioml

@@ -1,0 +1,181 @@
+#include "trioml/host.hpp"
+
+#include <stdexcept>
+
+namespace trioml {
+
+TrioMlWorker::TrioMlWorker(sim::Simulator& simulator, Config config,
+                           net::LinkEndpoint& tx)
+    : sim_(simulator), config_(config), tx_(tx) {
+  if (config_.grads_per_packet == 0 ||
+      config_.grads_per_packet > kMaxGradsPerPacket) {
+    throw std::invalid_argument("TrioMlWorker: bad grads_per_packet");
+  }
+  if (config_.window == 0) {
+    throw std::invalid_argument("TrioMlWorker: window must be >= 1");
+  }
+}
+
+void TrioMlWorker::start_allreduce(std::vector<std::uint32_t> grads,
+                                   std::uint16_t gen_id,
+                                   std::function<void(AllreduceResult)> done) {
+  if (done_) {
+    throw std::logic_error("TrioMlWorker: allreduce already in progress");
+  }
+  grads_ = std::move(grads);
+  gen_id_ = gen_id;
+  done_ = std::move(done);
+  num_blocks_ = static_cast<std::uint32_t>(
+      (grads_.size() + config_.grads_per_packet - 1) /
+      config_.grads_per_packet);
+  next_block_ = 0;
+  completed_blocks_ = 0;
+  outstanding_.clear();
+  result_ = AllreduceResult{};
+  result_.grads.assign(grads_.size(), 0.0f);
+  result_.blocks = num_blocks_;
+  result_.start = sim_.now();
+  pump();
+}
+
+void TrioMlWorker::start_allreduce_float(
+    const std::vector<float>& grads, std::uint16_t gen_id,
+    std::function<void(AllreduceResult)> done) {
+  std::vector<std::uint32_t> q(grads.size());
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    q[i] = static_cast<std::uint32_t>(quantize(grads[i]));
+  }
+  start_allreduce(std::move(q), gen_id, std::move(done));
+}
+
+void TrioMlWorker::stall_for(sim::Duration d) {
+  const sim::Time until = sim_.now() + d;
+  if (until > stalled_until_) stalled_until_ = until;
+  if (done_ && !pump_scheduled_) {
+    pump_scheduled_ = true;
+    sim_.schedule_at(stalled_until_, [this] {
+      pump_scheduled_ = false;
+      pump();
+    });
+  }
+}
+
+void TrioMlWorker::pump() {
+  if (!done_) return;
+  if (sim_.now() < stalled_until_) {
+    if (!pump_scheduled_) {
+      pump_scheduled_ = true;
+      sim_.schedule_at(stalled_until_, [this] {
+        pump_scheduled_ = false;
+        pump();
+      });
+    }
+    return;
+  }
+  while (next_block_ < num_blocks_ &&
+         outstanding_.size() < config_.window) {
+    send_block(next_block_++, /*is_retransmit=*/false);
+  }
+}
+
+void TrioMlWorker::send_block(std::uint32_t block_id, bool is_retransmit) {
+  const std::size_t begin =
+      std::size_t(block_id) * config_.grads_per_packet;
+  const std::size_t count =
+      std::min<std::size_t>(config_.grads_per_packet, grads_.size() - begin);
+
+  TrioMlHeader hdr;
+  hdr.job_id = config_.job_id;
+  hdr.block_id = block_id;
+  hdr.gen_id = gen_id_;
+  hdr.src_id = config_.src_id;
+  hdr.src_cnt = 1;  // a leaf worker contributes itself
+  hdr.final_block = block_id + 1 == num_blocks_;
+
+  net::Buffer frame = build_aggregation_frame(
+      config_.mac, config_.agg_mac, config_.ip, config_.agg_ip,
+      config_.udp_src_port, hdr,
+      std::span<const std::uint32_t>(grads_.data() + begin, count));
+  tx_.send(net::Packet::make(std::move(frame)));
+  ++packets_sent_;
+  if (is_retransmit) ++retransmissions_;
+
+  Outstanding& out = outstanding_[block_id];
+  if (!is_retransmit) out.sent = sim_.now();
+  out.grad_cnt = static_cast<std::uint16_t>(count);
+  if (config_.retransmit) {
+    sim_.cancel(out.retransmit_timer);
+    out.retransmit_timer =
+        sim_.schedule_in(config_.retransmit_timeout, [this, block_id] {
+          auto it = outstanding_.find(block_id);
+          if (it != outstanding_.end()) {
+            send_block(block_id, /*is_retransmit=*/true);
+          }
+        });
+  }
+}
+
+void TrioMlWorker::receive(net::PacketPtr pkt, int) {
+  const net::Buffer& frame = pkt->frame();
+  if (frame.size() < kGradOff) return;
+  const auto udp = net::UdpHeader::parse(frame, net::UdpFrameLayout::kUdpOff);
+  if (udp.dst_port != kTrioMlUdpPort && udp.src_port != kTrioMlUdpPort) {
+    return;
+  }
+  const TrioMlHeader hdr = TrioMlHeader::parse(frame, kTrioMlHdrOff);
+  if (hdr.job_id != config_.job_id) return;
+  if (hdr.age_op >= 0xE) {
+    // §5 classifier notification: record which source is straggling and
+    // whether the network declared it permanent.
+    straggler_notices_.push_back(StragglerNotice{
+        hdr.src_id, hdr.age_op == 0xF, hdr.src_cnt, sim_.now()});
+    return;
+  }
+  if (hdr.gen_id != gen_id_) return;
+  on_result(hdr, frame);
+}
+
+void TrioMlWorker::on_result(const TrioMlHeader& hdr,
+                             const net::Buffer& frame) {
+  auto it = outstanding_.find(hdr.block_id);
+  if (it == outstanding_.end()) return;  // duplicate result
+  ++results_received_;
+  block_latency_us_.add((sim_.now() - it->second.sent).us());
+
+  // Servers that receive partial aggregation results divide the returned
+  // gradient values by the number of aggregated sources (§5); complete
+  // results divide by the full source count — both yield the average.
+  const std::uint8_t denom_u8 =
+      hdr.degraded ? hdr.src_cnt
+                   : (config_.expected_sources != 0 ? config_.expected_sources
+                                                    : hdr.src_cnt);
+  const float denom = denom_u8 == 0 ? 1.0f : static_cast<float>(denom_u8);
+  if (hdr.degraded) {
+    ++degraded_results_;
+    ++result_.degraded_blocks;
+  }
+  const std::size_t base = std::size_t(hdr.block_id) * config_.grads_per_packet;
+  for (std::size_t i = 0; i < hdr.grad_cnt && base + i < result_.grads.size();
+       ++i) {
+    const auto sum = static_cast<std::int32_t>(read_gradient(frame, i));
+    result_.grads[base + i] = dequantize(sum) / denom;
+  }
+
+  sim_.cancel(it->second.retransmit_timer);
+  outstanding_.erase(it);
+  ++completed_blocks_;
+  if (completed_blocks_ == num_blocks_) {
+    complete();
+  } else {
+    pump();
+  }
+}
+
+void TrioMlWorker::complete() {
+  result_.finish = sim_.now();
+  auto done = std::move(done_);
+  done_ = nullptr;
+  done(std::move(result_));
+}
+
+}  // namespace trioml

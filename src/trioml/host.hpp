@@ -1,0 +1,139 @@
+// A Trio-ML end-host worker: streams a model's gradient blocks to the
+// aggregator with a bounded window of outstanding packets (paper §4
+// "Window-based streaming aggregation"), receives multicast Result
+// packets, recognises degraded (partial) results and rescales by src_cnt
+// (§5), and reports per-block latency.
+//
+// Matches the testbed configuration of §6.1: DPDK-style UDP send path,
+// 1024 gradients per packet and window 4096 by default, optional 1 ms
+// retransmission (disabled in the paper's straggler experiments).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "trioml/wire_format.hpp"
+
+namespace trioml {
+
+struct AllreduceResult {
+  /// Per-gradient average over the sources that contributed.
+  std::vector<float> grads;
+  std::uint64_t degraded_blocks = 0;
+  std::uint64_t blocks = 0;
+  sim::Time start;
+  sim::Time finish;
+};
+
+class TrioMlWorker : public net::Node {
+ public:
+  struct Config {
+    std::uint8_t job_id = 1;
+    std::uint8_t src_id = 0;
+    net::Ipv4Addr ip;
+    net::MacAddr mac{0x02, 0, 0, 0, 0, 1};
+    net::Ipv4Addr agg_ip;            // aggregation destination address
+    net::MacAddr agg_mac{0x02, 0, 0, 0, 0, 0xfe};
+    std::uint16_t udp_src_port = 20000;
+    std::uint32_t window = 4096;     // outstanding packets (paper default)
+    std::uint16_t grads_per_packet = kMaxGradsPerPacket;
+    std::uint8_t expected_sources = 0;  // full-aggregation contributor count
+    bool retransmit = false;            // disabled in the paper's evaluation
+    sim::Duration retransmit_timeout = sim::Duration::millis(1);
+  };
+
+  TrioMlWorker(sim::Simulator& simulator, Config config,
+               net::LinkEndpoint& tx);
+
+  /// Starts an allreduce over quantized gradients; `done` fires when every
+  /// block's result arrived.
+  void start_allreduce(std::vector<std::uint32_t> grads, std::uint16_t gen_id,
+                       std::function<void(AllreduceResult)> done);
+
+  /// Convenience float API: quantizes, allreduces, dequantizes+averages.
+  void start_allreduce_float(const std::vector<float>& grads,
+                             std::uint16_t gen_id,
+                             std::function<void(AllreduceResult)> done);
+
+  // --- net::Node (result packets arrive here) -----------------------------
+  void receive(net::PacketPtr pkt, int port) override;
+  std::string name() const override {
+    return "worker-" + std::to_string(config_.src_id);
+  }
+
+  /// Artificial transmission stall: the worker pauses sending for `d`
+  /// (used by the straggler generator; in-flight packets still fly).
+  void stall_for(sim::Duration d);
+
+  /// Turns on loss recovery: unanswered blocks are retransmitted after
+  /// `timeout` (the aggregator recognises duplicates by src_id — §4).
+  void enable_retransmit(sim::Duration timeout) {
+    config_.retransmit = true;
+    config_.retransmit_timeout = timeout;
+  }
+
+  bool busy() const { return done_ != nullptr; }
+  const Config& config() const { return config_; }
+
+  /// §5 advanced mitigation: straggler notifications received from the
+  /// classifier timer threads.
+  struct StragglerNotice {
+    std::uint8_t src = 0;
+    bool permanent = false;
+    std::uint8_t consecutive_windows = 0;
+    sim::Time at;
+  };
+  const std::vector<StragglerNotice>& straggler_notices() const {
+    return straggler_notices_;
+  }
+
+  // --- Statistics ----------------------------------------------------------
+  sim::Samples& block_latency_us() { return block_latency_us_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t results_received() const { return results_received_; }
+  std::uint64_t degraded_results() const { return degraded_results_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct Outstanding {
+    sim::Time sent;
+    std::uint16_t grad_cnt;
+    sim::EventId retransmit_timer;
+  };
+
+  void pump();
+  void send_block(std::uint32_t block_id, bool is_retransmit);
+  void on_result(const TrioMlHeader& hdr, const net::Buffer& frame);
+  void complete();
+
+  sim::Simulator& sim_;
+  Config config_;
+  net::LinkEndpoint& tx_;
+
+  std::vector<std::uint32_t> grads_;
+  std::uint16_t gen_id_ = 0;
+  std::function<void(AllreduceResult)> done_;
+  AllreduceResult result_;
+  std::uint32_t num_blocks_ = 0;
+  std::uint32_t next_block_ = 0;
+  std::uint32_t completed_blocks_ = 0;
+  std::unordered_map<std::uint32_t, Outstanding> outstanding_;
+  sim::Time stalled_until_;
+  bool pump_scheduled_ = false;
+
+  std::vector<StragglerNotice> straggler_notices_;
+  sim::Samples block_latency_us_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t results_received_ = 0;
+  std::uint64_t degraded_results_ = 0;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace trioml

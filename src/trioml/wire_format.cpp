@@ -1,0 +1,82 @@
+#include "trioml/wire_format.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trioml {
+
+void TrioMlHeader::write(net::Buffer& buf, std::size_t off) const {
+  if (grad_cnt > 0xfff) {
+    throw std::invalid_argument("TrioMlHeader: grad_cnt exceeds 12 bits");
+  }
+  buf.set_u8(off, job_id);
+  buf.set_u32(off + 1, block_id);
+  // age_op:4 final:1 degraded:1 pad:2
+  buf.set_u8(off + 5,
+             static_cast<std::uint8_t>((age_op & 0xf) << 4 |
+                                       (final_block ? 1 : 0) << 3 |
+                                       (degraded ? 1 : 0) << 2));
+  buf.set_u8(off + 6, src_id);
+  buf.set_u8(off + 7, src_cnt);
+  buf.set_u16(off + 8, gen_id);
+  // pad:4 grad_cnt:12
+  buf.set_u16(off + 10, static_cast<std::uint16_t>(grad_cnt & 0xfff));
+}
+
+TrioMlHeader TrioMlHeader::parse(const net::Buffer& buf, std::size_t off) {
+  TrioMlHeader h;
+  h.job_id = buf.u8(off);
+  h.block_id = buf.u32(off + 1);
+  const std::uint8_t flags = buf.u8(off + 5);
+  h.age_op = flags >> 4;
+  h.final_block = (flags >> 3 & 1) != 0;
+  h.degraded = (flags >> 2 & 1) != 0;
+  h.src_id = buf.u8(off + 6);
+  h.src_cnt = buf.u8(off + 7);
+  h.gen_id = buf.u16(off + 8);
+  h.grad_cnt = static_cast<std::uint16_t>(buf.u16(off + 10) & 0xfff);
+  return h;
+}
+
+net::Buffer build_aggregation_frame(const net::MacAddr& eth_src,
+                                    const net::MacAddr& eth_dst,
+                                    net::Ipv4Addr ip_src, net::Ipv4Addr ip_dst,
+                                    std::uint16_t udp_src_port,
+                                    const TrioMlHeader& hdr,
+                                    std::span<const std::uint32_t> gradients) {
+  if (gradients.size() > kMaxGradsPerPacket) {
+    throw std::invalid_argument("too many gradients for one packet");
+  }
+  std::vector<std::uint8_t> payload(TrioMlHeader::kSize + gradients.size() * 4);
+  net::Buffer frame = net::build_udp_frame(eth_src, eth_dst, ip_src, ip_dst,
+                                           udp_src_port, kTrioMlUdpPort,
+                                           payload);
+  TrioMlHeader h = hdr;
+  h.grad_cnt = static_cast<std::uint16_t>(gradients.size());
+  h.write(frame, kTrioMlHdrOff);
+  for (std::size_t i = 0; i < gradients.size(); ++i) {
+    frame.set_u32le(kGradOff + i * 4, gradients[i]);
+  }
+  return frame;
+}
+
+std::uint32_t read_gradient(const net::Buffer& frame, std::size_t i) {
+  return frame.u32le(kGradOff + i * 4);
+}
+
+void write_gradient(net::Buffer& frame, std::size_t i, std::uint32_t v) {
+  frame.set_u32le(kGradOff + i * 4, v);
+}
+
+std::int32_t quantize(float value, float scale) {
+  const float scaled = value * scale;
+  if (scaled >= 2147483647.0f) return 2147483647;
+  if (scaled <= -2147483648.0f) return -2147483647 - 1;
+  return static_cast<std::int32_t>(std::lround(scaled));
+}
+
+float dequantize(std::int32_t value, float scale) {
+  return static_cast<float>(value) / scale;
+}
+
+}  // namespace trioml

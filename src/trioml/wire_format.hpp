@@ -1,0 +1,64 @@
+// Trio-ML packet wire format (paper Figs 7 & 8).
+//
+// An aggregation packet is Ethernet / IPv4 / UDP (destination port 12000)
+// followed by the 12-byte Trio-ML header and up to 4096 bytes of gradients
+// (1024 32-bit integers, ATP-style scaled fixed point, little-endian).
+#pragma once
+
+#include <cstdint>
+
+#include "net/buffer.hpp"
+#include "net/packet.hpp"
+
+namespace trioml {
+
+/// Pre-defined aggregation UDP port (paper §4: "e.g., 12000").
+constexpr std::uint16_t kTrioMlUdpPort = 12000;
+
+/// Maximum gradients per packet (paper Fig 7: up to 4096 bytes).
+constexpr std::uint32_t kMaxGradsPerPacket = 1024;
+
+/// Offset of the Trio-ML header within a frame (after Eth/IP/UDP).
+constexpr std::size_t kTrioMlHdrOff = net::UdpFrameLayout::kPayloadOff;  // 42
+/// Offset of the first gradient.
+constexpr std::size_t kGradOff = kTrioMlHdrOff + 12;
+
+/// Fig 8, bit-exact 12-byte layout (fields MSB-first):
+///   job_id:8  block_id:32  age_op:4  final:1  degraded:1  pad:2
+///   src_id:8  src_cnt:8  gen_id:16  pad:4  grad_cnt:12
+struct TrioMlHeader {
+  static constexpr std::size_t kSize = 12;
+
+  std::uint8_t job_id = 0;
+  std::uint32_t block_id = 0;
+  std::uint8_t age_op = 0;    // nonzero when the block aged out (§5)
+  bool final_block = false;   // last block of the job
+  bool degraded = false;      // aggregation is partial (§5)
+  std::uint8_t src_id = 0;    // sender id
+  std::uint8_t src_cnt = 0;   // number of sources contributing
+  std::uint16_t gen_id = 0;   // generation (training iteration)
+  std::uint16_t grad_cnt = 0; // gradients in this packet (12 bits)
+
+  void write(net::Buffer& buf, std::size_t off) const;
+  static TrioMlHeader parse(const net::Buffer& buf, std::size_t off);
+};
+
+/// Builds a complete aggregation frame: Eth/IP/UDP + header + gradients.
+net::Buffer build_aggregation_frame(const net::MacAddr& eth_src,
+                                    const net::MacAddr& eth_dst,
+                                    net::Ipv4Addr ip_src, net::Ipv4Addr ip_dst,
+                                    std::uint16_t udp_src_port,
+                                    const TrioMlHeader& hdr,
+                                    std::span<const std::uint32_t> gradients);
+
+/// Reads gradient `i` (little-endian int32) from an aggregation frame.
+std::uint32_t read_gradient(const net::Buffer& frame, std::size_t i);
+void write_gradient(net::Buffer& frame, std::size_t i, std::uint32_t v);
+
+/// ATP-style fixed-point quantisation (paper §4: "gradients are 32-bit
+/// integers converted from floating-point using the scaling approach
+/// proposed by ATP").
+std::int32_t quantize(float value, float scale = 1 << 16);
+float dequantize(std::int32_t value, float scale = 1 << 16);
+
+}  // namespace trioml

@@ -1,0 +1,219 @@
+// Tests for the Advanced Forwarding Interface sandbox (paper §3.1): a
+// third-party-managed section of the forwarding path graph whose
+// operations can be added, removed and reordered at runtime.
+#include <gtest/gtest.h>
+
+#include "trio/afi.hpp"
+#include "trio/router.hpp"
+
+namespace {
+
+using trio::afi::AfiHost;
+using trio::afi::CountOp;
+using trio::afi::DefaultForwardOp;
+using trio::afi::FilterOp;
+using trio::afi::NexthopOp;
+using trio::afi::PoliceOp;
+using trio::afi::Sandbox;
+using trio::afi::SetDscpOp;
+
+class AfiTest : public ::testing::Test {
+ protected:
+  AfiTest() : router(sim, trio::Calibration{}, 1, 4), host(router.pfe(0)) {
+    // Default route: everything out of port 1.
+    const auto nh = router.forwarding().add_nexthop(
+        trio::NexthopUnicast{1, {}});
+    router.forwarding().add_route(net::Ipv4Addr::from_string("0.0.0.0"), 0,
+                                  nh);
+    router.attach_port_sink(1, [this](net::PacketPtr p) {
+      out.push_back(std::move(p));
+    });
+    router.attach_port_sink(2, [this](net::PacketPtr p) {
+      out_alt.push_back(std::move(p));
+    });
+  }
+
+  net::Buffer frame(const std::string& src = "10.0.0.1",
+                    std::uint16_t dst_port = 2000) {
+    std::vector<std::uint8_t> payload(100, 0);
+    return net::build_udp_frame({1, 1, 1, 1, 1, 1}, {2, 2, 2, 2, 2, 2},
+                                net::Ipv4Addr::from_string(src),
+                                net::Ipv4Addr::from_string("10.9.9.9"), 999,
+                                dst_port, payload);
+  }
+
+  void inject(net::Buffer f) {
+    router.receive(net::Packet::make(std::move(f)), 0);
+  }
+
+  sim::Simulator sim;
+  trio::Router router;
+  AfiHost host;
+  std::vector<net::PacketPtr> out;
+  std::vector<net::PacketPtr> out_alt;
+};
+
+TEST_F(AfiTest, NonMatchingTrafficTakesDefaultPath) {
+  host.create_sandbox("s", [](const net::Packet&) { return false; });
+  host.attach();
+  inject(frame());
+  sim.run();
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(AfiTest, EmptySandboxFallsThroughToForwarding) {
+  host.create_sandbox("s", [](const net::Packet&) { return true; });
+  host.attach();
+  inject(frame());
+  sim.run();
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(AfiTest, CountOpCountsAndForwards) {
+  Sandbox* sb = host.create_sandbox("s", [](const net::Packet&) { return true; });
+  const auto ctr = router.pfe(0).sms().alloc_sram(16, 16);
+  sb->add(CountOp{ctr});
+  host.attach();
+  for (int i = 0; i < 5; ++i) inject(frame());
+  sim.run();
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(router.pfe(0).sms().peek_u64(ctr), 5u);
+  EXPECT_EQ(sb->packets(), 5u);
+}
+
+TEST_F(AfiTest, FilterOpDropsMatching) {
+  Sandbox* sb = host.create_sandbox("s", [](const net::Packet&) { return true; });
+  sb->add(FilterOp{[](const net::Buffer& head) {
+    // Drop UDP destination port 7777.
+    return net::UdpHeader::parse(head, net::UdpFrameLayout::kUdpOff)
+               .dst_port == 7777;
+  }});
+  host.attach();
+  inject(frame("10.0.0.1", 7777));
+  inject(frame("10.0.0.1", 2000));
+  sim.run();
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(sb->drops(), 1u);
+}
+
+TEST_F(AfiTest, PoliceOpThrottles) {
+  Sandbox* sb = host.create_sandbox("s", [](const net::Packet&) { return true; });
+  const auto pol = router.pfe(0).sms().alloc_sram(32, 32);
+  const auto dropctr = router.pfe(0).sms().alloc_sram(16, 16);
+  trio::PolicerConfig pc;
+  pc.rate_bytes_per_sec = 1;  // effectively burst-only
+  pc.burst_bytes = 300;       // ~2 frames of 142 B
+  router.pfe(0).sms().configure_policer(pol, pc);
+  sb->add(PoliceOp{pol, dropctr});
+  host.attach();
+  for (int i = 0; i < 5; ++i) inject(frame());
+  sim.run();
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(sb->drops(), 3u);
+  EXPECT_EQ(router.pfe(0).sms().peek_u64(dropctr), 3u);
+}
+
+TEST_F(AfiTest, SetDscpRewritesHeader) {
+  Sandbox* sb = host.create_sandbox("s", [](const net::Packet&) { return true; });
+  sb->add(SetDscpOp{0x2e});  // EF
+  host.attach();
+  inject(frame());
+  sim.run();
+  ASSERT_EQ(out.size(), 1u);
+  const auto ip =
+      net::Ipv4Header::parse(out[0]->frame(), net::UdpFrameLayout::kIpOff);
+  EXPECT_EQ(ip.dscp, 0x2e);
+}
+
+TEST_F(AfiTest, NexthopOpOverridesRouting) {
+  Sandbox* sb = host.create_sandbox("s", [](const net::Packet&) { return true; });
+  const auto nh2 = router.forwarding().add_nexthop(
+      trio::NexthopUnicast{2, {}});
+  sb->add(NexthopOp{nh2});
+  host.attach();
+  inject(frame());
+  sim.run();
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out_alt.size(), 1u);
+}
+
+TEST_F(AfiTest, OperationsComposeInOrder) {
+  // count -> police -> dscp -> default forward.
+  Sandbox* sb = host.create_sandbox("s", [](const net::Packet&) { return true; });
+  auto& sms = router.pfe(0).sms();
+  const auto ctr = sms.alloc_sram(16, 16);
+  const auto pol = sms.alloc_sram(32, 32);
+  trio::PolicerConfig pc;
+  pc.rate_bytes_per_sec = 1;
+  pc.burst_bytes = 150;  // one frame
+  sms.configure_policer(pol, pc);
+  sb->add(CountOp{ctr});
+  sb->add(PoliceOp{pol, 0});
+  sb->add(SetDscpOp{9});
+  sb->add(DefaultForwardOp{});
+  host.attach();
+  inject(frame());
+  inject(frame());
+  sim.run();
+  // Both counted (count precedes police); one policed away.
+  EXPECT_EQ(sms.peek_u64(ctr), 2u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(net::Ipv4Header::parse(out[0]->frame(),
+                                   net::UdpFrameLayout::kIpOff)
+                .dscp,
+            9);
+}
+
+TEST_F(AfiTest, RemoveAndReorderAtRuntime) {
+  Sandbox* sb = host.create_sandbox("s", [](const net::Packet&) { return true; });
+  auto& sms = router.pfe(0).sms();
+  const auto ctr_a = sms.alloc_sram(16, 16);
+  const auto ctr_b = sms.alloc_sram(16, 16);
+  const auto id_filter = sb->add(FilterOp{[](const net::Buffer&) {
+    return true;  // drop everything
+  }});
+  const auto id_count = sb->add(CountOp{ctr_a});
+  host.attach();
+
+  inject(frame());
+  sim.run();
+  // Filter first: dropped before the counter.
+  EXPECT_EQ(sms.peek_u64(ctr_a), 0u);
+  EXPECT_EQ(sb->drops(), 1u);
+
+  // Third-party reconfiguration: move the counter ahead of the filter.
+  ASSERT_TRUE(sb->reorder(id_count, 0));
+  inject(frame());
+  sim.run();
+  EXPECT_EQ(sms.peek_u64(ctr_a), 1u);
+  EXPECT_EQ(sb->drops(), 2u);
+
+  // Remove the filter entirely; traffic flows and both counters hit.
+  ASSERT_TRUE(sb->remove(id_filter));
+  const auto id_b = sb->insert_before(id_count, CountOp{ctr_b});
+  (void)id_b;
+  inject(frame());
+  sim.run();
+  EXPECT_EQ(sms.peek_u64(ctr_a), 2u);
+  EXPECT_EQ(sms.peek_u64(ctr_b), 1u);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_FALSE(sb->remove(id_filter));  // already gone
+}
+
+TEST_F(AfiTest, MultipleSandboxesFirstMatchWins) {
+  Sandbox* sa = host.create_sandbox("a", [](const net::Packet& p) {
+    return net::Ipv4Header::parse(p.frame(), net::UdpFrameLayout::kIpOff)
+               .src.value() == net::Ipv4Addr::from_string("10.0.0.1").value();
+  });
+  Sandbox* sb = host.create_sandbox("b", [](const net::Packet&) { return true; });
+  sa->add(FilterOp{[](const net::Buffer&) { return true; }});
+  host.attach();
+  inject(frame("10.0.0.1"));
+  inject(frame("10.0.0.2"));
+  sim.run();
+  EXPECT_EQ(sa->packets(), 1u);
+  EXPECT_EQ(sb->packets(), 1u);
+  EXPECT_EQ(out.size(), 1u);  // only the 10.0.0.2 packet survived
+}
+
+}  // namespace

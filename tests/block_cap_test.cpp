@@ -1,0 +1,193 @@
+// Tests for the job record's block_cnt_max enforcement (Fig 17: "control
+// memory sharing across jobs by capping the maximum number of concurrent
+// aggregation blocks") and for multiple concurrent jobs on one PFE
+// (Fig 9's scenario).
+#include <gtest/gtest.h>
+
+#include "trioml/testbed.hpp"
+
+namespace {
+
+using namespace trioml;
+
+TEST(BlockCap, OverCapPacketsDroppedAndRecoveredByRetransmit) {
+  TestbedConfig cfg;
+  cfg.num_workers = 2;
+  cfg.grads_per_packet = 64;
+  cfg.window = 16;  // offered concurrency far above the cap
+  Testbed tb(cfg);
+  // Re-configure the job with a tiny cap by removing and re-adding it.
+  tb.app(0).remove_job(cfg.job_id);
+  TrioMlApp::JobSetup job;
+  job.job_id = cfg.job_id;
+  job.src_ids = {0, 1};
+  job.block_grad_max = 64;
+  job.block_cnt_max = 2;  // at most two blocks in flight
+  job.out_src = net::Ipv4Addr::from_octets(10, 0, 0, 254);
+  job.out_dst = net::Ipv4Addr::from_octets(239, 0, 0, 1);
+  job.out_nh = *tb.router().forwarding().lookup(
+      net::Ipv4Addr::from_octets(239, 0, 0, 1));
+  tb.app(0).configure_job(job);
+
+  for (int w = 0; w < 2; ++w) {
+    tb.worker(w).enable_retransmit(sim::Duration::millis(1));
+  }
+  int done = 0;
+  for (int w = 0; w < 2; ++w) {
+    std::vector<std::uint32_t> g(64 * 32, 1);  // 32 blocks through cap 2
+    tb.worker(w).start_allreduce(std::move(g), 1,
+                                 [&](AllreduceResult r) {
+                                   ++done;
+                                   EXPECT_EQ(r.degraded_blocks, 0u);
+                                 });
+  }
+  tb.simulator().run_until(sim::Time(sim::Duration::seconds(1).ns()));
+  EXPECT_EQ(done, 2) << "retransmission must drain the capped job";
+  const auto& stats = tb.app(0).stats();
+  EXPECT_EQ(stats.blocks_completed, 32u);
+  EXPECT_GT(stats.blocks_capped, 0u) << "the cap must actually bite";
+  // The active counter drained back to zero.
+  EXPECT_EQ(tb.router().pfe(0).sms().peek_u32(
+                tb.app(0).job_active_counter_addr(cfg.job_id)),
+            0u);
+}
+
+TEST(BlockCap, GenerousCapNeverBites) {
+  TestbedConfig cfg;
+  cfg.num_workers = 2;
+  cfg.grads_per_packet = 64;
+  cfg.window = 16;
+  Testbed tb(cfg);  // default cap 4095
+  int done = 0;
+  for (int w = 0; w < 2; ++w) {
+    std::vector<std::uint32_t> g(64 * 32, 1);
+    tb.worker(w).start_allreduce(std::move(g), 1,
+                                 [&](AllreduceResult) { ++done; });
+  }
+  tb.simulator().run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(tb.app(0).stats().blocks_capped, 0u);
+}
+
+TEST(BlockCap, AgedBlocksReleaseTheirSlots) {
+  TestbedConfig cfg;
+  cfg.num_workers = 2;
+  cfg.grads_per_packet = 64;
+  cfg.window = 4;
+  Testbed tb(cfg);
+  tb.start_straggler_detection(10, sim::Duration::millis(2));
+  // Worker 1 never sends: every block ages out.
+  int done = 0;
+  std::vector<std::uint32_t> g(64 * 8, 1);
+  tb.worker(0).start_allreduce(std::move(g), 1,
+                               [&](AllreduceResult r) {
+                                 ++done;
+                                 EXPECT_EQ(r.degraded_blocks, 8u);
+                               });
+  tb.simulator().run_until(sim::Time(sim::Duration::millis(100).ns()));
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(tb.router().pfe(0).sms().peek_u32(
+                tb.app(0).job_active_counter_addr(cfg.job_id)),
+            0u)
+      << "aging must release active-block slots";
+}
+
+// ---------------------------------------------------------------------------
+// Multiple concurrent jobs (Fig 9): two jobs with disjoint worker sets
+// share the PFE, the hash table and the slab pool without interference.
+
+TEST(MultiJob, TwoJobsAggregateIndependently) {
+  // Build a custom two-job rig on one router: job 1 = workers {0,1},
+  // job 2 = workers {2,3} with its own multicast group.
+  TestbedConfig cfg;
+  cfg.num_workers = 4;
+  cfg.grads_per_packet = 128;
+  Testbed tb(cfg);
+  auto& fwd = tb.router().forwarding();
+
+  // Default testbed job 1 spans all four workers; re-scope it to {0,1}
+  // and add job 2 = {2,3}.
+  tb.app(0).remove_job(1);
+  // Job 2's result group multicasts to two spare router ports (6 and 7)
+  // where the test taps the traffic with sinks (ports 0-3 have worker
+  // links attached).
+  const auto group2 = net::Ipv4Addr::from_octets(239, 0, 0, 2);
+  std::uint32_t group2_nh = 0;
+  for (int port : {6, 7}) {
+    const auto member = fwd.add_nexthop(trio::NexthopUnicast{
+        port, {0x02, 0, 0, 0, 1, static_cast<std::uint8_t>(port)}});
+    group2_nh = fwd.join_group(group2, member);
+  }
+
+  TrioMlApp::JobSetup j1;
+  j1.job_id = 1;
+  j1.src_ids = {0, 1};
+  j1.block_grad_max = 128;
+  j1.out_src = net::Ipv4Addr::from_octets(10, 0, 0, 254);
+  j1.out_dst = net::Ipv4Addr::from_octets(239, 0, 0, 1);
+  j1.out_nh = *fwd.lookup(net::Ipv4Addr::from_octets(239, 0, 0, 1));
+  tb.app(0).configure_job(j1);
+
+  TrioMlApp::JobSetup j2 = j1;
+  j2.job_id = 2;
+  j2.src_ids = {2, 3};
+  j2.out_dst = group2;
+  j2.out_nh = group2_nh;
+  tb.app(0).configure_job(j2);
+
+  // Workers 2 and 3 must speak job 2: rebuild their configs via the
+  // public API (src ids already 2/3; only the job id differs).
+  // The Testbed's workers are fixed to job 1, so drive job 2 with raw
+  // frames and a port sink instead.
+  int done = 0;
+  for (int w = 0; w < 2; ++w) {
+    std::vector<std::uint32_t> g(128 * 4, static_cast<std::uint32_t>(w + 1));
+    tb.worker(w).start_allreduce(std::move(g), 1,
+                                 [&](AllreduceResult r) {
+                                   ++done;
+                                   for (float v : r.grads) {
+                                     EXPECT_NEAR(v, dequantize(3) / 4.0f,
+                                                 1e-6f);
+                                   }
+                                 });
+  }
+  // Job 2 traffic: 4 blocks from each of sources 2 and 3.
+  int job2_results = 0;
+  std::vector<float> job2_first_grad;
+  tb.router().attach_port_sink(6, [&](net::PacketPtr pkt) {
+    const auto hdr = TrioMlHeader::parse(pkt->frame(), kTrioMlHdrOff);
+    if (hdr.job_id == 2) {
+      ++job2_results;
+      job2_first_grad.push_back(
+          dequantize(static_cast<std::int32_t>(read_gradient(pkt->frame(), 0))));
+    }
+  });
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    for (std::uint8_t src : {std::uint8_t{2}, std::uint8_t{3}}) {
+      TrioMlHeader hdr;
+      hdr.job_id = 2;
+      hdr.block_id = b;
+      hdr.src_id = src;
+      hdr.src_cnt = 1;
+      std::vector<std::uint32_t> grads(128, 7);
+      auto frame = build_aggregation_frame(
+          {2, 0, 0, 0, 1, src}, {2, 0, 0, 0, 0, 0xfe},
+          net::Ipv4Addr::from_octets(10, 0, 0, src),
+          net::Ipv4Addr::from_octets(10, 0, 0, 254), 20000, hdr, grads);
+      tb.router().receive(net::Packet::make(std::move(frame)),
+                          static_cast<int>(src));
+    }
+  }
+  tb.simulator().run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(job2_results, 4);  // one result per block on port 6
+  for (float v : job2_first_grad) {
+    EXPECT_NEAR(v, dequantize(14), 1e-6f);  // 7 + 7 summed in-network
+  }
+  EXPECT_EQ(tb.app(0).stats().blocks_completed, 4u + 4u);
+
+  // Note on the expectation above: worker 0/1's result divides by
+  // expected_sources=4 (testbed default), hence dequantize(3)/4.
+}
+
+}  // namespace

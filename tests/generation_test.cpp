@@ -1,0 +1,64 @@
+// Trio generation presets (paper §2.1/§8): capability scales from the
+// first generation (16 PPEs, 40 Gbps with multiple chips) to the sixth
+// (160 PPEs, 1.6 Tbps single-chip), with RMW engines added each
+// generation so memory bandwidth tracks packet bandwidth.
+#include <gtest/gtest.h>
+
+#include "trioml/testbed.hpp"
+
+namespace {
+
+TEST(Generations, PresetsAreMonotoneInCapability) {
+  int prev_threads = 0;
+  int prev_banks = 0;
+  double prev_gbps = 0;
+  for (int gen = 1; gen <= 6; ++gen) {
+    const auto c = trio::Calibration::generation(gen);
+    const int threads = c.ppes_per_pfe * c.threads_per_ppe;
+    EXPECT_GE(threads, prev_threads) << "gen " << gen;
+    EXPECT_GE(c.sms_banks, prev_banks) << "gen " << gen;
+    const double gbps = trio::Calibration::generation_bandwidth_gbps(gen);
+    EXPECT_GT(gbps, prev_gbps) << "gen " << gen;
+    prev_threads = threads;
+    prev_banks = c.sms_banks;
+    prev_gbps = gbps;
+  }
+  EXPECT_EQ(trio::Calibration::generation_bandwidth_gbps(1), 40);
+  EXPECT_EQ(trio::Calibration::generation_bandwidth_gbps(6), 1600);
+}
+
+TEST(Generations, OutOfRangeRejected) {
+  EXPECT_THROW(trio::Calibration::generation(0), std::invalid_argument);
+  EXPECT_THROW(trio::Calibration::generation(7), std::invalid_argument);
+  EXPECT_THROW(trio::Calibration::generation_bandwidth_gbps(0),
+               std::invalid_argument);
+}
+
+TEST(Generations, NewerChipsFinishTheSameWorkloadSooner) {
+  // The same aggregation workload, packet level, on a gen-2 vs a gen-6
+  // PFE model: more PPE threads and more RMW engines must reduce the
+  // makespan.
+  auto run_gen = [](int gen) {
+    trioml::TestbedConfig cfg;
+    cfg.num_workers = 4;
+    cfg.grads_per_packet = 1024;
+    cfg.window = 128;
+    cfg.cal = trio::Calibration::generation(gen);
+    trioml::Testbed tb(cfg);
+    int done = 0;
+    for (int w = 0; w < 4; ++w) {
+      std::vector<std::uint32_t> g(1024 * 400, 1);
+      tb.worker(w).start_allreduce(std::move(g), 1,
+                                   [&](trioml::AllreduceResult) { ++done; });
+    }
+    tb.simulator().run();
+    EXPECT_EQ(done, 4) << "gen " << gen;
+    return tb.simulator().now().us();
+  };
+  const double gen2 = run_gen(2);
+  const double gen6 = run_gen(6);
+  EXPECT_LT(gen6, gen2 * 0.8)
+      << "a sixth-generation PFE must clearly outpace a second-generation one";
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Golden-file tests: the shipped .tmc example programs must keep
+// compiling and behaving. The source directory is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "microcode/compiler.hpp"
+#include "microcode/vmx.hpp"
+
+#ifndef TRIO_SOURCE_DIR
+#define TRIO_SOURCE_DIR "."
+#endif
+
+namespace {
+
+std::string read_program(const std::string& name) {
+  const std::string path =
+      std::string(TRIO_SOURCE_DIR) + "/examples/microcode/" + name;
+  std::ifstream in(path);
+  if (!in) {
+    ADD_FAILURE() << "cannot open " << path;
+    return {};
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+net::Buffer frame_with_etype(std::uint16_t etype, std::uint8_t ihl = 5) {
+  std::vector<std::uint8_t> payload(80, 0);
+  auto f = net::build_udp_frame({1, 1, 1, 1, 1, 1}, {2, 2, 2, 2, 2, 2},
+                                net::Ipv4Addr::from_octets(10, 0, 0, 1),
+                                net::Ipv4Addr::from_octets(10, 0, 0, 2), 1, 2,
+                                payload);
+  f.set_u16(12, etype);
+  f.set_u8(net::UdpFrameLayout::kIpOff,
+           static_cast<std::uint8_t>(4 << 4 | ihl));
+  return f;
+}
+
+TEST(GoldenPrograms, FilterTmcCompilesAndFilters) {
+  const auto source = read_program("filter.tmc");
+  ASSERT_FALSE(source.empty());
+  auto program = microcode::compile(source);
+  EXPECT_EQ(program->instruction_count(), 5u);
+
+  microcode::vmx::VirtualForwardingPlane vfp(program);
+  EXPECT_TRUE(vfp.process(frame_with_etype(0x0800)).forwarded);
+  EXPECT_FALSE(vfp.process(frame_with_etype(0x0806)).forwarded);
+  EXPECT_FALSE(vfp.process(frame_with_etype(0x0800, 6)).forwarded);
+  EXPECT_EQ(vfp.sms().peek_u64(64 * 8), 1u);  // non-IP counter
+  EXPECT_EQ(vfp.sms().peek_u64(66 * 8), 1u);  // IP-options counter
+}
+
+TEST(GoldenPrograms, ProtostatsTmcClassifiesPerEtherType) {
+  const auto source = read_program("protostats.tmc");
+  ASSERT_FALSE(source.empty());
+  auto program = microcode::compile(source);
+  EXPECT_GT(program->bus_slots, 0) << "uses a bus-class temporary";
+
+  microcode::vmx::VirtualForwardingPlane vfp(program);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(vfp.process(frame_with_etype(0x0800)).forwarded);
+  }
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(vfp.process(frame_with_etype(0x86dd)).forwarded);
+  }
+  EXPECT_TRUE(vfp.process(frame_with_etype(0x0806)).forwarded);
+  EXPECT_TRUE(vfp.process(frame_with_etype(0x88b5)).forwarded);
+
+  EXPECT_EQ(vfp.sms().peek_u64(32 * 8), 3u);  // IPv4
+  EXPECT_EQ(vfp.sms().peek_u64(34 * 8), 2u);  // IPv6
+  EXPECT_EQ(vfp.sms().peek_u64(36 * 8), 1u);  // ARP
+  EXPECT_EQ(vfp.sms().peek_u64(38 * 8), 1u);  // other
+}
+
+}  // namespace

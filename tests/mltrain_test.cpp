@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "mltrain/model.hpp"
+#include "mltrain/straggler_gen.hpp"
+#include "mltrain/trainer.hpp"
+
+namespace {
+
+using namespace mltrain;
+
+TEST(ModelZoo, MatchesTableOne) {
+  const auto& zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 3u);
+  const auto& resnet = model_by_name("ResNet50");
+  EXPECT_DOUBLE_EQ(resnet.size_mb, 98);
+  EXPECT_EQ(resnet.batch_size_per_gpu, 64);
+  const auto& vgg = model_by_name("VGG11");
+  EXPECT_DOUBLE_EQ(vgg.size_mb, 507);
+  EXPECT_EQ(vgg.batch_size_per_gpu, 128);
+  const auto& densenet = model_by_name("DenseNet161");
+  EXPECT_DOUBLE_EQ(densenet.size_mb, 109);
+  EXPECT_EQ(densenet.batch_size_per_gpu, 64);
+  EXPECT_EQ(resnet.dataset, "ImageNet");
+  EXPECT_THROW(model_by_name("AlexNet"), std::invalid_argument);
+}
+
+TEST(StragglerGen, ZeroProbabilityNeverStraggles) {
+  SlowWorkerPattern gen(0.0, 6, 100.0, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(gen.next_iteration().empty());
+  }
+}
+
+TEST(StragglerGen, EventRateMatchesProbability) {
+  SlowWorkerPattern gen(0.16, 6, 100.0, 2);
+  int events = 0;
+  const int iters = 50'000;
+  for (int i = 0; i < iters; ++i) {
+    events += static_cast<int>(gen.next_iteration().size());
+  }
+  // Three delay points, each straggling w.p. 0.16.
+  EXPECT_NEAR(static_cast<double>(events) / iters, 3 * 0.16, 0.02);
+}
+
+TEST(StragglerGen, SleepWithinHalfToTwiceTypical) {
+  SlowWorkerPattern gen(1.0, 6, 100.0, 3);
+  for (int i = 0; i < 1000; ++i) {
+    for (const auto& e : gen.next_iteration()) {
+      EXPECT_GE(e.sleep_ms, 50.0);
+      EXPECT_LE(e.sleep_ms, 200.0);
+      EXPECT_GE(e.worker, 0);
+      EXPECT_LT(e.worker, 6);
+    }
+  }
+}
+
+TEST(StragglerGen, DelaysAccumulatePerWorker) {
+  SlowWorkerPattern gen(1.0, 1, 100.0, 4);  // single worker: all 3 points hit
+  const auto delays = gen.next_iteration_delays();
+  ASSERT_EQ(delays.size(), 1u);
+  EXPECT_GE(delays[0], 3 * 50.0);
+  EXPECT_LE(delays[0], 3 * 200.0);
+}
+
+TEST(Trainer, RingAllreduceFormula) {
+  // 2*(N-1)/N * bytes at rate.
+  const double ms = Trainer::ring_allreduce_ms(98e6, 6, 100.0);
+  EXPECT_NEAR(ms, 2.0 * 5 / 6 * 98e6 * 8 / 100e9 * 1e3, 1e-9);
+}
+
+TEST(Trainer, IdealIterationMatchesFig13Baselines) {
+  TrainConfig cfg;
+  for (const auto& [name, lo, hi] :
+       {std::tuple{"ResNet50", 95.0, 115.0},
+        std::tuple{"DenseNet161", 215.0, 245.0},
+        std::tuple{"VGG11", 550.0, 610.0}}) {
+    Trainer t(model_by_name(name), Backend::kIdeal, cfg);
+    const auto res = t.run_iterations(100);
+    EXPECT_GT(res.mean_iteration_ms, lo) << name;
+    EXPECT_LT(res.mean_iteration_ms, hi) << name;
+    EXPECT_EQ(res.degraded_fraction, 0.0);
+  }
+}
+
+TEST(Trainer, NoStragglersBackendsNearlyEqual) {
+  TrainConfig cfg;
+  cfg.straggle_probability = 0.0;
+  const auto& m = model_by_name("ResNet50");
+  const double ideal =
+      Trainer(m, Backend::kIdeal, cfg).run_iterations(100).mean_iteration_ms;
+  const double sml =
+      Trainer(m, Backend::kSwitchML, cfg).run_iterations(100).mean_iteration_ms;
+  const double trio =
+      Trainer(m, Backend::kTrioML, cfg).run_iterations(100).mean_iteration_ms;
+  EXPECT_LT(sml / ideal, 1.15);
+  EXPECT_LT(trio / ideal, 1.15);
+  EXPECT_GE(sml / ideal, 1.0);
+  EXPECT_GE(trio / ideal, 1.0);
+}
+
+TEST(Trainer, StragglersHurtSwitchMlNotTrioMl) {
+  // The headline claim (Fig 13): at p=16%, Trio-ML stays near Ideal
+  // while SwitchML degrades by ~1.7-1.8x.
+  TrainConfig cfg;
+  cfg.straggle_probability = 0.16;
+  for (const auto& model : model_zoo()) {
+    const double ideal = Trainer(model, Backend::kIdeal, cfg)
+                             .run_iterations(300)
+                             .mean_iteration_ms;
+    const double sml = Trainer(model, Backend::kSwitchML, cfg)
+                           .run_iterations(300)
+                           .mean_iteration_ms;
+    const double trio = Trainer(model, Backend::kTrioML, cfg)
+                            .run_iterations(300)
+                            .mean_iteration_ms;
+    const double speedup = sml / trio;
+    EXPECT_GT(speedup, 1.4) << model.name;
+    EXPECT_LT(speedup, 2.2) << model.name;
+    EXPECT_LT(trio / ideal, 1.35) << model.name;  // Trio close to Ideal
+  }
+}
+
+TEST(Trainer, IterationTimeMonotoneInProbability) {
+  const auto& m = model_by_name("ResNet50");
+  double prev_sml = 0;
+  for (double p : {0.0, 0.04, 0.08, 0.12, 0.16}) {
+    TrainConfig cfg;
+    cfg.straggle_probability = p;
+    cfg.seed = 7;
+    const double sml = Trainer(m, Backend::kSwitchML, cfg)
+                           .run_iterations(500)
+                           .mean_iteration_ms;
+    EXPECT_GE(sml, prev_sml * 0.98) << "p=" << p;
+    prev_sml = sml;
+  }
+}
+
+TEST(Trainer, DegradedIterationsReduceProgress) {
+  TrainConfig cfg;
+  cfg.straggle_probability = 0.5;
+  Trainer t(model_by_name("ResNet50"), Backend::kTrioML, cfg);
+  bool saw_partial = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto out = t.step();
+    if (out.degraded) {
+      saw_partial = true;
+      EXPECT_LT(out.progress, 1.0);
+      EXPECT_LT(out.contributors, cfg.num_workers);
+      EXPECT_GE(out.contributors, 1);
+    } else {
+      EXPECT_DOUBLE_EQ(out.progress, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_partial);
+}
+
+TEST(Trainer, ShortStallsRecoverWithoutDegradation) {
+  // If the detection timeout exceeds every sleep, Trio never degrades.
+  TrainConfig cfg;
+  cfg.straggle_probability = 0.3;
+  cfg.straggler_timeout_ms = 1e9;  // effectively infinite
+  Trainer t(model_by_name("ResNet50"), Backend::kTrioML, cfg);
+  const auto res = t.run_iterations(200);
+  EXPECT_EQ(res.degraded_fraction, 0.0);
+}
+
+TEST(Trainer, AccuracyCurveSaturates) {
+  TrainConfig cfg;
+  Trainer t(model_by_name("ResNet50"), Backend::kIdeal, cfg);
+  const double a0 = t.accuracy();
+  t.run_iterations(10'000);
+  const double a1 = t.accuracy();
+  t.run_iterations(100'000);
+  const double a2 = t.accuracy();
+  EXPECT_LT(a0, a1);
+  EXPECT_LT(a1, a2);
+  EXPECT_LT(a2, model_by_name("ResNet50").acc_max + 1e-9);
+}
+
+TEST(Trainer, TimeToAccuracySpeedupBelowIterationSpeedup) {
+  // The paper's Fig 12 vs Fig 13 relationship: partial aggregation costs
+  // some statistical efficiency, so TTA speedup (~1.56x) is below the
+  // iteration-time speedup (~1.72x).
+  TrainConfig cfg;
+  cfg.straggle_probability = 0.16;
+  const auto& m = model_by_name("ResNet50");
+
+  Trainer trio(m, Backend::kTrioML, cfg);
+  Trainer sml(m, Backend::kSwitchML, cfg);
+  const auto r_trio = trio.train_to_accuracy(m.target_acc, 2000);
+  const auto r_sml = sml.train_to_accuracy(m.target_acc, 2000);
+  ASSERT_GT(r_trio.time_to_target_minutes, 0);
+  ASSERT_GT(r_sml.time_to_target_minutes, 0);
+
+  const double tta_speedup =
+      r_sml.time_to_target_minutes / r_trio.time_to_target_minutes;
+  const double iter_speedup =
+      r_sml.mean_iteration_ms / r_trio.mean_iteration_ms;
+  EXPECT_GT(tta_speedup, 1.3);
+  EXPECT_LT(tta_speedup, iter_speedup);
+}
+
+TEST(Trainer, CurveSamplingPopulated) {
+  TrainConfig cfg;
+  Trainer t(model_by_name("ResNet50"), Backend::kIdeal, cfg);
+  const auto res = t.train_to_accuracy(90.0, 2000);
+  EXPECT_GT(res.curve.size(), 10u);
+  // Curve is monotone in time and accuracy.
+  for (std::size_t i = 1; i < res.curve.size(); ++i) {
+    EXPECT_GE(res.curve[i].first, res.curve[i - 1].first);
+    EXPECT_GE(res.curve[i].second, res.curve[i - 1].second - 1e-9);
+  }
+}
+
+TEST(Trainer, DeterministicForSeed) {
+  TrainConfig cfg;
+  cfg.straggle_probability = 0.16;
+  cfg.seed = 99;
+  const auto& m = model_by_name("VGG11");
+  const auto a = Trainer(m, Backend::kTrioML, cfg).run_iterations(200);
+  const auto b = Trainer(m, Backend::kTrioML, cfg).run_iterations(200);
+  EXPECT_DOUBLE_EQ(a.mean_iteration_ms, b.mean_iteration_ms);
+}
+
+TEST(Trainer, BackendNames) {
+  EXPECT_STREQ(backend_name(Backend::kIdeal), "Ideal");
+  EXPECT_STREQ(backend_name(Backend::kSwitchML), "SwitchML");
+  EXPECT_STREQ(backend_name(Backend::kTrioML), "Trio-ML");
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "pisa/pipeline.hpp"
+#include "pisa/switch.hpp"
+#include "switchml/switchml.hpp"
+#include "trioml/wire_format.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// PISA substrate
+
+TEST(PisaStage, SingleStatefulAccessEnforced) {
+  pisa::Stage st(0);
+  const int arr = st.add_register_array(8);
+  st.begin_traversal();
+  st.stateful_rmw(arr, 0, [](std::uint32_t v) { return v + 1; });
+  // Second access to the same array in one traversal violates PISA.
+  EXPECT_THROW(st.stateful_read(arr, 1), pisa::PisaConstraintViolation);
+  // A new traversal resets the budget.
+  st.begin_traversal();
+  EXPECT_NO_THROW(st.stateful_read(arr, 1));
+}
+
+TEST(PisaStage, DistinctArraysIndependent) {
+  pisa::Stage st(0);
+  const int a = st.add_register_array(4);
+  const int b = st.add_register_array(4);
+  st.begin_traversal();
+  EXPECT_NO_THROW(st.stateful_rmw(a, 0, [](std::uint32_t v) { return v + 1; }));
+  EXPECT_NO_THROW(st.stateful_rmw(b, 0, [](std::uint32_t v) { return v + 2; }));
+}
+
+TEST(PisaPipeline, TraversalLatencyIsFixed) {
+  sim::Simulator sim;
+  pisa::PipelineConfig cfg;
+  cfg.stages = 12;
+  cfg.stage_latency = sim::Duration::nanos(40);
+  cfg.parser_latency = sim::Duration::nanos(100);
+  pisa::Pipeline pipe(sim, cfg);
+  EXPECT_EQ(pipe.traversal_latency().ns(), 100 + 12 * 40);
+
+  sim::Time out_time;
+  pipe.set_deparser([&](pisa::Phv&&) { out_time = sim.now(); });
+  pipe.inject(net::Packet::make(net::Buffer(100)));
+  sim.run();
+  EXPECT_EQ(out_time.ns(), 100 + 12 * 40);
+}
+
+TEST(PisaPipeline, RecirculationConsumesFrontEndSlots) {
+  sim::Simulator sim;
+  pisa::PipelineConfig cfg;
+  cfg.stages = 2;
+  pisa::Pipeline pipe(sim, cfg);
+  int passes = 0;
+  pipe.stage(0).set_logic([&](pisa::Phv& phv, pisa::Stage&) {
+    if (passes++ == 0) phv.recirculate = true;
+  });
+  int out = 0;
+  pipe.set_deparser([&](pisa::Phv&&) { ++out; });
+  pipe.inject(net::Packet::make(net::Buffer(100)));
+  sim.run();
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(pipe.recirculations(), 1u);
+  EXPECT_EQ(pipe.packets_in(), 2u);  // original + recirculated pass
+}
+
+TEST(PisaSwitch, PortToPipelineMapping) {
+  sim::Simulator sim;
+  pisa::SwitchConfig cfg;
+  cfg.pipelines = 4;
+  cfg.ports_per_pipeline = 16;
+  pisa::Switch sw(sim, cfg);
+  EXPECT_EQ(sw.num_ports(), 64);
+  EXPECT_EQ(sw.pipeline_of_port(0), 0);
+  EXPECT_EQ(sw.pipeline_of_port(15), 0);
+  EXPECT_EQ(sw.pipeline_of_port(16), 1);
+  EXPECT_EQ(sw.pipeline_of_port(63), 3);
+}
+
+TEST(PisaSwitch, MulticastGroupDelivery) {
+  sim::Simulator sim;
+  pisa::SwitchConfig cfg;
+  pisa::Switch sw(sim, cfg);
+  sw.set_mcast_group(1, {2, 3, 5});
+  sw.pipeline(0).set_parser([](pisa::Phv& phv) {
+    phv.meta.assign(1, 0);
+    phv.mcast_group = 1;
+    return true;
+  });
+  int delivered = 0;
+  for (int p : {2, 3, 5}) {
+    sw.attach_port_sink(p, [&](net::PacketPtr) { ++delivered; });
+  }
+  sw.receive(net::Packet::make(net::Buffer(128)), 0);
+  sim.run();
+  EXPECT_EQ(delivered, 3);
+}
+
+// ---------------------------------------------------------------------------
+// SwitchML on the PISA switch
+
+class SwitchMlTest : public ::testing::Test {
+ protected:
+  static constexpr int kWorkers = 4;
+
+  SwitchMlTest() : sw_(sim_, switch_config()) {
+    switchml::SwitchMlConfig cfg;
+    cfg.num_workers = kWorkers;
+    cfg.pool_size = 8;
+    cfg.grads_per_packet = 64;
+    std::vector<int> ports;
+    for (int i = 0; i < kWorkers; ++i) ports.push_back(i);
+    agg_ = std::make_unique<switchml::SwitchMlAggregator>(sw_, cfg, ports);
+
+    for (int i = 0; i < kWorkers; ++i) {
+      links_.push_back(std::make_unique<net::Link>(
+          sim_, 100.0, sim::Duration::micros(1)));
+      switchml::SwitchMlWorker::Config wc;
+      wc.worker_id = static_cast<std::uint8_t>(i);
+      wc.num_workers = kWorkers;
+      wc.ip = net::Ipv4Addr::from_octets(10, 1, 0, static_cast<std::uint8_t>(i + 1));
+      wc.switch_ip = net::Ipv4Addr::from_octets(10, 1, 0, 254);
+      wc.pool_size = 8;
+      wc.grads_per_packet = 64;
+      workers_.push_back(std::make_unique<switchml::SwitchMlWorker>(
+          sim_, wc, links_.back()->a_to_b()));
+      links_.back()->attach(*workers_.back(), 0, sw_, i);
+      sw_.attach_port(i, links_.back()->b_to_a());
+    }
+  }
+
+  static pisa::SwitchConfig switch_config() {
+    pisa::SwitchConfig cfg;
+    cfg.pipelines = 4;
+    cfg.ports_per_pipeline = 16;
+    return cfg;
+  }
+
+  sim::Simulator sim_;
+  pisa::Switch sw_;
+  std::unique_ptr<switchml::SwitchMlAggregator> agg_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::unique_ptr<switchml::SwitchMlWorker>> workers_;
+};
+
+TEST_F(SwitchMlTest, AggregatesAcrossWorkers) {
+  const std::size_t n = 64 * 5;  // 5 blocks
+  int done = 0;
+  std::vector<std::vector<std::uint32_t>> results(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    std::vector<std::uint32_t> grads(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      grads[i] = static_cast<std::uint32_t>((w + 1) * (i + 1));
+    }
+    workers_[static_cast<std::size_t>(w)]->start_allreduce(
+        std::move(grads), 1, [&, w](std::vector<std::uint32_t> r) {
+          results[static_cast<std::size_t>(w)] = std::move(r);
+          ++done;
+        });
+  }
+  sim_.run();
+  ASSERT_EQ(done, kWorkers);
+  // Sum over w of (w+1)*(i+1) = 10*(i+1).
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(results[0][i], 10 * (i + 1)) << i;
+    EXPECT_EQ(results[3][i], results[0][i]);
+  }
+  EXPECT_EQ(agg_->completions(), 5u);
+}
+
+TEST_F(SwitchMlTest, SlotsReusedAcrossShadowSets) {
+  // 40 blocks through a pool of 8 (x2 sets): every slot used repeatedly.
+  const std::size_t n = 64 * 40;
+  int done = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    std::vector<std::uint32_t> grads(n, 1);
+    workers_[static_cast<std::size_t>(w)]->start_allreduce(
+        std::move(grads), 1,
+        [&](std::vector<std::uint32_t> r) {
+          ++done;
+          for (auto v : r) ASSERT_EQ(v, 4u);
+        });
+  }
+  sim_.run();
+  EXPECT_EQ(done, kWorkers);
+  EXPECT_EQ(agg_->completions(), 40u);
+  EXPECT_EQ(agg_->duplicates(), 0u);
+}
+
+TEST_F(SwitchMlTest, StragglerBlocksEveryone) {
+  // Worker 3 stalls; SwitchML has no data-plane timers, so NOBODY
+  // finishes — the defining contrast with Trio-ML (paper §5).
+  int done = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    if (w == 3) continue;
+    std::vector<std::uint32_t> grads(64, 1);
+    workers_[static_cast<std::size_t>(w)]->start_allreduce(
+        std::move(grads), 1, [&](std::vector<std::uint32_t>) { ++done; });
+  }
+  sim_.run_until(sim::Time(sim::Duration::millis(500).ns()));
+  EXPECT_EQ(done, 0);
+  EXPECT_EQ(agg_->completions(), 0u);
+
+  // The straggler finally contributes; everyone completes.
+  std::vector<std::uint32_t> grads(64, 1);
+  workers_[3]->start_allreduce(std::move(grads), 1,
+                               [&](std::vector<std::uint32_t>) { ++done; });
+  sim_.run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST_F(SwitchMlTest, DuplicateContributionDropped) {
+  // Two identical packets from the same worker: the second is counted as
+  // a duplicate by the bitmap stage.
+  trioml::TrioMlHeader hdr;
+  hdr.job_id = 1;
+  hdr.block_id = 0;
+  hdr.src_id = 0;
+  std::vector<std::uint32_t> grads(64, 7);
+  for (int i = 0; i < 2; ++i) {
+    auto frame = trioml::build_aggregation_frame(
+        {2, 0, 0, 0, 2, 1}, {2, 0, 0, 0, 2, 0xfe},
+        net::Ipv4Addr::from_octets(10, 1, 0, 1),
+        net::Ipv4Addr::from_octets(10, 1, 0, 254), 21000, hdr, grads);
+    sw_.receive(net::Packet::make(std::move(frame)), 0);
+  }
+  sim_.run();
+  EXPECT_EQ(agg_->duplicates(), 1u);
+}
+
+TEST(SwitchMlConfigTest, RejectsUnsupportedGeometry) {
+  sim::Simulator sim;
+  pisa::SwitchConfig scfg;
+  pisa::Switch sw(sim, scfg);
+  switchml::SwitchMlConfig cfg;
+  cfg.grads_per_packet = 100;  // neither 64 nor 256
+  EXPECT_THROW(switchml::SwitchMlAggregator(sw, cfg, {0, 1}),
+               std::invalid_argument);
+  cfg.grads_per_packet = 64;
+  cfg.num_workers = 40;  // exceeds the 32-bit bitmap
+  EXPECT_THROW(switchml::SwitchMlAggregator(sw, cfg, {0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,426 @@
+// Property-style tests: randomized and parameterized sweeps over the
+// substrates' invariants, driven by the deterministic sim::Rng so every
+// failure is reproducible.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "microcode/bitfield.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "trio/forwarding.hpp"
+#include "trio/reorder.hpp"
+#include "trio/sms.hpp"
+#include "trioml/testbed.hpp"
+#include "trioml/wire_format.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bitfield invariants
+
+TEST(BitfieldProperty, RandomRoundTripsPreserveNeighbours) {
+  sim::Rng rng(0xb17f);
+  for (int trial = 0; trial < 2000; ++trial) {
+    net::Buffer buf(32);
+    // Background pattern.
+    for (std::size_t i = 0; i < 32; ++i) {
+      buf.set_u8(i, static_cast<std::uint8_t>(rng.next_u64()));
+    }
+    const auto width = static_cast<unsigned>(rng.uniform_int(1, 64));
+    const auto bit_off = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(32 * 8 - width)));
+    const std::uint64_t value =
+        width == 64 ? rng.next_u64() : rng.next_u64() & ((1ull << width) - 1);
+
+    net::Buffer before = buf;
+    microcode::write_bits(buf, bit_off, width, value);
+    ASSERT_EQ(microcode::read_bits(buf, bit_off, width), value)
+        << "width=" << width << " off=" << bit_off;
+    // All bits outside [bit_off, bit_off+width) unchanged.
+    for (std::size_t b = 0; b < 32 * 8; ++b) {
+      if (b >= bit_off && b < bit_off + width) continue;
+      ASSERT_EQ(microcode::read_bits(buf, b, 1),
+                microcode::read_bits(before, b, 1))
+          << "bit " << b << " disturbed (field off=" << bit_off
+          << " width=" << width << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trio-ML header: random field values survive the wire
+
+TEST(WireFormatProperty, RandomHeadersRoundTrip) {
+  sim::Rng rng(0x3ad0);
+  for (int trial = 0; trial < 5000; ++trial) {
+    trioml::TrioMlHeader h;
+    h.job_id = static_cast<std::uint8_t>(rng.next_u64());
+    h.block_id = static_cast<std::uint32_t>(rng.next_u64());
+    h.age_op = static_cast<std::uint8_t>(rng.next_u64() & 0xf);
+    h.final_block = rng.bernoulli(0.5);
+    h.degraded = rng.bernoulli(0.5);
+    h.src_id = static_cast<std::uint8_t>(rng.next_u64());
+    h.src_cnt = static_cast<std::uint8_t>(rng.next_u64());
+    h.gen_id = static_cast<std::uint16_t>(rng.next_u64());
+    h.grad_cnt = static_cast<std::uint16_t>(rng.next_u64() & 0xfff);
+
+    net::Buffer buf(trioml::TrioMlHeader::kSize);
+    h.write(buf, 0);
+    const auto p = trioml::TrioMlHeader::parse(buf, 0);
+    ASSERT_EQ(p.job_id, h.job_id);
+    ASSERT_EQ(p.block_id, h.block_id);
+    ASSERT_EQ(p.age_op, h.age_op);
+    ASSERT_EQ(p.final_block, h.final_block);
+    ASSERT_EQ(p.degraded, h.degraded);
+    ASSERT_EQ(p.src_id, h.src_id);
+    ASSERT_EQ(p.src_cnt, h.src_cnt);
+    ASSERT_EQ(p.gen_id, h.gen_id);
+    ASSERT_EQ(p.grad_cnt, h.grad_cnt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SMS against a reference model
+
+TEST(SmsProperty, RandomOpSequenceMatchesReferenceModel) {
+  sim::Simulator sim;
+  trio::SharedMemorySystem sms(sim, trio::Calibration{});
+  std::map<std::uint64_t, std::uint8_t> ref;  // byte-level shadow
+  sim::Rng rng(0x5e5);
+
+  auto ref_u32 = [&](std::uint64_t addr) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = v << 8 | ref[addr + std::uint64_t(i)];
+    return v;
+  };
+  auto ref_set_u32 = [&](std::uint64_t addr, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      ref[addr + std::uint64_t(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  };
+  auto ref_u64 = [&](std::uint64_t addr) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = v << 8 | ref[addr + std::uint64_t(i)];
+    return v;
+  };
+  auto ref_set_u64 = [&](std::uint64_t addr, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      ref[addr + std::uint64_t(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  };
+
+  for (int op = 0; op < 5000; ++op) {
+    const std::uint64_t addr = rng.next_below(4096) * 8;  // 32 KB arena
+    trio::XtxnRequest req;
+    switch (rng.next_below(5)) {
+      case 0: {  // write random 8 bytes
+        req.op = trio::XtxnOp::kWrite;
+        req.addr = addr;
+        req.data.resize(8);
+        for (auto& b : req.data) b = static_cast<std::uint8_t>(rng.next_u64());
+        for (std::size_t i = 0; i < 8; ++i) ref[addr + i] = req.data[i];
+        sms.issue(req, {});
+        break;
+      }
+      case 1: {  // fetch-add32
+        const auto inc = static_cast<std::uint32_t>(rng.next_u64());
+        req.op = trio::XtxnOp::kFetchAdd32;
+        req.addr = addr;
+        req.arg0 = inc;
+        sms.issue(req, {});
+        ref_set_u32(addr, ref_u32(addr) + inc);
+        break;
+      }
+      case 2: {  // fetch-or64
+        const std::uint64_t m = rng.next_u64();
+        req.op = trio::XtxnOp::kFetchOr64;
+        req.addr = addr;
+        req.arg0 = m;
+        sms.issue(req, {});
+        ref_set_u64(addr, ref_u64(addr) | m);
+        break;
+      }
+      case 3: {  // masked write
+        const std::uint64_t v = rng.next_u64();
+        const std::uint64_t m = rng.next_u64();
+        req.op = trio::XtxnOp::kMaskedWrite64;
+        req.addr = addr;
+        req.arg0 = v;
+        req.arg1 = m;
+        sms.issue(req, {});
+        ref_set_u64(addr, (ref_u64(addr) & ~m) | (v & m));
+        break;
+      }
+      case 4: {  // vector add of 4 gradients
+        req.op = trio::XtxnOp::kAddVec32;
+        req.addr = addr;
+        req.data.resize(16);
+        for (auto& b : req.data) b = static_cast<std::uint8_t>(rng.next_u64());
+        for (int g = 0; g < 4; ++g) {
+          std::uint32_t inc = 0;
+          for (int i = 3; i >= 0; --i) {
+            inc = inc << 8 | req.data[static_cast<std::size_t>(g * 4 + i)];
+          }
+          ref_set_u32(addr + std::uint64_t(g) * 4,
+                      ref_u32(addr + std::uint64_t(g) * 4) + inc);
+        }
+        sms.issue(req, {});
+        break;
+      }
+    }
+  }
+  sim.run();
+  for (const auto& [addr, byte] : ref) {
+    ASSERT_EQ(sms.peek_u8(addr), byte) << "divergence at " << addr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reorder engine: any close order preserves per-flow open order
+
+TEST(ReorderProperty, RandomCompletionOrderPreservesFlowOrder) {
+  sim::Rng rng(0x0e0e);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> released;  // flow, seq
+    trio::ReorderEngine re([&](trio::ReorderEngine::Output out) {
+      released.emplace_back(out.nexthop_id >> 16, out.nexthop_id & 0xffff);
+    });
+    struct Item {
+      std::uint64_t ticket;
+      std::uint64_t flow;
+      std::uint64_t seq;
+    };
+    std::vector<Item> open;
+    std::vector<std::uint64_t> next_seq(4, 0);
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t flow = rng.next_below(4);
+      const std::uint64_t seq = next_seq[flow]++;
+      const auto t = re.open(flow);
+      re.attach(t, {nullptr, static_cast<std::uint32_t>(flow << 16 | seq)});
+      open.push_back({t, flow, seq});
+    }
+    // Close in random order.
+    while (!open.empty()) {
+      const std::size_t k = rng.next_below(open.size());
+      re.close(open[k].ticket);
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    ASSERT_EQ(released.size(), 100u);
+    std::vector<std::uint64_t> seen(4, 0);
+    for (const auto& [flow, seq] : released) {
+      ASSERT_EQ(seq, seen[flow]++) << "flow " << flow << " out of order";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LPM against a linear reference
+
+TEST(ForwardingProperty, LpmMatchesLinearScan) {
+  sim::Rng rng(0x10b);
+  trio::ForwardingTable fwd;
+  struct Route {
+    std::uint32_t prefix;
+    int len;
+    std::uint32_t nh;
+  };
+  std::vector<Route> routes;
+  for (int i = 0; i < 300; ++i) {
+    const int len = static_cast<int>(rng.next_below(33));
+    const std::uint32_t raw = static_cast<std::uint32_t>(rng.next_u64());
+    const std::uint32_t mask =
+        len == 0 ? 0 : (len >= 32 ? ~0u : ~((1u << (32 - len)) - 1));
+    const std::uint32_t prefix = raw & mask;
+    const auto nh = fwd.add_nexthop(trio::NexthopDiscard{});
+    fwd.add_route(net::Ipv4Addr(prefix), len, nh);
+    routes.push_back({prefix, len, nh});
+  }
+  for (int q = 0; q < 5000; ++q) {
+    const auto addr = static_cast<std::uint32_t>(rng.next_u64());
+    // Linear reference: longest match wins; later insert wins ties.
+    int best_len = -1;
+    std::uint32_t best_nh = 0;
+    for (const auto& r : routes) {
+      const std::uint32_t mask =
+          r.len == 0 ? 0 : (r.len >= 32 ? ~0u : ~((1u << (32 - r.len)) - 1));
+      if ((addr & mask) == r.prefix && r.len >= best_len) {
+        best_len = r.len;
+        best_nh = r.nh;
+      }
+    }
+    const auto got = fwd.lookup(net::Ipv4Addr(addr));
+    if (best_len < 0) {
+      ASSERT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(*got, best_nh) << "addr " << addr;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantisation error bound
+
+TEST(QuantizeProperty, ErrorBoundedByHalfStep) {
+  sim::Rng rng(0x9e);
+  for (int i = 0; i < 10'000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    const float back = trioml::dequantize(trioml::quantize(v));
+    ASSERT_NEAR(back, v, 0.5f / (1 << 16) + 1e-7f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end aggregation sweep: parameterized over (workers, grads/pkt,
+// window, hierarchical) with randomized gradients, verified exactly.
+
+using AggParams = std::tuple<int, int, std::uint32_t, bool>;
+
+class AggregationSweep : public ::testing::TestWithParam<AggParams> {};
+
+TEST_P(AggregationSweep, SumsExactly) {
+  const auto [workers, grads_per_packet, window, hierarchical] = GetParam();
+  trioml::TestbedConfig cfg;
+  cfg.num_workers = workers;
+  cfg.grads_per_packet = static_cast<std::uint16_t>(grads_per_packet);
+  cfg.window = window;
+  cfg.hierarchical = hierarchical;
+  trioml::Testbed tb(cfg);
+
+  const std::size_t total = static_cast<std::size_t>(grads_per_packet) * 7;
+  sim::Rng rng(static_cast<std::uint64_t>(workers * 1000 + grads_per_packet));
+  std::vector<std::vector<std::uint32_t>> grads(
+      static_cast<std::size_t>(workers));
+  std::vector<std::uint32_t> expected_sum(total, 0);
+  for (int w = 0; w < workers; ++w) {
+    auto& g = grads[static_cast<std::size_t>(w)];
+    g.resize(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      g[i] = static_cast<std::uint32_t>(rng.next_below(1 << 20));
+      expected_sum[i] += g[i];
+    }
+  }
+
+  int done = 0;
+  std::vector<trioml::AllreduceResult> results(
+      static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    tb.worker(w).start_allreduce(
+        grads[static_cast<std::size_t>(w)], 1,
+        [&, w](trioml::AllreduceResult r) {
+          results[static_cast<std::size_t>(w)] = std::move(r);
+          ++done;
+        });
+  }
+  tb.simulator().run();
+  ASSERT_EQ(done, workers);
+  for (int w = 0; w < workers; ++w) {
+    const auto& r = results[static_cast<std::size_t>(w)];
+    ASSERT_EQ(r.degraded_blocks, 0u);
+    for (std::size_t i = 0; i < total; ++i) {
+      const float expected =
+          trioml::dequantize(static_cast<std::int32_t>(expected_sum[i])) /
+          static_cast<float>(workers);
+      ASSERT_NEAR(r.grads[i], expected, 1e-4f)
+          << "worker " << w << " gradient " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AggregationSweep,
+    ::testing::Values(
+        AggParams{2, 64, 1, false}, AggParams{2, 1024, 4, false},
+        AggParams{3, 100, 2, false},  // non-power-of-two gradient count
+        AggParams{4, 256, 16, false}, AggParams{4, 512, 64, false},
+        AggParams{6, 1024, 16, false}, AggParams{8, 128, 8, false},
+        AggParams{6, 256, 8, true},   // hierarchical
+        AggParams{6, 1024, 32, true}, AggParams{4, 64, 4, true},
+        AggParams{2, 1, 1, false},    // single-gradient blocks
+        AggParams{5, 333, 5, false}));
+
+// ---------------------------------------------------------------------------
+// Packet loss + retransmission (paper §7 "Packet loss in Trio-ML"):
+// lossy uplinks, 1 ms retransmission, aggregator dedupe by src_id.
+
+TEST(LossRecovery, RetransmissionSurvivesLossyLinks) {
+  trioml::TestbedConfig cfg;
+  cfg.num_workers = 3;
+  cfg.grads_per_packet = 256;
+  cfg.window = 8;
+  trioml::Testbed tb(cfg);
+  // 5% loss on every worker's uplink; enable host retransmission by
+  // rebuilding workers is invasive, so flip the flag via the test API:
+  for (int w = 0; w < 3; ++w) {
+    tb.link(w).a_to_b().set_loss(0.05, static_cast<std::uint64_t>(w) + 77);
+    tb.worker(w).enable_retransmit(sim::Duration::millis(1));
+  }
+
+  const std::size_t total = 256 * 32;
+  int done = 0;
+  for (int w = 0; w < 3; ++w) {
+    std::vector<std::uint32_t> g(total, static_cast<std::uint32_t>(w + 1));
+    tb.worker(w).start_allreduce(std::move(g), 1,
+                                 [&](trioml::AllreduceResult r) {
+                                   ++done;
+                                   EXPECT_EQ(r.degraded_blocks, 0u);
+                                   for (float v : r.grads) {
+                                     EXPECT_NEAR(
+                                         v,
+                                         trioml::dequantize(6) / 3.0f,
+                                         1e-6f);
+                                   }
+                                 });
+  }
+  tb.simulator().run_until(sim::Time(sim::Duration::seconds(2).ns()));
+  EXPECT_EQ(done, 3) << "allreduce must survive 5% loss via retransmission";
+  std::uint64_t retx = 0;
+  for (int w = 0; w < 3; ++w) retx += tb.worker(w).retransmissions();
+  EXPECT_GT(retx, 0u);
+  // Duplicates caused by retransmitting delivered-but-unanswered blocks
+  // are recognised by src_id and not double-added.
+  EXPECT_EQ(tb.app(0).stats().blocks_completed, 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Mixed workloads: aggregation and plain IP forwarding share the PFE —
+// "processing cycles are fungible between applications" (§2.2).
+
+TEST(MixedTraffic, ForwardingAndAggregationCoexist) {
+  trioml::TestbedConfig cfg;
+  cfg.num_workers = 2;
+  cfg.grads_per_packet = 512;
+  cfg.window = 8;
+  trioml::Testbed tb(cfg);
+
+  // Route some bystander traffic through the same PFE.
+  auto& fwd = tb.router().forwarding();
+  const auto nh = fwd.add_nexthop(trio::NexthopUnicast{6, {}});
+  fwd.add_route(net::Ipv4Addr::from_string("172.16.0.0"), 12, nh);
+  int forwarded = 0;
+  tb.router().attach_port_sink(6, [&](net::PacketPtr) { ++forwarded; });
+
+  int done = 0;
+  for (int w = 0; w < 2; ++w) {
+    std::vector<std::uint32_t> g(512 * 16, 5);
+    tb.worker(w).start_allreduce(std::move(g), 1,
+                                 [&](trioml::AllreduceResult) { ++done; });
+  }
+  // Interleave 500 forwarded packets while the aggregation runs.
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> payload(200, 0);
+    auto frame = net::build_udp_frame(
+        {9, 9, 9, 9, 9, 9}, {8, 8, 8, 8, 8, 8},
+        net::Ipv4Addr::from_string("10.0.0.1"),
+        net::Ipv4Addr::from_string("172.16.3.4"), 7, 8, payload);
+    tb.router().receive(net::Packet::make(std::move(frame)), 0);
+  }
+  tb.simulator().run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(forwarded, 500);
+  EXPECT_EQ(tb.app(0).stats().blocks_completed, 16u);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+TEST(Time, Arithmetic) {
+  const sim::Time t(1000);
+  const sim::Duration d = sim::Duration::micros(2);
+  EXPECT_EQ((t + d).ns(), 3000);
+  EXPECT_EQ(((t + d) - t).ns(), 2000);
+  EXPECT_LT(t, t + d);
+}
+
+TEST(Time, CycleConversionIsExactAtOneGigahertz) {
+  EXPECT_EQ(sim::Duration::cycles(7).ns(), 7);
+  EXPECT_EQ(sim::Duration::cycles(3, 500'000'000).ns(), 6);
+  // Rounds up: 3 cycles of a 2 GHz clock is 1.5 ns -> 2 ns.
+  EXPECT_EQ(sim::Duration::cycles(3, 2'000'000'000).ns(), 2);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(sim::Duration::nanos(17).to_string(), "17ns");
+  EXPECT_EQ(sim::Duration::micros(2).to_string(), "2.000us");
+  EXPECT_EQ(sim::Duration::millis(5).to_string(), "5.000ms");
+  EXPECT_EQ(sim::Duration::seconds(3).to_string(), "3.000s");
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.schedule(sim::Time(30), [&] { order.push_back(3); });
+  q.schedule(sim::Time(10), [&] { order.push_back(1); });
+  q.schedule(sim::Time(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreakAtSameInstant) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    q.schedule(sim::Time(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  sim::EventQueue q;
+  bool ran = false;
+  auto id = q.schedule(sim::Time(10), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel reports false
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  sim::EventQueue q;
+  q.schedule(sim::Time(100), [] {});
+  q.pop_and_run();
+  EXPECT_THROW(q.schedule(sim::Time(50), [] {}), std::logic_error);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  sim::EventQueue q;
+  auto id = q.schedule(sim::Time(10), [] {});
+  q.schedule(sim::Time(20), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), sim::Time(20));
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  sim::Simulator s;
+  sim::Time seen;
+  s.schedule_in(sim::Duration::micros(5), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, sim::Time(5000));
+  EXPECT_EQ(s.now(), sim::Time(5000));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  sim::Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) s.schedule_in(sim::Duration(1), chain);
+  };
+  s.schedule_in(sim::Duration(1), chain);
+  s.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(s.now(), sim::Time(10));
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadline) {
+  sim::Simulator s;
+  bool late_ran = false;
+  s.schedule_in(sim::Duration(100), [&] { late_ran = true; });
+  s.run_until(sim::Time(50));
+  EXPECT_EQ(s.now(), sim::Time(50));
+  EXPECT_FALSE(late_ran);
+  s.run_until(sim::Time(200));
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  sim::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  sim::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  sim::Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.uniform(0.5, 2.0);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(Rng, NextBelowUnbiasedEnough) {
+  sim::Rng r(9);
+  std::array<int, 6> hist{};
+  for (int i = 0; i < 60'000; ++i) ++hist[r.next_below(6)];
+  for (int h : hist) EXPECT_NEAR(h, 10'000, 500);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  sim::Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += r.bernoulli(0.16) ? 1 : 0;
+  EXPECT_NEAR(hits / 100'000.0, 0.16, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  sim::Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / 100'000.0, 5.0, 0.15);
+}
+
+TEST(Stats, SummaryMoments) {
+  sim::Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+}
+
+TEST(Stats, Percentiles) {
+  sim::Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100);
+}
+
+TEST(Stats, EmptySamplesSafe) {
+  sim::Samples s;
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+}  // namespace

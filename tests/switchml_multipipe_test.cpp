@@ -1,0 +1,101 @@
+// SwitchML across multiple pipelines (paper §6.1): aggregation state
+// lives in one pipeline's register arrays, so workers attached to other
+// pipelines force recirculation — correct results, degraded performance.
+#include <gtest/gtest.h>
+
+#include "switchml/switchml.hpp"
+
+namespace {
+
+struct Rig {
+  static constexpr int kWorkers = 4;
+
+  explicit Rig(bool split_pipelines) : sw(sim, switch_config()) {
+    switchml::SwitchMlConfig cfg;
+    cfg.num_workers = kWorkers;
+    cfg.pool_size = 16;
+    cfg.grads_per_packet = 64;
+    std::vector<int> ports;
+    for (int i = 0; i < kWorkers; ++i) {
+      // Split mode: half the workers on pipeline 1's ports (16..).
+      ports.push_back(split_pipelines && i >= kWorkers / 2 ? 16 + i : i);
+    }
+    agg = std::make_unique<switchml::SwitchMlAggregator>(sw, cfg, ports);
+    for (int i = 0; i < kWorkers; ++i) {
+      links.push_back(std::make_unique<net::Link>(sim, 100.0,
+                                                  sim::Duration::micros(1)));
+      switchml::SwitchMlWorker::Config wc;
+      wc.worker_id = static_cast<std::uint8_t>(i);
+      wc.num_workers = kWorkers;
+      wc.ip = net::Ipv4Addr::from_octets(10, 1, 0, static_cast<std::uint8_t>(i + 1));
+      wc.switch_ip = net::Ipv4Addr::from_octets(10, 1, 0, 254);
+      wc.pool_size = 16;
+      wc.grads_per_packet = 64;
+      workers.push_back(std::make_unique<switchml::SwitchMlWorker>(
+          sim, wc, links.back()->a_to_b()));
+      links.back()->attach(*workers.back(), 0, sw,
+                           ports[static_cast<std::size_t>(i)]);
+      sw.attach_port(ports[static_cast<std::size_t>(i)],
+                     links.back()->b_to_a());
+    }
+  }
+
+  static pisa::SwitchConfig switch_config() {
+    pisa::SwitchConfig cfg;
+    cfg.pipelines = 4;
+    cfg.ports_per_pipeline = 16;
+    return cfg;
+  }
+
+  /// Runs one allreduce; returns mean per-block latency (us).
+  double run(std::size_t blocks) {
+    int done = 0;
+    for (auto& w : workers) {
+      std::vector<std::uint32_t> g(64 * blocks, 1);
+      w->start_allreduce(std::move(g), 1,
+                         [&](std::vector<std::uint32_t> r) {
+                           ++done;
+                           for (auto v : r) EXPECT_EQ(v, 4u);
+                         });
+    }
+    sim.run();
+    EXPECT_EQ(done, kWorkers);
+    double sum = 0;
+    for (auto& w : workers) sum += w->block_latency_us().mean();
+    return sum / kWorkers;
+  }
+
+  sim::Simulator sim;
+  pisa::Switch sw;
+  std::unique_ptr<switchml::SwitchMlAggregator> agg;
+  std::vector<std::unique_ptr<net::Link>> links;
+  std::vector<std::unique_ptr<switchml::SwitchMlWorker>> workers;
+};
+
+TEST(SwitchMlMultiPipe, SplitWorkersStillAggregateCorrectly) {
+  Rig rig(/*split_pipelines=*/true);
+  rig.run(20);
+  EXPECT_EQ(rig.agg->completions(), 20u);
+  // Half the workers' traffic (2 of 4) crossed pipelines.
+  EXPECT_EQ(rig.agg->cross_pipeline_recirculations(), 2u * 20u);
+}
+
+TEST(SwitchMlMultiPipe, SinglePipelinePlacementAvoidsRecirculation) {
+  Rig rig(/*split_pipelines=*/false);
+  rig.run(20);
+  EXPECT_EQ(rig.agg->cross_pipeline_recirculations(), 0u);
+}
+
+TEST(SwitchMlMultiPipe, RecirculationDegradesLatency) {
+  // The paper's justification for connecting all servers to one pipeline:
+  // "recirculation is required and will result in performance
+  // degradation".
+  Rig single(false);
+  const double lat_single = single.run(50);
+  Rig split(true);
+  const double lat_split = split.run(50);
+  EXPECT_GT(lat_split, lat_single * 1.05)
+      << "cross-pipeline packets pay an extra traversal";
+}
+
+}  // namespace

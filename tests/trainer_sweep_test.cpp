@@ -1,0 +1,99 @@
+// Parameterized invariant sweeps over the training model: for every
+// (model, straggle probability) combination the paper's qualitative
+// ordering must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "mltrain/model.hpp"
+#include "mltrain/trainer.hpp"
+
+namespace {
+
+using namespace mltrain;
+
+using SweepParams = std::tuple<std::string, double>;  // model, p
+
+class TrainerSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(TrainerSweep, BackendOrderingHolds) {
+  const auto& [model_name, p] = GetParam();
+  const auto& model = model_by_name(model_name);
+  TrainConfig cfg;
+  cfg.straggle_probability = p;
+  cfg.seed = 11;
+
+  const double ideal = Trainer(model, Backend::kIdeal, cfg)
+                           .run_iterations(400)
+                           .mean_iteration_ms;
+  const double trio = Trainer(model, Backend::kTrioML, cfg)
+                          .run_iterations(400)
+                          .mean_iteration_ms;
+  const double sml = Trainer(model, Backend::kSwitchML, cfg)
+                         .run_iterations(400)
+                         .mean_iteration_ms;
+
+  // Ideal <= Trio-ML <= SwitchML at every probability (the Fig 13
+  // ordering), with a tolerance for the small comm-rate differences.
+  EXPECT_LE(ideal, trio * 1.01) << "p=" << p;
+  EXPECT_LE(trio, sml * 1.01) << "p=" << p;
+  // Trio-ML never exceeds Ideal by more than the detection budget.
+  const double detect_budget_ms =
+      3 * 2 * cfg.straggler_timeout_ms + 0.12 * ideal;
+  EXPECT_LE(trio, ideal + detect_budget_ms) << "p=" << p;
+}
+
+TEST_P(TrainerSweep, DegradedFractionTracksProbability) {
+  const auto& [model_name, p] = GetParam();
+  const auto& model = model_by_name(model_name);
+  TrainConfig cfg;
+  cfg.straggle_probability = p;
+  cfg.seed = 5;
+  const auto res =
+      Trainer(model, Backend::kTrioML, cfg).run_iterations(600);
+  // P(iteration degraded) = P(at least one event whose sleep outlives
+  // detection) ~= 1 - (1-p)^3 since sleeps (>= 0.5x iteration time)
+  // vastly exceed the 10-20 ms detection window.
+  const double expected = 1.0 - std::pow(1.0 - p, 3);
+  EXPECT_NEAR(res.degraded_fraction, expected, 0.07) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TrainerSweep,
+    ::testing::Combine(
+        ::testing::Values(std::string("ResNet50"), std::string("DenseNet161"),
+                          std::string("VGG11")),
+        ::testing::Values(0.0, 0.04, 0.08, 0.16)),
+    [](const ::testing::TestParamInfo<SweepParams>& info) {
+      return std::get<0>(info.param) + "_p" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(TrainerEdge, UnreachableTargetReportsMinusOne) {
+  TrainConfig cfg;
+  Trainer t(model_by_name("ResNet50"), Backend::kIdeal, cfg);
+  const auto res = t.train_to_accuracy(/*target=*/99.9, /*max_minutes=*/1);
+  EXPECT_EQ(res.time_to_target_minutes, -1);
+  EXPECT_GT(res.iterations, 0u);
+}
+
+TEST(TrainerEdge, IdealNeverDegrades) {
+  TrainConfig cfg;
+  cfg.straggle_probability = 0.5;
+  Trainer t(model_by_name("VGG11"), Backend::kIdeal, cfg);
+  EXPECT_EQ(t.run_iterations(200).degraded_fraction, 0.0);
+}
+
+TEST(TrainerEdge, TypicalIterationMatchesComputePlusComm) {
+  TrainConfig cfg;
+  const auto& m = model_by_name("DenseNet161");
+  Trainer t(m, Backend::kIdeal, cfg);
+  const double expected =
+      m.compute_ms +
+      Trainer::ring_allreduce_ms(m.size_mb * 1e6, cfg.num_workers,
+                                 cfg.rdma_ring_gbps);
+  EXPECT_NEAR(t.typical_iteration_ms(), expected, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// mcc — the Microcode compiler driver.
+//
+// Compiles a Microcode source file with the TC-style compiler and prints
+// a per-instruction resource report (the information a Trio programmer
+// uses to keep each begin/end block within the VLIW budget), or the
+// compile error with file:line:column.
+//
+//   mcc program.tmc            compile + resource report
+//   mcc --storage program.tmc  also dump the variable storage map
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "microcode/compiler.hpp"
+#include "microcode/error.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: mcc [--storage] <program.tmc>\n");
+  return 2;
+}
+
+const char* location_kind(const microcode::Location& loc) {
+  switch (loc.kind) {
+    case microcode::Location::Kind::kReg: return "register";
+    case microcode::Location::Kind::kLmem:
+      return loc.is_array ? "lmem array" : "lmem";
+    case microcode::Location::Kind::kConst: return "virtual";
+    case microcode::Location::Kind::kBuiltin: return "builtin";
+    case microcode::Location::Kind::kBus: return "bus";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool dump_storage = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--storage") {
+      dump_storage = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "mcc: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  std::shared_ptr<const microcode::CompiledProgram> program;
+  try {
+    program = microcode::compile(ss.str());
+  } catch (const microcode::CompileError& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  std::printf("%s: %zu micro-instructions, %zu bytes of thread LMEM\n",
+              path.c_str(), program->instruction_count(),
+              program->lmem_used);
+  std::printf("%-20s %-10s %-11s %-7s %-8s %-6s\n", "instruction",
+              "reg-reads", "lmem-reads", "writes", "alu-ops", "xtxns");
+  for (const auto& block : program->module.blocks) {
+    const auto& r = program->resources[program->labels.at(block.label)];
+    std::printf("%-20s %-10d %-11d %-7d %-8d %-6d\n", block.label.c_str(),
+                r.reg_reads, r.lmem_reads, r.writes, r.alu_ops, r.xtxns);
+  }
+
+  if (dump_storage) {
+    std::printf("\nstorage map:\n");
+    for (const auto& [name, loc] : program->vars) {
+      if (name.rfind("ir", 0) == 0 && name.size() == 3) continue;  // ir0..7
+      if (loc.kind == microcode::Location::Kind::kBuiltin) continue;
+      std::printf("  %-24s %-10s", name.c_str(), location_kind(loc));
+      switch (loc.kind) {
+        case microcode::Location::Kind::kReg:
+          std::printf(" r%d", loc.reg);
+          break;
+        case microcode::Location::Kind::kLmem:
+          std::printf(" @%zu (%zu bytes)", loc.lmem_offset, loc.size_bytes);
+          break;
+        case microcode::Location::Kind::kConst:
+          std::printf(" = %llu",
+                      static_cast<unsigned long long>(loc.const_value));
+          break;
+        case microcode::Location::Kind::kBus:
+          std::printf(" lane %d", loc.bus_slot);
+          break;
+        default:
+          break;
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
