@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_straggler_timeout.dir/fig14_straggler_timeout.cpp.o"
+  "CMakeFiles/fig14_straggler_timeout.dir/fig14_straggler_timeout.cpp.o.d"
+  "fig14_straggler_timeout"
+  "fig14_straggler_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_straggler_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_agg_latency_rate.dir/fig15_agg_latency_rate.cpp.o"
+  "CMakeFiles/fig15_agg_latency_rate.dir/fig15_agg_latency_rate.cpp.o.d"
+  "fig15_agg_latency_rate"
+  "fig15_agg_latency_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_agg_latency_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

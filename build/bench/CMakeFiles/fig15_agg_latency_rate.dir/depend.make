@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_agg_latency_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afi_sandbox.dir/afi_sandbox.cpp.o"
+  "CMakeFiles/afi_sandbox.dir/afi_sandbox.cpp.o.d"
+  "afi_sandbox"
+  "afi_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afi_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_filter.dir/ddos_filter.cpp.o"
+  "CMakeFiles/ddos_filter.dir/ddos_filter.cpp.o.d"
+  "ddos_filter"
+  "ddos_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_aggregation.dir/inband_aggregation.cpp.o"
+  "CMakeFiles/inband_aggregation.dir/inband_aggregation.cpp.o.d"
+  "inband_aggregation"
+  "inband_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microcode/bitfield.cpp" "src/microcode/CMakeFiles/trio_microcode.dir/bitfield.cpp.o" "gcc" "src/microcode/CMakeFiles/trio_microcode.dir/bitfield.cpp.o.d"
+  "/root/repo/src/microcode/compiler.cpp" "src/microcode/CMakeFiles/trio_microcode.dir/compiler.cpp.o" "gcc" "src/microcode/CMakeFiles/trio_microcode.dir/compiler.cpp.o.d"
+  "/root/repo/src/microcode/interpreter.cpp" "src/microcode/CMakeFiles/trio_microcode.dir/interpreter.cpp.o" "gcc" "src/microcode/CMakeFiles/trio_microcode.dir/interpreter.cpp.o.d"
+  "/root/repo/src/microcode/lexer.cpp" "src/microcode/CMakeFiles/trio_microcode.dir/lexer.cpp.o" "gcc" "src/microcode/CMakeFiles/trio_microcode.dir/lexer.cpp.o.d"
+  "/root/repo/src/microcode/parser.cpp" "src/microcode/CMakeFiles/trio_microcode.dir/parser.cpp.o" "gcc" "src/microcode/CMakeFiles/trio_microcode.dir/parser.cpp.o.d"
+  "/root/repo/src/microcode/vmx.cpp" "src/microcode/CMakeFiles/trio_microcode.dir/vmx.cpp.o" "gcc" "src/microcode/CMakeFiles/trio_microcode.dir/vmx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trio/CMakeFiles/trio_chipset.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

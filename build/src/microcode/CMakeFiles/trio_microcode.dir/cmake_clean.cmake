@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_microcode.dir/bitfield.cpp.o"
+  "CMakeFiles/trio_microcode.dir/bitfield.cpp.o.d"
+  "CMakeFiles/trio_microcode.dir/compiler.cpp.o"
+  "CMakeFiles/trio_microcode.dir/compiler.cpp.o.d"
+  "CMakeFiles/trio_microcode.dir/interpreter.cpp.o"
+  "CMakeFiles/trio_microcode.dir/interpreter.cpp.o.d"
+  "CMakeFiles/trio_microcode.dir/lexer.cpp.o"
+  "CMakeFiles/trio_microcode.dir/lexer.cpp.o.d"
+  "CMakeFiles/trio_microcode.dir/parser.cpp.o"
+  "CMakeFiles/trio_microcode.dir/parser.cpp.o.d"
+  "CMakeFiles/trio_microcode.dir/vmx.cpp.o"
+  "CMakeFiles/trio_microcode.dir/vmx.cpp.o.d"
+  "libtrio_microcode.a"
+  "libtrio_microcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_microcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

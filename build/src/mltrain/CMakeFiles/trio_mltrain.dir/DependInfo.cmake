@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mltrain/model.cpp" "src/mltrain/CMakeFiles/trio_mltrain.dir/model.cpp.o" "gcc" "src/mltrain/CMakeFiles/trio_mltrain.dir/model.cpp.o.d"
+  "/root/repo/src/mltrain/straggler_gen.cpp" "src/mltrain/CMakeFiles/trio_mltrain.dir/straggler_gen.cpp.o" "gcc" "src/mltrain/CMakeFiles/trio_mltrain.dir/straggler_gen.cpp.o.d"
+  "/root/repo/src/mltrain/trainer.cpp" "src/mltrain/CMakeFiles/trio_mltrain.dir/trainer.cpp.o" "gcc" "src/mltrain/CMakeFiles/trio_mltrain.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/trio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_mltrain.dir/model.cpp.o"
+  "CMakeFiles/trio_mltrain.dir/model.cpp.o.d"
+  "CMakeFiles/trio_mltrain.dir/straggler_gen.cpp.o"
+  "CMakeFiles/trio_mltrain.dir/straggler_gen.cpp.o.d"
+  "CMakeFiles/trio_mltrain.dir/trainer.cpp.o"
+  "CMakeFiles/trio_mltrain.dir/trainer.cpp.o.d"
+  "libtrio_mltrain.a"
+  "libtrio_mltrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_mltrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_net.dir/buffer.cpp.o"
+  "CMakeFiles/trio_net.dir/buffer.cpp.o.d"
+  "CMakeFiles/trio_net.dir/headers.cpp.o"
+  "CMakeFiles/trio_net.dir/headers.cpp.o.d"
+  "CMakeFiles/trio_net.dir/link.cpp.o"
+  "CMakeFiles/trio_net.dir/link.cpp.o.d"
+  "CMakeFiles/trio_net.dir/packet.cpp.o"
+  "CMakeFiles/trio_net.dir/packet.cpp.o.d"
+  "libtrio_net.a"
+  "libtrio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_pisa.dir/pipeline.cpp.o"
+  "CMakeFiles/trio_pisa.dir/pipeline.cpp.o.d"
+  "CMakeFiles/trio_pisa.dir/switch.cpp.o"
+  "CMakeFiles/trio_pisa.dir/switch.cpp.o.d"
+  "libtrio_pisa.a"
+  "libtrio_pisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_pisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/trio_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/trio_sim.dir/logging.cpp.o"
+  "CMakeFiles/trio_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/trio_sim.dir/random.cpp.o"
+  "CMakeFiles/trio_sim.dir/random.cpp.o.d"
+  "CMakeFiles/trio_sim.dir/simulator.cpp.o"
+  "CMakeFiles/trio_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/trio_sim.dir/stats.cpp.o"
+  "CMakeFiles/trio_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/trio_sim.dir/time.cpp.o"
+  "CMakeFiles/trio_sim.dir/time.cpp.o.d"
+  "libtrio_sim.a"
+  "libtrio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_switchml.dir/switchml.cpp.o"
+  "CMakeFiles/trio_switchml.dir/switchml.cpp.o.d"
+  "libtrio_switchml.a"
+  "libtrio_switchml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_switchml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

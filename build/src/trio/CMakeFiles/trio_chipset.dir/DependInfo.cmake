@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trio/afi.cpp" "src/trio/CMakeFiles/trio_chipset.dir/afi.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/afi.cpp.o.d"
+  "/root/repo/src/trio/calibration.cpp" "src/trio/CMakeFiles/trio_chipset.dir/calibration.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/calibration.cpp.o.d"
+  "/root/repo/src/trio/fabric.cpp" "src/trio/CMakeFiles/trio_chipset.dir/fabric.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/fabric.cpp.o.d"
+  "/root/repo/src/trio/forwarding.cpp" "src/trio/CMakeFiles/trio_chipset.dir/forwarding.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/forwarding.cpp.o.d"
+  "/root/repo/src/trio/hash.cpp" "src/trio/CMakeFiles/trio_chipset.dir/hash.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/hash.cpp.o.d"
+  "/root/repo/src/trio/hash_table.cpp" "src/trio/CMakeFiles/trio_chipset.dir/hash_table.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/hash_table.cpp.o.d"
+  "/root/repo/src/trio/pfe.cpp" "src/trio/CMakeFiles/trio_chipset.dir/pfe.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/pfe.cpp.o.d"
+  "/root/repo/src/trio/ppe.cpp" "src/trio/CMakeFiles/trio_chipset.dir/ppe.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/ppe.cpp.o.d"
+  "/root/repo/src/trio/reorder.cpp" "src/trio/CMakeFiles/trio_chipset.dir/reorder.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/reorder.cpp.o.d"
+  "/root/repo/src/trio/router.cpp" "src/trio/CMakeFiles/trio_chipset.dir/router.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/router.cpp.o.d"
+  "/root/repo/src/trio/sms.cpp" "src/trio/CMakeFiles/trio_chipset.dir/sms.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/sms.cpp.o.d"
+  "/root/repo/src/trio/timer.cpp" "src/trio/CMakeFiles/trio_chipset.dir/timer.cpp.o" "gcc" "src/trio/CMakeFiles/trio_chipset.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/trio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trio_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

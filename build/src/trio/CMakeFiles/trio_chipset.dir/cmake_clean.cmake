@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_chipset.dir/afi.cpp.o"
+  "CMakeFiles/trio_chipset.dir/afi.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/calibration.cpp.o"
+  "CMakeFiles/trio_chipset.dir/calibration.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/fabric.cpp.o"
+  "CMakeFiles/trio_chipset.dir/fabric.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/forwarding.cpp.o"
+  "CMakeFiles/trio_chipset.dir/forwarding.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/hash.cpp.o"
+  "CMakeFiles/trio_chipset.dir/hash.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/hash_table.cpp.o"
+  "CMakeFiles/trio_chipset.dir/hash_table.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/pfe.cpp.o"
+  "CMakeFiles/trio_chipset.dir/pfe.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/ppe.cpp.o"
+  "CMakeFiles/trio_chipset.dir/ppe.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/reorder.cpp.o"
+  "CMakeFiles/trio_chipset.dir/reorder.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/router.cpp.o"
+  "CMakeFiles/trio_chipset.dir/router.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/sms.cpp.o"
+  "CMakeFiles/trio_chipset.dir/sms.cpp.o.d"
+  "CMakeFiles/trio_chipset.dir/timer.cpp.o"
+  "CMakeFiles/trio_chipset.dir/timer.cpp.o.d"
+  "libtrio_chipset.a"
+  "libtrio_chipset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_chipset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

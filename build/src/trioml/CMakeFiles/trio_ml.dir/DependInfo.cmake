@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trioml/advanced_straggler.cpp" "src/trioml/CMakeFiles/trio_ml.dir/advanced_straggler.cpp.o" "gcc" "src/trioml/CMakeFiles/trio_ml.dir/advanced_straggler.cpp.o.d"
+  "/root/repo/src/trioml/aggregator.cpp" "src/trioml/CMakeFiles/trio_ml.dir/aggregator.cpp.o" "gcc" "src/trioml/CMakeFiles/trio_ml.dir/aggregator.cpp.o.d"
+  "/root/repo/src/trioml/app.cpp" "src/trioml/CMakeFiles/trio_ml.dir/app.cpp.o" "gcc" "src/trioml/CMakeFiles/trio_ml.dir/app.cpp.o.d"
+  "/root/repo/src/trioml/host.cpp" "src/trioml/CMakeFiles/trio_ml.dir/host.cpp.o" "gcc" "src/trioml/CMakeFiles/trio_ml.dir/host.cpp.o.d"
+  "/root/repo/src/trioml/records.cpp" "src/trioml/CMakeFiles/trio_ml.dir/records.cpp.o" "gcc" "src/trioml/CMakeFiles/trio_ml.dir/records.cpp.o.d"
+  "/root/repo/src/trioml/result_builder.cpp" "src/trioml/CMakeFiles/trio_ml.dir/result_builder.cpp.o" "gcc" "src/trioml/CMakeFiles/trio_ml.dir/result_builder.cpp.o.d"
+  "/root/repo/src/trioml/straggler.cpp" "src/trioml/CMakeFiles/trio_ml.dir/straggler.cpp.o" "gcc" "src/trioml/CMakeFiles/trio_ml.dir/straggler.cpp.o.d"
+  "/root/repo/src/trioml/testbed.cpp" "src/trioml/CMakeFiles/trio_ml.dir/testbed.cpp.o" "gcc" "src/trioml/CMakeFiles/trio_ml.dir/testbed.cpp.o.d"
+  "/root/repo/src/trioml/wire_format.cpp" "src/trioml/CMakeFiles/trio_ml.dir/wire_format.cpp.o" "gcc" "src/trioml/CMakeFiles/trio_ml.dir/wire_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trio/CMakeFiles/trio_chipset.dir/DependInfo.cmake"
+  "/root/repo/build/src/microcode/CMakeFiles/trio_microcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_ml.dir/advanced_straggler.cpp.o"
+  "CMakeFiles/trio_ml.dir/advanced_straggler.cpp.o.d"
+  "CMakeFiles/trio_ml.dir/aggregator.cpp.o"
+  "CMakeFiles/trio_ml.dir/aggregator.cpp.o.d"
+  "CMakeFiles/trio_ml.dir/app.cpp.o"
+  "CMakeFiles/trio_ml.dir/app.cpp.o.d"
+  "CMakeFiles/trio_ml.dir/host.cpp.o"
+  "CMakeFiles/trio_ml.dir/host.cpp.o.d"
+  "CMakeFiles/trio_ml.dir/records.cpp.o"
+  "CMakeFiles/trio_ml.dir/records.cpp.o.d"
+  "CMakeFiles/trio_ml.dir/result_builder.cpp.o"
+  "CMakeFiles/trio_ml.dir/result_builder.cpp.o.d"
+  "CMakeFiles/trio_ml.dir/straggler.cpp.o"
+  "CMakeFiles/trio_ml.dir/straggler.cpp.o.d"
+  "CMakeFiles/trio_ml.dir/testbed.cpp.o"
+  "CMakeFiles/trio_ml.dir/testbed.cpp.o.d"
+  "CMakeFiles/trio_ml.dir/wire_format.cpp.o"
+  "CMakeFiles/trio_ml.dir/wire_format.cpp.o.d"
+  "libtrio_ml.a"
+  "libtrio_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

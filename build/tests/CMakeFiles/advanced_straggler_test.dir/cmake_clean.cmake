@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_straggler_test.dir/advanced_straggler_test.cpp.o"
+  "CMakeFiles/advanced_straggler_test.dir/advanced_straggler_test.cpp.o.d"
+  "advanced_straggler_test"
+  "advanced_straggler_test.pdb"
+  "advanced_straggler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_straggler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afi_test.dir/afi_test.cpp.o"
+  "CMakeFiles/afi_test.dir/afi_test.cpp.o.d"
+  "afi_test"
+  "afi_test.pdb"
+  "afi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

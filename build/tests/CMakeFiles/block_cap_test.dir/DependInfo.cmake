@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/block_cap_test.cpp" "tests/CMakeFiles/block_cap_test.dir/block_cap_test.cpp.o" "gcc" "tests/CMakeFiles/block_cap_test.dir/block_cap_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/trio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trio/CMakeFiles/trio_chipset.dir/DependInfo.cmake"
+  "/root/repo/build/src/microcode/CMakeFiles/trio_microcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/trio_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchml/CMakeFiles/trio_switchml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trioml/CMakeFiles/trio_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/mltrain/CMakeFiles/trio_mltrain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_programs_test.dir/golden_programs_test.cpp.o"
+  "CMakeFiles/golden_programs_test.dir/golden_programs_test.cpp.o.d"
+  "golden_programs_test"
+  "golden_programs_test.pdb"
+  "golden_programs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

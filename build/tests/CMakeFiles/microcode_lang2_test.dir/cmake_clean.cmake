@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcode_lang2_test.dir/microcode_lang2_test.cpp.o"
+  "CMakeFiles/microcode_lang2_test.dir/microcode_lang2_test.cpp.o.d"
+  "microcode_lang2_test"
+  "microcode_lang2_test.pdb"
+  "microcode_lang2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcode_lang2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

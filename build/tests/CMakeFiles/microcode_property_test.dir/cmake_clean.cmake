@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcode_property_test.dir/microcode_property_test.cpp.o"
+  "CMakeFiles/microcode_property_test.dir/microcode_property_test.cpp.o.d"
+  "microcode_property_test"
+  "microcode_property_test.pdb"
+  "microcode_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcode_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

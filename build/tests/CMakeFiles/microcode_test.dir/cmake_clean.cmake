@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcode_test.dir/microcode_test.cpp.o"
+  "CMakeFiles/microcode_test.dir/microcode_test.cpp.o.d"
+  "microcode_test"
+  "microcode_test.pdb"
+  "microcode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

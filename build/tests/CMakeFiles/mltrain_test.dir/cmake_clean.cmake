@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltrain_test.dir/mltrain_test.cpp.o"
+  "CMakeFiles/mltrain_test.dir/mltrain_test.cpp.o.d"
+  "mltrain_test"
+  "mltrain_test.pdb"
+  "mltrain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

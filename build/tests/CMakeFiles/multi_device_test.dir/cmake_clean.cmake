@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_device_test.dir/multi_device_test.cpp.o"
+  "CMakeFiles/multi_device_test.dir/multi_device_test.cpp.o.d"
+  "multi_device_test"
+  "multi_device_test.pdb"
+  "multi_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

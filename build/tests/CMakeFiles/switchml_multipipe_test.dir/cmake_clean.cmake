@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_multipipe_test.dir/switchml_multipipe_test.cpp.o"
+  "CMakeFiles/switchml_multipipe_test.dir/switchml_multipipe_test.cpp.o.d"
+  "switchml_multipipe_test"
+  "switchml_multipipe_test.pdb"
+  "switchml_multipipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_multipipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_sweep_test.dir/trainer_sweep_test.cpp.o"
+  "CMakeFiles/trainer_sweep_test.dir/trainer_sweep_test.cpp.o.d"
+  "trainer_sweep_test"
+  "trainer_sweep_test.pdb"
+  "trainer_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_engine_test.dir/trio_engine_test.cpp.o"
+  "CMakeFiles/trio_engine_test.dir/trio_engine_test.cpp.o.d"
+  "trio_engine_test"
+  "trio_engine_test.pdb"
+  "trio_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

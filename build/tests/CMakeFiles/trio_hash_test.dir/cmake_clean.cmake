@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_hash_test.dir/trio_hash_test.cpp.o"
+  "CMakeFiles/trio_hash_test.dir/trio_hash_test.cpp.o.d"
+  "trio_hash_test"
+  "trio_hash_test.pdb"
+  "trio_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_memory_test.dir/trio_memory_test.cpp.o"
+  "CMakeFiles/trio_memory_test.dir/trio_memory_test.cpp.o.d"
+  "trio_memory_test"
+  "trio_memory_test.pdb"
+  "trio_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trioml_test.dir/trioml_test.cpp.o"
+  "CMakeFiles/trioml_test.dir/trioml_test.cpp.o.d"
+  "trioml_test"
+  "trioml_test.pdb"
+  "trioml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trioml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

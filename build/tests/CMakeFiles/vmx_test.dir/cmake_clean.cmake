@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmx_test.dir/vmx_test.cpp.o"
+  "CMakeFiles/vmx_test.dir/vmx_test.cpp.o.d"
+  "vmx_test"
+  "vmx_test.pdb"
+  "vmx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/trio_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/trio_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/trio_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/microcode_test[1]_include.cmake")
+include("/root/repo/build/tests/trioml_test[1]_include.cmake")
+include("/root/repo/build/tests/pisa_test[1]_include.cmake")
+include("/root/repo/build/tests/mltrain_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/microcode_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/microcode_lang2_test[1]_include.cmake")
+include("/root/repo/build/tests/advanced_straggler_test[1]_include.cmake")
+include("/root/repo/build/tests/afi_test[1]_include.cmake")
+include("/root/repo/build/tests/switchml_multipipe_test[1]_include.cmake")
+include("/root/repo/build/tests/block_cap_test[1]_include.cmake")
+include("/root/repo/build/tests/trio_engine2_test[1]_include.cmake")
+include("/root/repo/build/tests/vmx_test[1]_include.cmake")
+include("/root/repo/build/tests/resource_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_device_test[1]_include.cmake")
+include("/root/repo/build/tests/host_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/generation_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_programs_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[MultiDevice.TwoRouterHierarchyAggregatesAndMulticasts]=]  /root/repo/build/tests/multi_device_test [==[--gtest_filter=MultiDevice.TwoRouterHierarchyAggregatesAndMulticasts]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[MultiDevice.TwoRouterHierarchyAggregatesAndMulticasts]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  multi_device_test_TESTS MultiDevice.TwoRouterHierarchyAggregatesAndMulticasts)

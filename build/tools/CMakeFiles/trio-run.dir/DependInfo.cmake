@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/trio_run.cpp" "tools/CMakeFiles/trio-run.dir/trio_run.cpp.o" "gcc" "tools/CMakeFiles/trio-run.dir/trio_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/microcode/CMakeFiles/trio_microcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/trio/CMakeFiles/trio_chipset.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio-run.dir/trio_run.cpp.o"
+  "CMakeFiles/trio-run.dir/trio_run.cpp.o.d"
+  "trio-run"
+  "trio-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
