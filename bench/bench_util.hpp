@@ -1,9 +1,13 @@
-// Small table-printing helpers shared by the figure-reproduction benches.
+// Small table-printing and telemetry-flag helpers shared by the
+// figure-reproduction benches.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 namespace benchutil {
 
@@ -21,6 +25,59 @@ inline std::string fmt(double v, int prec = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
   return buf;
+}
+
+/// `--metrics-out=<json>` / `--trace-out=<json>` destinations (empty =
+/// telemetry off), accepted by every bench that calls parse_telemetry_flags.
+struct TelemetryOptions {
+  std::string metrics_out;
+  std::string trace_out;
+  bool metrics_enabled() const { return !metrics_out.empty(); }
+  bool trace_enabled() const { return !trace_out.empty(); }
+  bool any() const { return metrics_enabled() || trace_enabled(); }
+};
+
+/// Parses the telemetry flags (both `--flag=value` and `--flag value`
+/// spellings); unrelated arguments are ignored.
+inline TelemetryOptions parse_telemetry_flags(int argc, char** argv) {
+  TelemetryOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) != 0) return nullptr;
+      if (arg.size() > n && arg[n] == '=') return arg.c_str() + n + 1;
+      if (arg.size() == n && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value_of("--metrics-out")) {
+      opts.metrics_out = v;
+    } else if (const char* v = value_of("--trace-out")) {
+      opts.trace_out = v;
+    }
+  }
+  return opts;
+}
+
+/// Writes whichever outputs were requested and reports where they went.
+inline void write_telemetry(const TelemetryOptions& opts,
+                            telemetry::Telemetry& telem, sim::Time now) {
+  if (opts.metrics_enabled()) {
+    if (telem.metrics.write_json_file(opts.metrics_out, now)) {
+      std::printf("wrote metrics to %s (%zu metrics)\n",
+                  opts.metrics_out.c_str(), telem.metrics.metric_count());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", opts.metrics_out.c_str());
+    }
+  }
+  if (opts.trace_enabled()) {
+    if (telem.tracer.write_json_file(opts.trace_out)) {
+      std::printf("wrote trace to %s (%zu events)\n", opts.trace_out.c_str(),
+                  telem.tracer.event_count());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", opts.trace_out.c_str());
+    }
+  }
 }
 
 }  // namespace benchutil

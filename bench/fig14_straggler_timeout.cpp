@@ -9,22 +9,32 @@
 //
 // This bench runs at PACKET level on the simulated Trio router with
 // N = 100 timer threads scanning the aggregation hash table.
+#include <memory>
+
 #include "bench_util.hpp"
 #include "trioml/testbed.hpp"
 
 using namespace trioml;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto topts = benchutil::parse_telemetry_flags(argc, argv);
   benchutil::banner("Figure 14: straggler mitigation time vs timeout",
                     "paper Fig 14: mitigation within 2x timeout");
 
   benchutil::row({"timeout(ms)", "mitigation(ms)", "p95(ms)", "/timeout"}, 16);
 
   for (int timeout_ms : {1, 2, 5, 10, 15, 20}) {
+    // Telemetry observes the 10 ms run (the paper's default timeout).
+    std::unique_ptr<telemetry::Telemetry> telem;
+    if (topts.any() && timeout_ms == 10) {
+      telem = std::make_unique<telemetry::Telemetry>(topts.metrics_enabled(),
+                                                     topts.trace_enabled());
+    }
     TestbedConfig cfg;
     cfg.num_workers = 3;
     cfg.grads_per_packet = 1024;
     cfg.window = 20;  // "we send 20 back-to-back packets"
+    cfg.telemetry = telem.get();
     Testbed tb(cfg);
     tb.start_straggler_detection(/*threads=*/100,
                                  sim::Duration::millis(timeout_ms));
@@ -46,6 +56,7 @@ int main() {
                     benchutil::fmt(mean_ms / timeout_ms, 2) + "x"},
                    16);
     if (done != 2) std::printf("  WARNING: only %d/2 workers finished\n", done);
+    if (telem) benchutil::write_telemetry(topts, *telem, tb.simulator().now());
   }
   std::printf("\nexpected shape: mitigation time grows linearly with the\n"
               "timeout and stays between 1x and 2x the timeout interval\n");

@@ -12,12 +12,15 @@
 // Also prints the §6.3 Microcode program analysis counters: run-time
 // instructions per gradient (paper: ~1.2 in the tail loop) and the
 // RMW-engine add count.
+#include <memory>
+
 #include "bench_util.hpp"
 #include "trioml/testbed.hpp"
 
 using namespace trioml;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto topts = benchutil::parse_telemetry_flags(argc, argv);
   benchutil::banner("Figure 15: per-PFE aggregation latency and rate",
                     "paper Fig 15 + the Microcode program analysis (§6.3)");
 
@@ -27,10 +30,17 @@ int main() {
   const int blocks = 500;
   double lat64 = 0, lat1024 = 0;
   for (int grads_per_packet : {64, 128, 256, 512, 1024}) {
+    // Telemetry observes the headline 1024-gradient run.
+    std::unique_ptr<telemetry::Telemetry> telem;
+    if (topts.any() && grads_per_packet == 1024) {
+      telem = std::make_unique<telemetry::Telemetry>(topts.metrics_enabled(),
+                                                     topts.trace_enabled());
+    }
     TestbedConfig cfg;
     cfg.num_workers = 4;
     cfg.grads_per_packet = static_cast<std::uint16_t>(grads_per_packet);
     cfg.window = 1;  // "each server sends only one packet at a time"
+    cfg.telemetry = telem.get();
     Testbed tb(cfg);
 
     const std::size_t grads =
@@ -59,6 +69,7 @@ int main() {
     if (grads_per_packet == 64) lat64 = latency_us;
     if (grads_per_packet == 1024) lat1024 = latency_us;
     if (done != 4) std::printf("  WARNING: %d/4 workers finished\n", done);
+    if (telem) benchutil::write_telemetry(topts, *telem, tb.simulator().now());
   }
   std::printf(
       "\nlatency(1024)/latency(64) = %.1fx for 16x the gradients "

@@ -33,6 +33,7 @@ bool LinkEndpoint::send(PacketPtr pkt) {
   if (in_flight_ >= queue_frames_ ||
       (loss_probability_ > 0.0 && loss_rng_.bernoulli(loss_probability_))) {
     ++frames_dropped_;
+    drops_ctr_.inc();
     return false;
   }
   const sim::Time start =
@@ -42,12 +43,15 @@ bool LinkEndpoint::send(PacketPtr pkt) {
   ++in_flight_;
   ++frames_sent_;
   bytes_sent_ += pkt->size();
+  tx_frames_ctr_.inc();
+  tx_bytes_ctr_.inc(pkt->size());
 
   Node* peer = peer_;
   const int port = peer_port_;
   sim_.schedule_at(tx_end + propagation_,
                    [this, peer, port, pkt = std::move(pkt)]() mutable {
                      --in_flight_;
+                     rx_frames_ctr_.inc();
                      peer->receive(std::move(pkt), port);
                    });
   return true;

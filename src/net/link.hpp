@@ -13,6 +13,7 @@
 #include "net/packet.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace net {
 
@@ -58,6 +59,16 @@ class LinkEndpoint {
         static_cast<double>(bytes) * 8.0 / gbps_ + 0.5));
   }
 
+  /// Registers `<prefix>tx_frames`, `<prefix>tx_bytes`, `<prefix>rx_frames`
+  /// and `<prefix>drops` for this direction. Un-instrumented endpoints pay
+  /// nothing.
+  void instrument(telemetry::Registry& registry, const std::string& prefix) {
+    tx_frames_ctr_ = registry.counter(prefix + "tx_frames");
+    tx_bytes_ctr_ = registry.counter(prefix + "tx_bytes");
+    rx_frames_ctr_ = registry.counter(prefix + "rx_frames");
+    drops_ctr_ = registry.counter(prefix + "drops");
+  }
+
  private:
   sim::Simulator& sim_;
   double gbps_;
@@ -72,6 +83,10 @@ class LinkEndpoint {
   std::uint64_t bytes_sent_ = 0;
   double loss_probability_ = 0.0;
   sim::Rng loss_rng_{1};
+  telemetry::Counter tx_frames_ctr_;
+  telemetry::Counter tx_bytes_ctr_;
+  telemetry::Counter rx_frames_ctr_;
+  telemetry::Counter drops_ctr_;
 };
 
 /// Full-duplex link: two endpoints wired between nodes a and b.
@@ -90,6 +105,12 @@ class Link {
 
   LinkEndpoint& a_to_b() { return a_to_b_; }
   LinkEndpoint& b_to_a() { return b_to_a_; }
+
+  /// Instruments both directions: `<prefix>ab.*` and `<prefix>ba.*`.
+  void instrument(telemetry::Registry& registry, const std::string& prefix) {
+    a_to_b_.instrument(registry, prefix + "ab.");
+    b_to_a_.instrument(registry, prefix + "ba.");
+  }
 
  private:
   LinkEndpoint a_to_b_;

@@ -1,0 +1,51 @@
+// Minimal JSON writing helpers shared by the metrics and trace exporters.
+// Only what the telemetry layer needs: string escaping and locale-proof
+// number formatting (the exporters compose objects/arrays by hand so the
+// emitted layout stays diff-friendly).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace telemetry {
+
+/// Writes `s` as a JSON string literal (with surrounding quotes).
+inline void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Writes a double with enough precision for ns-scale timestamps and no
+/// locale surprises (snprintf with "%.17g" can emit ',' under some locales;
+/// the simulator never changes the C locale, but be explicit anyway).
+inline void json_number(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  os << buf;
+}
+
+inline void json_number(std::ostream& os, std::uint64_t v) { os << v; }
+inline void json_number(std::ostream& os, std::int64_t v) { os << v; }
+
+}  // namespace telemetry

@@ -1,0 +1,218 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "telemetry/json.hpp"
+
+namespace telemetry {
+
+// ---------------------------------------------------------------------------
+// HistogramData
+
+void HistogramData::record(std::int64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  const std::uint64_t v =
+      value < 0 ? 0 : static_cast<std::uint64_t>(value);  // clamp negatives
+  buckets_[bucket_index(v)] += count;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void HistogramData::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+std::int64_t HistogramData::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest value with rank >= ceil(p/100 * n).
+  const double exact = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const auto v = static_cast<std::int64_t>(bucket_lower(i));
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Counter Registry::counter(const std::string& name) {
+  if (!enabled_) return Counter{};
+  auto& cell = counters_[name];
+  if (!cell) cell = std::make_unique<std::uint64_t>(0);
+  return Counter{cell.get()};
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  if (!enabled_) return Gauge{};
+  auto& cell = gauges_[name];
+  if (!cell) cell = std::make_unique<std::int64_t>(0);
+  return Gauge{cell.get()};
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  if (!enabled_) return Histogram{};
+  auto& cell = histograms_[name];
+  if (!cell) cell = std::make_unique<HistogramData>();
+  return Histogram{cell.get()};
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? *it->second : 0;
+}
+
+std::int64_t Registry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? *it->second : 0;
+}
+
+const HistogramData* Registry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+void Registry::take_snapshot(sim::Time now) {
+  if (!enabled_) return;
+  Snapshot snap;
+  snap.t_ns = now.ns();
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) snap.counters.emplace_back(name, *cell);
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, cell] : gauges_) snap.gauges.emplace_back(name, *cell);
+  snapshots_.push_back(std::move(snap));
+}
+
+void Registry::start_snapshots(sim::Simulator& sim, sim::Duration period) {
+  if (!enabled_ || snapshots_running_) return;
+  snapshot_sim_ = &sim;
+  snapshot_period_ = period;
+  snapshots_running_ = true;
+  arm_snapshot();
+}
+
+void Registry::arm_snapshot() {
+  snapshot_event_ = snapshot_sim_->schedule_in(snapshot_period_, [this] {
+    take_snapshot(snapshot_sim_->now());
+    if (snapshots_running_) arm_snapshot();
+  });
+}
+
+void Registry::stop_snapshots() {
+  if (!snapshots_running_) return;
+  snapshot_sim_->cancel(snapshot_event_);
+  snapshots_running_ = false;
+}
+
+void Registry::write_json(std::ostream& os, sim::Time now) const {
+  os << "{\n  \"sim_time_ns\": " << now.ns() << ",\n";
+  os << "  \"enabled\": " << (enabled_ ? "true" : "false") << ",\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, cell] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": " << *cell;
+  }
+  os << (first ? "}" : "\n  }") << ",\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, cell] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": " << *cell;
+  }
+  os << (first ? "}" : "\n  }") << ",\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": {\"count\": " << data->count() << ", \"min\": " << data->min()
+       << ", \"max\": " << data->max() << ", \"mean\": ";
+    json_number(os, data->mean());
+    os << ", \"sum\": ";
+    json_number(os, data->sum());
+    for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+      char label[16];
+      std::snprintf(label, sizeof(label), "p%g", p);
+      os << ", \"" << label << "\": " << data->percentile(p);
+    }
+    os << "}";
+  }
+  os << (first ? "}" : "\n  }") << ",\n";
+
+  os << "  \"snapshots\": [";
+  first = true;
+  for (const auto& snap : snapshots_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    os << "{\"t_ns\": " << snap.t_ns << ", \"counters\": {";
+    bool f2 = true;
+    for (const auto& [name, v] : snap.counters) {
+      if (!f2) os << ", ";
+      f2 = false;
+      json_string(os, name);
+      os << ": " << v;
+    }
+    os << "}, \"gauges\": {";
+    f2 = true;
+    for (const auto& [name, v] : snap.gauges) {
+      if (!f2) os << ", ";
+      f2 = false;
+      json_string(os, name);
+      os << ": " << v;
+    }
+    os << "}}";
+  }
+  os << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+bool Registry::write_json_file(const std::string& path, sim::Time now) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out, now);
+  return static_cast<bool>(out);
+}
+
+}  // namespace telemetry

@@ -1,0 +1,205 @@
+// The telemetry metrics registry: named counters, gauges and HDR-style
+// log-linear histograms, with optional time-series snapshots driven by
+// the sim::Simulator clock and a JSON exporter.
+//
+// Design constraints (ROADMAP: "the observability substrate every later
+// perf PR will measure against"):
+//
+//  * Zero overhead when disabled. Handles (Counter/Gauge/Histogram) are a
+//    single pointer into registry-owned storage; a disabled registry hands
+//    out null handles, so the hot-path cost of an un-recorded metric is
+//    one perfectly-predicted branch and no allocation. Instrumented code
+//    never checks an "is telemetry on?" flag itself.
+//
+//  * Stable addresses. Metric cells are heap-allocated individually and
+//    never move, so handles stay valid for the registry's lifetime and
+//    may be copied freely (e.g. one shared "instructions" counter handed
+//    to every PPE of a PFE).
+//
+//  * Deterministic export. Metrics are kept in name order so two runs of
+//    a deterministic simulation produce byte-identical JSON.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace telemetry {
+
+/// Monotonically increasing event count. Handle; copy freely.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) {
+    if (cell_ != nullptr) *cell_ += n;
+  }
+  std::uint64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
+  bool live() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
+  std::uint64_t* cell_ = nullptr;
+};
+
+/// Point-in-time level (queue depth, occupancy). Handle; copy freely.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) {
+    if (cell_ != nullptr) *cell_ = v;
+  }
+  void add(std::int64_t d) {
+    if (cell_ != nullptr) *cell_ += d;
+  }
+  std::int64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
+  bool live() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::int64_t* cell) : cell_(cell) {}
+  std::int64_t* cell_ = nullptr;
+};
+
+/// HDR-style log-linear histogram storage for non-negative integer values
+/// (latencies in ns, depths, sizes). Values up to 2^kSubBucketBits are
+/// recorded exactly; above that, buckets are spaced so the relative
+/// quantization error stays below 1/kSubBuckets (~3%).
+class HistogramData {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
+  // Highest index for a 63-bit value: msb 62 -> bucket 58, sub 31.
+  static constexpr std::size_t kNumBuckets =
+      (63 - kSubBucketBits) * kSubBuckets + kSubBuckets;
+
+  void record(std::int64_t value, std::uint64_t count = 1);
+  void merge(const HistogramData& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const { return count_ != 0 ? min_ : 0; }
+  std::int64_t max() const { return count_ != 0 ? max_ : 0; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ != 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Nearest-rank percentile over the bucketized values, p in [0, 100].
+  /// Exact for values < kSubBuckets, <=~3% low otherwise (bucket lower
+  /// bound); clamped to the exact observed min/max.
+  std::int64_t percentile(double p) const;
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const std::size_t bucket = static_cast<std::size_t>(msb - kSubBucketBits + 1);
+    const std::size_t sub = static_cast<std::size_t>(
+        (v >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+    return bucket * kSubBuckets + sub;
+  }
+  /// Smallest value mapping to bucket `idx` (inverse of bucket_index).
+  static std::uint64_t bucket_lower(std::size_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const std::size_t bucket = idx / kSubBuckets;
+    const std::uint64_t sub = idx % kSubBuckets;
+    return (kSubBuckets + sub) << (bucket - 1);
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Histogram handle; copy freely.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::int64_t value) {
+    if (data_ != nullptr) data_->record(value);
+  }
+  const HistogramData* data() const { return data_; }
+  bool live() const { return data_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(HistogramData* data) : data_(data) {}
+  HistogramData* data_ = nullptr;
+};
+
+class Registry {
+ public:
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Finds or creates the named metric. Same name -> same cell, so
+  /// independent components may share an accumulator. On a disabled
+  /// registry these return null handles and allocate nothing.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  // --- Read-back (tests, exporters). Unknown names read as zero. --------
+  std::uint64_t counter_value(const std::string& name) const;
+  std::int64_t gauge_value(const std::string& name) const;
+  const HistogramData* find_histogram(const std::string& name) const;
+
+  // --- Time-series snapshots --------------------------------------------
+  /// Starts periodic capture of every counter and gauge on the simulated
+  /// clock. The recurring event keeps the simulator's queue non-empty, so
+  /// pair with run_until() + stop_snapshots() (same discipline as
+  /// trio::TimerWheel). No-op on a disabled registry.
+  void start_snapshots(sim::Simulator& sim, sim::Duration period);
+  void stop_snapshots();
+  /// One-shot capture at time `now` (usable without start_snapshots).
+  void take_snapshot(sim::Time now);
+
+  struct Snapshot {
+    std::int64_t t_ns = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+  };
+  const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+
+  // --- Export ------------------------------------------------------------
+  /// Writes the full registry (counters, gauges, histogram summaries,
+  /// snapshots) as one JSON object. `now` stamps the export time.
+  void write_json(std::ostream& os, sim::Time now) const;
+  /// Convenience: write_json to `path`. Returns false on I/O failure.
+  bool write_json_file(const std::string& path, sim::Time now) const;
+
+  std::size_t metric_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  void arm_snapshot();
+
+  bool enabled_;
+  // Name -> individually heap-allocated cell: stable addresses, ordered
+  // iteration for deterministic export.
+  std::map<std::string, std::unique_ptr<std::uint64_t>> counters_;
+  std::map<std::string, std::unique_ptr<std::int64_t>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramData>> histograms_;
+
+  std::vector<Snapshot> snapshots_;
+  sim::Simulator* snapshot_sim_ = nullptr;
+  sim::Duration snapshot_period_ = sim::Duration::zero();
+  sim::EventId snapshot_event_;
+  bool snapshots_running_ = false;
+};
+
+}  // namespace telemetry

@@ -1,0 +1,24 @@
+// The telemetry bundle threaded through trio::Router construction: the
+// metrics registry (counters / gauges / histograms, --metrics-out) and
+// the Chrome-trace tracer (--trace-out). Both are independently
+// switchable and zero-overhead when off; a default-constructed Telemetry
+// is fully disabled, which is what a Router builds for itself when the
+// caller does not provide one.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace telemetry {
+
+struct Telemetry {
+  /// Both subsystems disabled (the no-observer fast path).
+  Telemetry() : metrics(false), tracer(false) {}
+  Telemetry(bool metrics_on, bool trace_on)
+      : metrics(metrics_on), tracer(trace_on) {}
+
+  Registry metrics;
+  Tracer tracer;
+};
+
+}  // namespace telemetry

@@ -4,6 +4,7 @@
 
 #include "trio/hash.hpp"
 #include "trio/router.hpp"
+#include "trio/trace_rows.hpp"
 
 namespace trio {
 
@@ -13,13 +14,29 @@ namespace trio {
 Mqss::Mqss(sim::Simulator& simulator, const Calibration& cal)
     : sim_(simulator), cal_(cal) {}
 
-sim::Time Mqss::service(std::size_t len, sim::Duration latency) {
+void Mqss::instrument(telemetry::Telemetry& telem, int pid,
+                      const std::string& prefix) {
+  tail_bytes_ctr_ = telem.metrics.counter(prefix + "tail_bytes_read");
+  pmem_bytes_ctr_ = telem.metrics.counter(prefix + "pmem_bytes_written");
+  if (telem.tracer.enabled()) {
+    tracer_ = &telem.tracer;
+    trace_pid_ = pid;
+    telem.tracer.set_thread_name(pid, trace_rows::kMqss, "mqss");
+  }
+}
+
+sim::Time Mqss::service(std::size_t len, sim::Duration latency,
+                        const char* op_name) {
   // The packet buffer moves 64 B per cycle; the single engine's occupancy
   // provides backpressure under heavy tail traffic.
   const auto cycles = static_cast<std::int64_t>((len + 63) / 64);
   const sim::Time arrive = sim_.now() + cal_.crossbar_latency;
   const sim::Time start = arrive > engine_free_ ? arrive : engine_free_;
   engine_free_ = start + sim::Duration::cycles(cycles, cal_.clock_hz);
+  if (tracer_ != nullptr) {
+    tracer_->complete(trace_pid_, trace_rows::kMqss, op_name, start,
+                      engine_free_);
+  }
   return engine_free_ + latency;
 }
 
@@ -33,10 +50,11 @@ sim::Time Mqss::tail_read(const net::Packet& pkt, std::uint64_t offset,
     throw std::out_of_range("Mqss::tail_read: beyond tail");
   }
   tail_bytes_read_ += len;
+  tail_bytes_ctr_.inc(len);
   XtxnReply reply;
   const auto view = pkt.frame().view(head + offset, len);
   reply.data.assign(view.begin(), view.end());
-  const sim::Time at = service(len, cal_.tail_read_latency);
+  const sim::Time at = service(len, cal_.tail_read_latency, "tail_read");
   if (cb) {
     sim_.schedule_at(at, [cb = std::move(cb), reply = std::move(reply)]() mutable {
       cb(std::move(reply));
@@ -50,7 +68,8 @@ sim::Time Mqss::pmem_write(std::size_t len, XtxnCallback cb) {
     throw std::invalid_argument("Mqss::pmem_write: chunk exceeds 256 bytes");
   }
   pmem_bytes_written_ += len;
-  const sim::Time at = service(len, cal_.pmem_write_latency);
+  pmem_bytes_ctr_.inc(len);
+  const sim::Time at = service(len, cal_.pmem_write_latency, "pmem_write");
   if (cb) {
     sim_.schedule_at(at, [cb = std::move(cb)]() mutable { cb(XtxnReply{}); });
   }
@@ -72,9 +91,29 @@ Pfe::Pfe(sim::Simulator& simulator, const Calibration& cal, Router& router,
       reorder_([this](ReorderEngine::Output out) {
         router_.transmit(index_, std::move(out.pkt), out.nexthop_id);
       }) {
+  telemetry::Telemetry& telem = router.telemetry();
+  metric_prefix_ = "pfe" + std::to_string(index) + ".";
+  trace_pid_ = trace_rows::pid_of_pfe(index);
+  if (telem.tracer.enabled()) {
+    tracer_ = &telem.tracer;
+    tracer_->set_process_name(trace_pid_, "pfe" + std::to_string(index));
+    tracer_->set_thread_name(trace_pid_, trace_rows::kDispatch, "dispatch");
+    tracer_->set_thread_name(trace_pid_, trace_rows::kReorder, "reorder");
+    tracer_->set_thread_name(trace_pid_, trace_rows::kCrossbar, "crossbar");
+  }
+  packets_in_ctr_ = telem.metrics.counter(metric_prefix_ + "packets_in");
+  packets_dispatched_ctr_ =
+      telem.metrics.counter(metric_prefix_ + "packets_dispatched");
+  dispatch_drops_ctr_ = telem.metrics.counter(metric_prefix_ + "dispatch_drops");
+  dispatch_depth_gauge_ =
+      telem.metrics.gauge(metric_prefix_ + "dispatch_queue_depth");
+  sms_.instrument(telem, trace_pid_, metric_prefix_ + "sms.");
+  mqss_.instrument(telem, trace_pid_, metric_prefix_ + "mqss.");
+  reorder_.instrument(telem.metrics, metric_prefix_ + "reorder.");
   ppes_.reserve(static_cast<std::size_t>(cal_.ppes_per_pfe));
   for (int i = 0; i < cal_.ppes_per_pfe; ++i) {
     ppes_.push_back(std::make_unique<Ppe>(simulator, cal_, *this, i));
+    ppes_.back()->instrument(telem, trace_pid_, metric_prefix_);
   }
   timers_ = std::make_unique<TimerWheel>(simulator, cal_, *this);
 }
@@ -102,16 +141,21 @@ std::uint64_t compute_flow_hash(const net::Buffer& frame) {
 
 void Pfe::ingress(net::PacketPtr pkt) {
   ++packets_in_;
+  packets_in_ctr_.inc();
   pkt->set_arrival_time(sim_.now());
   pkt->set_flow_hash(compute_flow_hash(pkt->frame()));
   // Open the reorder ticket in arrival order, before any queueing.
   const std::uint64_t ticket = reorder_.open(pkt->flow_hash());
+  note_reorder_depth();
   if (dispatch_queue_.size() >= cal_.dispatch_queue_limit) {
     ++dispatch_drops_;
+    dispatch_drops_ctr_.inc();
     reorder_.close(ticket);  // consumed with no output
+    note_reorder_depth();
     return;
   }
   dispatch_queue_.push_back(Pending{std::move(pkt), ticket});
+  note_dispatch_depth();
   try_dispatch();
 }
 
@@ -144,6 +188,7 @@ void Pfe::try_dispatch() {
     if (ppe == nullptr) return;  // all threads busy; wait for a free slot
     Pending pending = std::move(dispatch_queue_.front());
     dispatch_queue_.pop_front();
+    note_dispatch_depth();
     std::unique_ptr<PpeProgram> program;
     if (program_factory_) {
       program = program_factory_(*pending.pkt);
@@ -152,9 +197,12 @@ void Pfe::try_dispatch() {
     }
     if (!program) {
       ++dispatch_drops_;
+      dispatch_drops_ctr_.inc();
       reorder_.close(pending.ticket);
+      note_reorder_depth();
       continue;
     }
+    packets_dispatched_ctr_.inc();
     ppe->spawn(std::move(program), std::move(pending.pkt), pending.ticket, 0);
   }
 }
@@ -172,6 +220,11 @@ bool Pfe::spawn_internal(std::unique_ptr<PpeProgram> program,
 
 sim::Time Pfe::issue_xtxn(const XtxnRequest& req, const net::PacketPtr& pkt,
                           XtxnCallback cb) {
+  if (tracer_ != nullptr) {
+    // Every XTXN crosses the PPE<->memory crossbar on its way to a block.
+    tracer_->instant(trace_pid_, trace_rows::kCrossbar, xtxn_op_name(req.op),
+                     sim_.now());
+  }
   switch (req.op) {
     case XtxnOp::kHashLookup:
     case XtxnOp::kHashInsert:
@@ -199,7 +252,26 @@ void Pfe::emit(std::optional<std::uint64_t> ticket, ReorderEngine::Output out) {
   }
 }
 
-void Pfe::close_ticket(std::uint64_t ticket) { reorder_.close(ticket); }
+void Pfe::close_ticket(std::uint64_t ticket) {
+  reorder_.close(ticket);
+  note_reorder_depth();
+}
+
+void Pfe::note_dispatch_depth() {
+  const auto depth = dispatch_queue_.size();
+  dispatch_depth_gauge_.set(static_cast<std::int64_t>(depth));
+  if (tracer_ != nullptr) {
+    tracer_->counter(trace_pid_, "dispatch", "queue_depth", sim_.now(),
+                     static_cast<double>(depth));
+  }
+}
+
+void Pfe::note_reorder_depth() {
+  if (tracer_ != nullptr) {
+    tracer_->counter(trace_pid_, "reorder", "pending", sim_.now(),
+                     static_cast<double>(reorder_.pending()));
+  }
+}
 
 void Pfe::on_thread_free() { try_dispatch(); }
 

@@ -9,9 +9,11 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trio/calibration.hpp"
 #include "trio/hash_table.hpp"
 #include "trio/ppe.hpp"
@@ -42,14 +44,24 @@ class Mqss {
   std::uint64_t tail_bytes_read() const { return tail_bytes_read_; }
   std::uint64_t pmem_bytes_written() const { return pmem_bytes_written_; }
 
+  /// Byte counters under `<prefix>`; when tracing, each chunk becomes a
+  /// service span on the PFE's "mqss" row. Called by the owning Pfe.
+  void instrument(telemetry::Telemetry& telem, int pid,
+                  const std::string& prefix);
+
  private:
-  sim::Time service(std::size_t len, sim::Duration latency);
+  sim::Time service(std::size_t len, sim::Duration latency,
+                    const char* op_name);
 
   sim::Simulator& sim_;
   const Calibration& cal_;
   sim::Time engine_free_;
   std::uint64_t tail_bytes_read_ = 0;
   std::uint64_t pmem_bytes_written_ = 0;
+  telemetry::Counter tail_bytes_ctr_;
+  telemetry::Counter pmem_bytes_ctr_;
+  telemetry::Tracer* tracer_ = nullptr;
+  int trace_pid_ = 0;
 };
 
 class Pfe {
@@ -102,9 +114,18 @@ class Pfe {
   std::uint64_t instructions_issued() const;
   std::size_t dispatch_queue_depth() const { return dispatch_queue_.size(); }
 
+  /// This PFE's trace process id and tracer (null when tracing is off);
+  /// used by the PPEs and by applications that add their own rows.
+  int trace_pid() const { return trace_pid_; }
+  telemetry::Tracer* tracer() { return tracer_; }
+  /// Metric name prefix for this PFE ("pfe0.").
+  const std::string& metric_prefix() const { return metric_prefix_; }
+
  private:
   void try_dispatch();
   Ppe* pick_ppe();
+  void note_dispatch_depth();
+  void note_reorder_depth();
 
   sim::Simulator& sim_;
   Calibration cal_;
@@ -133,6 +154,14 @@ class Pfe {
 
   std::uint64_t packets_in_ = 0;
   std::uint64_t dispatch_drops_ = 0;
+
+  std::string metric_prefix_;
+  telemetry::Counter packets_in_ctr_;
+  telemetry::Counter packets_dispatched_ctr_;
+  telemetry::Counter dispatch_drops_ctr_;
+  telemetry::Gauge dispatch_depth_gauge_;
+  telemetry::Tracer* tracer_ = nullptr;
+  int trace_pid_ = 0;
 };
 
 /// Flow hash for the Dispatch module / Reorder Engine: IPv4 5-tuple when

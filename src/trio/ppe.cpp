@@ -1,8 +1,10 @@
 #include "trio/ppe.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "trio/pfe.hpp"
+#include "trio/xtxn.hpp"
 
 namespace trio {
 
@@ -13,6 +15,21 @@ Ppe::Ppe(sim::Simulator& simulator, const Calibration& cal, Pfe& pfe,
   free_slots_.reserve(threads_.size());
   for (int i = static_cast<int>(threads_.size()) - 1; i >= 0; --i) {
     free_slots_.push_back(i);
+  }
+}
+
+void Ppe::instrument(telemetry::Telemetry& telem, int pid,
+                     const std::string& prefix) {
+  instr_ctr_ = telem.metrics.counter(prefix + "instructions");
+  started_ctr_ = telem.metrics.counter(prefix + "threads_started");
+  if (telem.tracer.enabled()) {
+    tracer_ = &telem.tracer;
+    trace_pid_ = pid;
+    for (int slot = 0; slot < cal_.threads_per_ppe; ++slot) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "ppe%02d.t%02d", index_, slot);
+      telem.tracer.set_thread_name(pid, tid_of(slot), label);
+    }
   }
 }
 
@@ -44,6 +61,7 @@ bool Ppe::spawn(std::unique_ptr<PpeProgram> program, net::PacketPtr pkt,
   th.async_done_at = sim_.now();
   th.active = true;
   ++threads_started_;
+  started_ctr_.inc();
 
   sim_.schedule_in(cal_.dispatch_overhead, [this, slot] { advance(slot); });
   return true;
@@ -58,6 +76,7 @@ void Ppe::advance(int slot) {
   const std::uint32_t k = action_instructions(action);
   th.ctx.instructions_executed += k;
   instructions_issued_ += k;
+  instr_ctr_.inc(k);
 
   const sim::Time start = sim_.now() > issue_free_ ? sim_.now() : issue_free_;
   issue_free_ = start + cal_.issue_interval * k;
@@ -73,9 +92,17 @@ void Ppe::perform(int slot, Action action, sim::Time done) {
     // The thread suspends until the reply returns (§3.1 synchronous XTXN).
     sim_.schedule_at(done, [this, slot, req = std::move(sx->req)]() mutable {
       Thread& t = threads_[static_cast<std::size_t>(slot)];
-      pfe_.issue_xtxn(req, t.ctx.packet, [this, slot](XtxnReply reply) {
+      const sim::Time issued = sim_.now();
+      const XtxnOp op = req.op;
+      pfe_.issue_xtxn(req, t.ctx.packet,
+                      [this, slot, issued, op](XtxnReply reply) {
         Thread& t2 = threads_[static_cast<std::size_t>(slot)];
         t2.ctx.reply = std::move(reply);
+        if (tracer_ != nullptr) {
+          tracer_->complete(trace_pid_, tid_of(slot),
+                            std::string("stall:") + xtxn_op_name(op), issued,
+                            sim_.now());
+        }
         advance(slot);
       });
     });
@@ -109,6 +136,12 @@ void Ppe::perform(int slot, Action action, sim::Time done) {
 void Ppe::finish(int slot) {
   Thread& th = threads_[static_cast<std::size_t>(slot)];
   const auto ticket = th.ticket;
+  if (tracer_ != nullptr) {
+    // One span per thread lifetime: dispatch-to-destruction.
+    tracer_->complete(trace_pid_, tid_of(slot),
+                      th.ctx.packet ? "packet" : "timer", th.ctx.spawn_time,
+                      sim_.now());
+  }
   th.program.reset();
   th.ctx.packet.reset();
   th.active = false;

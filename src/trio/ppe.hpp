@@ -14,10 +14,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trio/calibration.hpp"
 #include "trio/program.hpp"
 
@@ -47,6 +49,13 @@ class Ppe {
   std::uint64_t threads_started() const { return threads_started_; }
   int index() const { return index_; }
 
+  /// PFE-wide counters (`<prefix>instructions`, `<prefix>threads_started`
+  /// — every PPE of a PFE shares the same cells) and, when tracing, one
+  /// named row per thread slot carrying packet/timer lifetime spans and
+  /// stall:<op> spans for synchronous XTXN waits. Called by the owning Pfe.
+  void instrument(telemetry::Telemetry& telem, int pid,
+                  const std::string& prefix);
+
  private:
   struct Thread {
     ThreadContext ctx;
@@ -60,6 +69,10 @@ class Ppe {
   void perform(int slot, Action action, sim::Time done);
   void finish(int slot);
 
+  /// Trace row id of a thread slot: rows of all PPEs in a PFE interleave
+  /// into one contiguous block, ordered (ppe, slot).
+  int tid_of(int slot) const { return index_ * cal_.threads_per_ppe + slot; }
+
   sim::Simulator& sim_;
   const Calibration& cal_;
   Pfe& pfe_;
@@ -69,6 +82,10 @@ class Ppe {
   sim::Time issue_free_;
   std::uint64_t instructions_issued_ = 0;
   std::uint64_t threads_started_ = 0;
+  telemetry::Counter instr_ctr_;
+  telemetry::Counter started_ctr_;
+  telemetry::Tracer* tracer_ = nullptr;
+  int trace_pid_ = 0;
 };
 
 }  // namespace trio

@@ -8,6 +8,7 @@ std::uint64_t ReorderEngine::open(std::uint64_t flow) {
   const std::uint64_t id = next_ticket_++;
   tickets_.emplace(id, Ticket{flow, false, {}});
   flows_[flow].push_back(id);
+  pending_gauge_.set(static_cast<std::int64_t>(tickets_.size()));
   return id;
 }
 
@@ -43,12 +44,14 @@ void ReorderEngine::flush(std::uint64_t flow) {
     if (!tit->second.closed) break;
     for (auto& out : tit->second.outputs) {
       ++released_;
+      released_ctr_.inc();
       release_(std::move(out));
     }
     tickets_.erase(tit);
     q.pop_front();
   }
   if (q.empty()) flows_.erase(fit);
+  pending_gauge_.set(static_cast<std::int64_t>(tickets_.size()));
 }
 
 }  // namespace trio

@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace trio {
 
@@ -44,6 +46,14 @@ class ReorderEngine {
   std::size_t pending() const { return tickets_.size(); }
   std::uint64_t released() const { return released_; }
 
+  /// Registers `<prefix>pending` (open-ticket gauge) and
+  /// `<prefix>released` (released-output counter). Normally called by the
+  /// owning Pfe; un-instrumented engines pay nothing.
+  void instrument(telemetry::Registry& registry, const std::string& prefix) {
+    pending_gauge_ = registry.gauge(prefix + "pending");
+    released_ctr_ = registry.counter(prefix + "released");
+  }
+
  private:
   struct Ticket {
     std::uint64_t flow;
@@ -58,6 +68,8 @@ class ReorderEngine {
   std::unordered_map<std::uint64_t, std::deque<std::uint64_t>> flows_;
   std::uint64_t next_ticket_ = 1;
   std::uint64_t released_ = 0;
+  telemetry::Gauge pending_gauge_;
+  telemetry::Counter released_ctr_;
 };
 
 }  // namespace trio

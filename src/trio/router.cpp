@@ -72,12 +72,34 @@ Router::Router(sim::Simulator& simulator, Calibration cal, int num_pfes,
       cal_(cal),
       ports_per_pfe_(ports_per_pfe),
       name_(std::move(name)),
+      owned_telem_(std::make_unique<telemetry::Telemetry>()),
+      telem_(owned_telem_.get()),
       fabric_(simulator, cal_, num_pfes) {
-  if (num_pfes <= 0 || ports_per_pfe <= 0) {
+  init(num_pfes);
+}
+
+Router::Router(sim::Simulator& simulator, Calibration cal, int num_pfes,
+               int ports_per_pfe, telemetry::Telemetry& telem,
+               std::string name)
+    : sim_(simulator),
+      cal_(cal),
+      ports_per_pfe_(ports_per_pfe),
+      name_(std::move(name)),
+      telem_(&telem),
+      fabric_(simulator, cal_, num_pfes) {
+  init(num_pfes);
+}
+
+void Router::init(int num_pfes) {
+  if (num_pfes <= 0 || ports_per_pfe_ <= 0) {
     throw std::invalid_argument("Router: need at least one PFE and port");
   }
+  rx_ctr_ = telem_->metrics.counter("router.packets_received");
+  tx_ctr_ = telem_->metrics.counter("router.packets_transmitted");
+  discard_ctr_ = telem_->metrics.counter("router.packets_discarded");
+  no_route_ctr_ = telem_->metrics.counter("router.no_route_drops");
   for (int i = 0; i < num_pfes; ++i) {
-    pfes_.push_back(std::make_unique<Pfe>(simulator, cal_, *this, i));
+    pfes_.push_back(std::make_unique<Pfe>(sim_, cal_, *this, i));
   }
   port_tx_.resize(static_cast<std::size_t>(num_ports()), nullptr);
   port_sinks_.resize(static_cast<std::size_t>(num_ports()));
@@ -88,6 +110,7 @@ void Router::receive(net::PacketPtr pkt, int port) {
     throw std::out_of_range("Router::receive: bad port");
   }
   ++packets_received_;
+  rx_ctr_.inc();
   pkt->set_ingress_port(port);
   pfe(pfe_of_port(port)).ingress(std::move(pkt));
 }
@@ -126,6 +149,7 @@ void Router::transmit(int src_pfe, net::PacketPtr pkt,
                  [&dst](net::PacketPtr p) { dst.ingress(std::move(p)); });
   } else {
     ++packets_discarded_;
+    discard_ctr_.inc();
   }
 }
 
@@ -133,6 +157,7 @@ void Router::egress_enqueue(int src_pfe, int global_port, net::PacketPtr pkt,
                             const net::MacAddr& dst_mac) {
   if (global_port < 0 || global_port >= num_ports()) {
     ++packets_discarded_;
+    discard_ctr_.inc();
     return;
   }
   // Egress rewrite: destination MAC from the nexthop.
@@ -153,6 +178,7 @@ void Router::egress_enqueue(int src_pfe, int global_port, net::PacketPtr pkt,
 
 void Router::port_out(int global_port, net::PacketPtr pkt) {
   ++packets_transmitted_;
+  tx_ctr_.inc();
   pkt->set_egress_port(global_port);
   auto* tx = port_tx_[static_cast<std::size_t>(global_port)];
   if (tx != nullptr) {
@@ -165,6 +191,7 @@ void Router::port_out(int global_port, net::PacketPtr pkt) {
     return;
   }
   ++packets_discarded_;  // unattached port
+  discard_ctr_.inc();
 }
 
 }  // namespace trio

@@ -13,6 +13,7 @@
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trio/calibration.hpp"
 #include "trio/fabric.hpp"
 #include "trio/forwarding.hpp"
@@ -23,9 +24,16 @@ namespace trio {
 class Router : public net::Node {
  public:
   /// `ports_per_pfe` front-panel ports are assigned to each PFE in order:
-  /// global port p lives on PFE p / ports_per_pfe.
+  /// global port p lives on PFE p / ports_per_pfe. This overload owns a
+  /// fully disabled telemetry bundle (the no-observer fast path).
   Router(sim::Simulator& simulator, Calibration cal, int num_pfes,
          int ports_per_pfe, std::string name = "trio-router");
+  /// Observed router: metrics and trace events flow into `telem`, which
+  /// must outlive the router. Tests assert on `telem.metrics` counters;
+  /// tools export them via --metrics-out / --trace-out.
+  Router(sim::Simulator& simulator, Calibration cal, int num_pfes,
+         int ports_per_pfe, telemetry::Telemetry& telem,
+         std::string name = "trio-router");
 
   // --- net::Node ----------------------------------------------------------
   void receive(net::PacketPtr pkt, int port) override;
@@ -60,14 +68,21 @@ class Router : public net::Node {
 
   sim::Simulator& simulator() { return sim_; }
   const Calibration& cal() const { return cal_; }
+  telemetry::Telemetry& telemetry() { return *telem_; }
+  telemetry::Registry& metrics() { return telem_->metrics; }
+  telemetry::Tracer& tracer() { return telem_->tracer; }
 
   std::uint64_t packets_received() const { return packets_received_; }
   std::uint64_t packets_transmitted() const { return packets_transmitted_; }
   std::uint64_t packets_discarded() const { return packets_discarded_; }
   std::uint64_t no_route_drops() const { return no_route_drops_; }
-  void count_no_route_drop() { ++no_route_drops_; }
+  void count_no_route_drop() {
+    ++no_route_drops_;
+    no_route_ctr_.inc();
+  }
 
  private:
+  void init(int num_pfes);
   void egress_enqueue(int src_pfe, int global_port, net::PacketPtr pkt,
                       const net::MacAddr& dst_mac);
   void port_out(int global_port, net::PacketPtr pkt);
@@ -76,6 +91,10 @@ class Router : public net::Node {
   Calibration cal_;
   int ports_per_pfe_;
   std::string name_;
+  // Telemetry must precede pfes_: Pfe constructors instrument through the
+  // router. owned_telem_ backs the unobserved overload only.
+  std::unique_ptr<telemetry::Telemetry> owned_telem_;
+  telemetry::Telemetry* telem_;
   ForwardingTable fwd_;
   Fabric fabric_;
   std::vector<std::unique_ptr<Pfe>> pfes_;
@@ -86,6 +105,10 @@ class Router : public net::Node {
   std::uint64_t packets_transmitted_ = 0;
   std::uint64_t packets_discarded_ = 0;
   std::uint64_t no_route_drops_ = 0;
+  telemetry::Counter rx_ctr_;
+  telemetry::Counter tx_ctr_;
+  telemetry::Counter discard_ctr_;
+  telemetry::Counter no_route_ctr_;
 };
 
 }  // namespace trio

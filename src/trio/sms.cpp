@@ -1,7 +1,10 @@
 #include "trio/sms.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
+
+#include "trio/trace_rows.hpp"
 
 namespace trio {
 
@@ -28,6 +31,29 @@ SharedMemorySystem::SharedMemorySystem(sim::Simulator& simulator,
   dram_cache_tags_.assign(cal_.dram_cache_bytes / cal_.bank_interleave,
                           ~0ull);
   dram_brk_ = dram_base() + 64;
+}
+
+void SharedMemorySystem::instrument(telemetry::Telemetry& telem, int pid,
+                                    const std::string& prefix) {
+  ops_ctr_ = telem.metrics.counter(prefix + "ops");
+  contended_ctr_ = telem.metrics.counter(prefix + "rmw_contended");
+  queue_delay_hist_ = telem.metrics.histogram(prefix + "queue_delay_ns");
+  char label[32];
+  for (std::size_t k = 0; k < banks_.size(); ++k) {
+    std::snprintf(label, sizeof(label), "bank%02zu", k);
+    banks_[k].busy_ctr =
+        telem.metrics.counter(prefix + label + ".busy_cycles");
+  }
+  if (telem.tracer.enabled()) {
+    tracer_ = &telem.tracer;
+    trace_pid_ = pid;
+    for (std::size_t k = 0; k < banks_.size(); ++k) {
+      std::snprintf(label, sizeof(label), "sms.bank%02zu", k);
+      banks_[k].trace_name = label;
+      telem.tracer.set_thread_name(
+          pid, trace_rows::kSmsBankBase + static_cast<int>(k), label);
+    }
+  }
 }
 
 std::vector<std::uint8_t>& SharedMemorySystem::page(std::uint64_t addr) {
@@ -275,10 +301,12 @@ void SharedMemorySystem::apply(const XtxnRequest& req, XtxnReply& reply) {
 
 sim::Time SharedMemorySystem::issue(const XtxnRequest& req, XtxnCallback cb) {
   ++ops_;
+  ops_ctr_.inc();
   XtxnReply reply;
   apply(req, reply);
 
-  Bank& bank = banks_[static_cast<std::size_t>(bank_of(req.addr))];
+  const int bank_idx = bank_of(req.addr);
+  Bank& bank = banks_[static_cast<std::size_t>(bank_idx)];
   int cycles = service_cycles(req);
   if (line_ownership_mode_ && req.op != XtxnOp::kRead &&
       req.op != XtxnOp::kWrite) {
@@ -290,8 +318,19 @@ sim::Time SharedMemorySystem::issue(const XtxnRequest& req, XtxnCallback cb) {
   const sim::Duration service = sim::Duration::cycles(cycles, cal_.clock_hz);
   const sim::Time arrive = sim_.now() + cal_.crossbar_latency;
   const sim::Time start = arrive > bank.free_at ? arrive : bank.free_at;
+  if (start > arrive) contended_ctr_.inc();
+  queue_delay_hist_.record((start - arrive).ns());
   bank.free_at = start + service;
   bank.busy_cycles += static_cast<std::uint64_t>(cycles);
+  bank.busy_ctr.inc(static_cast<std::uint64_t>(cycles));
+  if (tracer_ != nullptr) {
+    // Service span on the bank's row: queueing behind the RMW engine is
+    // visible as the gap between arrival and the span's start.
+    tracer_->complete(trace_pid_, trace_rows::kSmsBankBase + bank_idx,
+                      xtxn_op_name(req.op), start, bank.free_at);
+    tracer_->counter(trace_pid_, bank.trace_name, "busy_cycles", sim_.now(),
+                     static_cast<double>(bank.busy_cycles));
+  }
 
   const std::size_t touched =
       req.len != 0 ? req.len : (req.data.empty() ? 8 : req.data.size());

@@ -20,10 +20,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trio/calibration.hpp"
 #include "trio/xtxn.hpp"
 
@@ -82,6 +84,15 @@ class SharedMemorySystem {
   std::uint64_t dram_cache_hits() const { return cache_hits_; }
   std::uint64_t dram_cache_misses() const { return cache_misses_; }
 
+  /// Hooks this SMS into a telemetry bundle (normally called by the owning
+  /// Pfe). Registers `<prefix>ops`, `<prefix>rmw_contended`, the
+  /// `<prefix>queue_delay_ns` histogram and one busy-cycle counter per
+  /// bank; when tracing, each request becomes a service span on its
+  /// bank's row of trace process `pid` plus a bank busy-cycles counter
+  /// sample. Standalone (un-instrumented) construction stays zero-cost.
+  void instrument(telemetry::Telemetry& telem, int pid,
+                  const std::string& prefix);
+
   /// Alternative access discipline for the ablation benchmark: when true,
   /// RMW ops behave like a conventional lock-the-cache-line protocol — the
   /// requester must first *move* the line to itself (round trip), operate,
@@ -92,6 +103,8 @@ class SharedMemorySystem {
   struct Bank {
     sim::Time free_at;
     std::uint64_t busy_cycles = 0;
+    telemetry::Counter busy_ctr;
+    std::string trace_name;  // set when tracing ("sms.bank03")
   };
 
   sim::Duration tier_latency(std::uint64_t addr, std::size_t touched_bytes);
@@ -120,6 +133,12 @@ class SharedMemorySystem {
   std::uint64_t ops_ = 0;
   std::uint64_t add32_ops_ = 0;
   bool line_ownership_mode_ = false;
+
+  telemetry::Counter ops_ctr_;
+  telemetry::Counter contended_ctr_;
+  telemetry::Histogram queue_delay_hist_;
+  telemetry::Tracer* tracer_ = nullptr;  // null unless tracing enabled
+  int trace_pid_ = 0;
 };
 
 }  // namespace trio

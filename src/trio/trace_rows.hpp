@@ -1,0 +1,21 @@
+// Trace-row conventions for the simulated chipset (docs/telemetry.md).
+//
+// Each PFE is one trace *process* (pid = PFE index + 1; pid 0 is reserved
+// for viewers' idle row). Within a PFE, PPE thread slots occupy the low
+// tid range (ppe_index * threads_per_ppe + slot) and the hardware blocks
+// get fixed high tids so they can never collide with thread rows even on
+// hypothetical large-generation calibrations.
+#pragma once
+
+namespace trio::trace_rows {
+
+constexpr int pid_of_pfe(int pfe_index) { return pfe_index + 1; }
+
+constexpr int kDispatch = 1'000'000;
+constexpr int kReorder = 1'000'001;
+constexpr int kCrossbar = 1'000'002;
+constexpr int kMqss = 1'000'003;
+/// SMS bank `k` renders on tid kSmsBankBase + k.
+constexpr int kSmsBankBase = 1'000'100;
+
+}  // namespace trio::trace_rows

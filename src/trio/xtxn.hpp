@@ -51,6 +51,31 @@ constexpr bool xtxn_is_posted(XtxnOp op) {
   }
 }
 
+/// Stable lower-case name for telemetry (trace span / counter labels).
+constexpr const char* xtxn_op_name(XtxnOp op) {
+  switch (op) {
+    case XtxnOp::kRead: return "read";
+    case XtxnOp::kWrite: return "write";
+    case XtxnOp::kCounterInc: return "counter_inc";
+    case XtxnOp::kPolicerCheck: return "policer_check";
+    case XtxnOp::kFetchAdd32: return "fetch_add32";
+    case XtxnOp::kFetchAnd64: return "fetch_and64";
+    case XtxnOp::kFetchOr64: return "fetch_or64";
+    case XtxnOp::kFetchXor64: return "fetch_xor64";
+    case XtxnOp::kFetchClear64: return "fetch_clear64";
+    case XtxnOp::kFetchSwap64: return "fetch_swap64";
+    case XtxnOp::kMaskedWrite64: return "masked_write64";
+    case XtxnOp::kAddVec32: return "add_vec32";
+    case XtxnOp::kHashLookup: return "hash_lookup";
+    case XtxnOp::kHashInsert: return "hash_insert";
+    case XtxnOp::kHashDelete: return "hash_delete";
+    case XtxnOp::kHashScanStep: return "hash_scan_step";
+    case XtxnOp::kTailRead: return "tail_read";
+    case XtxnOp::kPmemWrite: return "pmem_write";
+  }
+  return "unknown";
+}
+
 struct XtxnRequest {
   XtxnOp op{};
   std::uint64_t addr = 0;

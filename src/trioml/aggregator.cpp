@@ -65,8 +65,9 @@ trio::Action AggregationProgram::finish(trio::ThreadContext& ctx,
   // "Time each aggregation packet spends in Trio" (§6.3): arrival at the
   // PFE to thread completion.
   const sim::Time now = app_.pfe().router().simulator().now();
-  app_.stats().packet_latency_us.add(
-      (now - ctx.packet->arrival_time()).us());
+  const sim::Duration in_trio = now - ctx.packet->arrival_time();
+  app_.stats().packet_latency_us.add(in_trio.us());
+  app_.packet_latency_hist().record(in_trio.ns());
   state_ = State::kExit;
   return trio::ActExit{instructions};
 }
@@ -449,10 +450,10 @@ trio::Action AggregationProgram::do_step(trio::ThreadContext& ctx) {
         pending_.push_back(std::move(dec));
       }
       const sim::Time now = app_.pfe().router().simulator().now();
-      app_.stats().block_latency_us.add(
-          (now -
-           sim::Time(static_cast<std::int64_t>(record_.block_start_time)))
-              .us());
+      const sim::Duration block_age =
+          now - sim::Time(static_cast<std::int64_t>(record_.block_start_time));
+      app_.stats().block_latency_us.add(block_age.us());
+      app_.block_latency_hist().record(block_age.ns());
       if (have_job_) {
         state_ = State::kScratch;
       } else {

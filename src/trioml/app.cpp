@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "trio/router.hpp"
 #include "trioml/advanced_straggler.hpp"
 #include "trioml/aggregator.hpp"
 #include "trioml/straggler.hpp"
@@ -25,6 +26,10 @@ TrioMlApp::TrioMlApp(trio::Pfe& pfe, Config config)
     buffer_to_record_.emplace(slab.buffer_addr, slab.record_addr);
     free_slabs_.push_back(slab);
   }
+  auto& registry = pfe_.router().telemetry().metrics;
+  const std::string prefix = pfe_.metric_prefix() + "trioml.";
+  packet_latency_hist_ = registry.histogram(prefix + "packet_latency_ns");
+  block_latency_hist_ = registry.histogram(prefix + "block_latency_ns");
 }
 
 void TrioMlApp::configure_job(const JobSetup& setup) {

@@ -15,6 +15,7 @@
 
 #include "net/headers.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "trio/pfe.hpp"
 #include "trioml/records.hpp"
 #include "trioml/wire_format.hpp"
@@ -132,6 +133,12 @@ class TrioMlApp {
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
+  /// Registry histograms mirroring the latency Samples above
+  /// (`pfe<N>.trioml.packet_latency_ns` / `.block_latency_ns`); live only
+  /// when the router's registry is enabled.
+  telemetry::Histogram packet_latency_hist() { return packet_latency_hist_; }
+  telemetry::Histogram block_latency_hist() { return block_latency_hist_; }
+
  private:
   trio::Pfe& pfe_;
   Config config_;
@@ -148,6 +155,8 @@ class TrioMlApp {
   std::unordered_map<std::uint8_t, Profiling> profiling_;
   std::optional<net::Ipv4Addr> agg_addr_;
   Stats stats_;
+  telemetry::Histogram packet_latency_hist_;
+  telemetry::Histogram block_latency_hist_;
 };
 
 }  // namespace trioml

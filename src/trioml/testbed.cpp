@@ -25,8 +25,14 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   const int num_pfes = config_.hierarchical ? 6 : 1;
   const int ports_per_pfe =
       std::max(8, (config_.num_workers + num_pfes - 1));
-  router_ = std::make_unique<trio::Router>(sim_, config_.cal, num_pfes,
-                                           ports_per_pfe, "mx480");
+  if (config_.telemetry != nullptr) {
+    router_ = std::make_unique<trio::Router>(sim_, config_.cal, num_pfes,
+                                             ports_per_pfe, *config_.telemetry,
+                                             "mx480");
+  } else {
+    router_ = std::make_unique<trio::Router>(sim_, config_.cal, num_pfes,
+                                             ports_per_pfe, "mx480");
+  }
   apps_.resize(static_cast<std::size_t>(num_pfes));
 
   // --- Attach workers -------------------------------------------------------
@@ -137,6 +143,10 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     wc.expected_sources = static_cast<std::uint8_t>(config_.num_workers);
     auto worker = std::make_unique<TrioMlWorker>(sim_, wc, link->a_to_b());
     link->attach(*worker, 0, *router_, worker_port[static_cast<std::size_t>(i)]);
+    if (config_.telemetry != nullptr) {
+      link->instrument(config_.telemetry->metrics,
+                       "link.worker" + std::to_string(i) + ".");
+    }
     router_->attach_port(worker_port[static_cast<std::size_t>(i)],
                          link->b_to_a());
     links_.push_back(std::move(link));

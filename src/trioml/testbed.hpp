@@ -26,6 +26,10 @@ struct TestbedConfig {
   std::uint8_t block_exp_ms = 10;
   std::size_t slab_pool = 8192;
   trio::Calibration cal;
+  /// When set, the router is built observed by this telemetry bundle
+  /// (must outlive the Testbed) and the worker links register tx/rx/drop
+  /// counters; when null the testbed runs un-instrumented.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class Testbed {

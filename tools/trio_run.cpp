@@ -2,12 +2,17 @@
 // synthetic traffic and report what happened.
 //
 //   trio-run <program.tmc> [--packets N] [--mix ip,arp,opts]
-//            [--counter WORD_ADDR] ...
+//            [--counter WORD_ADDR] ... [--metrics-out FILE]
+//            [--trace-out FILE]
 //
 // Traffic mix tokens: "ip" (clean IPv4/UDP), "arp" (non-IP EtherType),
 // "opts" (IPv4 with options, IHL=6). Counters named with --counter are
 // read back from the Shared Memory System (as 16-byte Packet/Byte
 // counters at the given 8-byte word address) after the run.
+//
+// --metrics-out writes the telemetry registry as JSON; --trace-out writes
+// a Chrome trace_event JSON timeline (chrome://tracing, Perfetto) with
+// one row per PPE thread plus the hardware blocks (docs/telemetry.md).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -17,6 +22,7 @@
 #include "microcode/compiler.hpp"
 #include "microcode/error.hpp"
 #include "microcode/interpreter.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trio/router.hpp"
 
 namespace {
@@ -24,7 +30,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: trio-run <program.tmc> [--packets N] "
-               "[--mix ip,arp,opts] [--counter WORD_ADDR]...\n");
+               "[--mix ip,arp,opts] [--counter WORD_ADDR]... "
+               "[--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
 
@@ -49,6 +56,8 @@ int main(int argc, char** argv) {
   int packets = 1000;
   std::vector<std::string> mix = {"ip", "arp", "opts"};
   std::vector<std::uint64_t> counters;
+  std::string metrics_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--packets" && i + 1 < argc) {
@@ -60,6 +69,14 @@ int main(int argc, char** argv) {
       while (std::getline(ss, tok, ',')) mix.push_back(tok);
     } else if (arg == "--counter" && i + 1 < argc) {
       counters.push_back(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -85,7 +102,8 @@ int main(int argc, char** argv) {
   }
 
   sim::Simulator sim;
-  trio::Router router(sim, trio::Calibration{}, 1, 4);
+  telemetry::Telemetry telem(!metrics_out.empty(), !trace_out.empty());
+  trio::Router router(sim, trio::Calibration{}, 1, 4, telem);
   // Nexthop 0: out of port 1 (programs Forward(0) to use it).
   router.forwarding().add_nexthop(trio::NexthopUnicast{1, {}});
   std::uint64_t forwarded = 0;
@@ -118,6 +136,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(word),
                 static_cast<unsigned long long>(sms.peek_u64(word * 8)),
                 static_cast<unsigned long long>(sms.peek_u64(word * 8 + 8)));
+  }
+  if (!metrics_out.empty()) {
+    if (!telem.metrics.write_json_file(metrics_out, sim.now())) {
+      std::fprintf(stderr, "trio-run: cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("  metrics: %s (%zu metrics)\n", metrics_out.c_str(),
+                telem.metrics.metric_count());
+  }
+  if (!trace_out.empty()) {
+    if (!telem.tracer.write_json_file(trace_out)) {
+      std::fprintf(stderr, "trio-run: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("  trace: %s (%zu events)\n", trace_out.c_str(),
+                telem.tracer.event_count());
   }
   return 0;
 }
