@@ -4,9 +4,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace benchutil {
@@ -25,6 +28,85 @@ inline std::string fmt(double v, int prec = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
   return buf;
+}
+
+/// Machine-readable counterpart of the printed table: one JSON object per
+/// row, written as an array to the `--json-out=<file>` destination.
+///
+///   JsonSeries series;
+///   series.number("racks", 4).number("goodput_gbps", g).end_row();
+///   series.write_file(path);
+class JsonSeries {
+ public:
+  JsonSeries& number(const std::string& key, double value) {
+    std::ostringstream os;
+    telemetry::json_string(os, key);
+    os << ": ";
+    telemetry::json_number(os, value);
+    fields_.push_back(os.str());
+    return *this;
+  }
+  JsonSeries& number(const std::string& key, std::uint64_t value) {
+    return number(key, double(value));
+  }
+  JsonSeries& string(const std::string& key, const std::string& value) {
+    std::ostringstream os;
+    telemetry::json_string(os, key);
+    os << ": ";
+    telemetry::json_string(os, value);
+    fields_.push_back(os.str());
+    return *this;
+  }
+  JsonSeries& boolean(const std::string& key, bool value) {
+    std::ostringstream os;
+    telemetry::json_string(os, key);
+    os << ": " << (value ? "true" : "false");
+    fields_.push_back(os.str());
+    return *this;
+  }
+  void end_row() {
+    std::string row = "  {";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) row += ", ";
+      row += fields_[i];
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+    fields_.clear();
+  }
+  std::size_t row_count() const { return rows_.size(); }
+
+  void write(std::ostream& os) const {
+    os << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      os << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+  }
+  bool write_file(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    write(os);
+    return bool(os);
+  }
+
+ private:
+  std::vector<std::string> fields_;
+  std::vector<std::string> rows_;
+};
+
+/// Parses `--json-out=<file>` (or `--json-out <file>`); empty = not given.
+inline std::string parse_json_out_flag(int argc, char** argv) {
+  const std::string flag = "--json-out";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() > flag.size() && arg.compare(0, flag.size(), flag) == 0 &&
+        arg[flag.size()] == '=') {
+      return arg.substr(flag.size() + 1);
+    }
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+  }
+  return "";
 }
 
 /// `--metrics-out=<json>` / `--trace-out=<json>` destinations (empty =

@@ -1,0 +1,128 @@
+// Scale-out extension of the paper's §4 cross-device aggregation: sweep
+// declarative multi-rack clusters (racks x workers-per-rack) through a
+// full allreduce over the two-level aggregation tree and report
+// throughput and latency per topology. Every topology's results are
+// checked bit-for-bit against a flat single-router Testbed aggregating
+// the same worker gradients — the tree changes where addition happens,
+// never what it produces.
+//
+//   fig17_scaleout [--json-out=<file>] [--metrics-out=<json>]
+//                  [--trace-out=<json>]
+//
+// Telemetry flags apply to the largest topology in the sweep.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/allreduce.hpp"
+#include "cluster/cluster.hpp"
+
+namespace {
+
+struct Topology {
+  int racks;
+  int workers_per_rack;
+};
+
+constexpr std::size_t kBlocks = 32;
+constexpr std::uint16_t kGradsPerPacket = 1024;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto telem_opts = benchutil::parse_telemetry_flags(argc, argv);
+  const std::string json_out = benchutil::parse_json_out_flag(argc, argv);
+
+  benchutil::banner(
+      "Fig 17 (extension): multi-rack scale-out",
+      "paper SS4 cross-device hierarchical aggregation, scaled to N racks");
+
+  const std::vector<Topology> sweep = {
+      {1, 4}, {2, 4}, {2, 8}, {4, 4}, {4, 8}, {8, 8},
+  };
+
+  benchutil::row({"racks", "wkr/rack", "workers", "time_us", "agg_gbps",
+                  "per_wkr_gbps", "identical"});
+  benchutil::JsonSeries series;
+  telemetry::Telemetry telem(telem_opts.metrics_enabled(),
+                             telem_opts.trace_enabled());
+
+  for (std::size_t t = 0; t < sweep.size(); ++t) {
+    const Topology& topo = sweep[t];
+    const bool last = t + 1 == sweep.size();
+
+    cluster::ClusterSpec spec;
+    spec.racks = topo.racks;
+    spec.workers_per_rack = topo.workers_per_rack;
+    spec.grads_per_packet = kGradsPerPacket;
+    spec.fabric_link.gbps = 400;  // spine trunks are faster than host links
+    spec.fabric_link.latency = sim::Duration::micros(2);
+    if (last && telem_opts.any()) spec.telemetry = &telem;
+
+    const auto grads = cluster::patterned_gradients(
+        spec.total_workers(), kBlocks * kGradsPerPacket);
+
+    cluster::Cluster cl(spec);
+    cl.sample_trace_counters();
+    const cluster::AllreduceRun run = cluster::run_allreduce(cl, grads);
+    cl.sample_trace_counters();
+
+    const bool identical =
+        run.finished == spec.total_workers() &&
+        cluster::bit_identical(run.results,
+                               cluster::testbed_baseline(spec, grads));
+    const double per_worker_gbps =
+        run.duration_us() <= 0
+            ? 0
+            : double(grads[0].size() * 4) * 8.0 / (run.duration_us() * 1e3);
+
+    std::uint64_t uplink_frames = 0;
+    for (int r = 0; r < spec.racks; ++r) {
+      uplink_frames += cl.fabric_link(r).a_to_b().frames_sent();
+    }
+
+    benchutil::row({std::to_string(topo.racks),
+                    std::to_string(topo.workers_per_rack),
+                    std::to_string(spec.total_workers()),
+                    benchutil::fmt(run.duration_us()),
+                    benchutil::fmt(run.goodput_gbps()),
+                    benchutil::fmt(per_worker_gbps),
+                    identical ? "yes" : "NO"});
+
+    series.number("racks", std::uint64_t(topo.racks))
+        .number("workers_per_rack", std::uint64_t(topo.workers_per_rack))
+        .number("workers", std::uint64_t(spec.total_workers()))
+        .number("grads_per_worker", std::uint64_t(grads[0].size()))
+        .number("duration_us", run.duration_us())
+        .number("agg_goodput_gbps", run.goodput_gbps())
+        .number("per_worker_goodput_gbps", per_worker_gbps)
+        .number("spine_blocks_completed",
+                cl.spine_app().stats().blocks_completed)
+        .number("uplink_frames", uplink_frames)
+        .boolean("bit_identical_to_testbed", identical)
+        .end_row();
+
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAILED: %dx%d cluster results diverge from the flat "
+                   "Testbed baseline\n",
+                   topo.racks, topo.workers_per_rack);
+      return 1;
+    }
+    if (last && telem_opts.any()) {
+      benchutil::write_telemetry(telem_opts, telem, cl.simulator().now());
+    }
+  }
+
+  if (!json_out.empty()) {
+    if (series.write_file(json_out)) {
+      std::printf("\nwrote %zu topologies to %s\n", series.row_count(),
+                  json_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

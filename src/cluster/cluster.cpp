@@ -1,0 +1,230 @@
+#include "cluster/cluster.hpp"
+
+#include <string>
+
+#include "trioml/addressing.hpp"
+
+namespace cluster {
+
+namespace {
+
+std::string rack_name(int r) { return "rack" + std::to_string(r); }
+
+}  // namespace
+
+Cluster::Cluster(ClusterSpec spec)
+    : spec_(std::move(spec)), tree_(build_aggregation_tree(spec_)) {
+  const int racks = spec_.racks;
+  const int wpr = spec_.workers_per_rack;
+
+  // --- Routers --------------------------------------------------------------
+  // One PFE per router; each leaf has a front-panel port per worker plus
+  // the trunk (port `wpr`), the spine one trunk port per rack.
+  auto make_router = [&](int pid_router, const std::string& name,
+                         int ports) -> std::unique_ptr<trio::Router> {
+    if (spec_.telemetry == nullptr) {
+      return std::make_unique<trio::Router>(sim_, spec_.cal, 1, ports, name);
+    }
+    trio::TelemetryScope scope;
+    scope.trace_pid_base = pid_router * kPidStride;
+    scope.metric_prefix = name + ".";
+    scope.process_prefix = name + ".";
+    return std::make_unique<trio::Router>(sim_, spec_.cal, 1, ports,
+                                          *spec_.telemetry, scope, name);
+  };
+  spine_ = make_router(racks, "spine", std::max(1, racks));
+  leaves_.reserve(std::size_t(racks));
+  for (int r = 0; r < racks; ++r) {
+    leaves_.push_back(make_router(r, rack_name(r), wpr + 1));
+  }
+
+  // --- Spine: top-level job over one source per rack --------------------
+  auto& spine_fwd = spine_->forwarding();
+  for (int r = 0; r < racks; ++r) {
+    const std::uint32_t member = spine_fwd.add_nexthop(
+        trio::NexthopUnicast{r, trioml::aggregator_mac(r)});
+    spine_group_nh_ = spine_fwd.join_group(tree_.result_group, member);
+    spine_fwd.add_route(tree_.racks[std::size_t(r)].agg_ip, 32, member);
+  }
+  {
+    trioml::TrioMlApp::Config app_config;
+    app_config.slab_pool = spec_.slab_pool;
+    spine_app_ =
+        std::make_unique<trioml::TrioMlApp>(spine_->pfe(0), app_config);
+    spine_app_->set_aggregation_address(tree_.spine_ip);
+    spine_app_->install();
+    trioml::TrioMlApp::JobSetup job;
+    job.job_id = spec_.job_id;
+    job.src_ids = tree_.spine_src_ids;
+    job.block_grad_max = spec_.grads_per_packet;
+    job.block_exp_ms = spec_.block_exp_ms;
+    job.out_src = tree_.spine_ip;
+    job.out_dst = tree_.result_group;
+    job.out_nh = spine_group_nh_;
+    spine_app_->configure_job(job);
+  }
+
+  // --- Racks ----------------------------------------------------------------
+  leaf_apps_.reserve(std::size_t(racks));
+  host_links_.reserve(std::size_t(racks * wpr));
+  workers_.reserve(std::size_t(racks * wpr));
+  fabric_links_.reserve(std::size_t(racks));
+  for (const RackNode& node : tree_.racks) build_rack(node);
+
+  // --- Per-rack trace summary rows ---------------------------------------
+  if (spec_.telemetry != nullptr && spec_.telemetry->tracer.enabled()) {
+    auto& tracer = spec_.telemetry->tracer;
+    for (int r = 0; r < racks; ++r) {
+      tracer.set_process_name(kSummaryPidBase + r, rack_name(r));
+    }
+    tracer.set_process_name(kSummaryPidBase + racks, "spine");
+  }
+}
+
+void Cluster::build_rack(const RackNode& node) {
+  const int r = node.rack;
+  const int wpr = spec_.workers_per_rack;
+  trio::Router& leaf = *leaves_[std::size_t(r)];
+  auto& fwd = leaf.forwarding();
+
+  // Trunk to the spine: partial Results ride ordinary IP forwarding up
+  // (paper §4), the final multicast comes back down the same link.
+  auto trunk = std::make_unique<net::Link>(sim_, spec_.fabric_link.gbps,
+                                           spec_.fabric_link.latency,
+                                           spec_.fabric_link.queue_frames);
+  trunk->attach(leaf, trunk_port(), *spine_, r);
+  leaf.attach_port(trunk_port(), trunk->a_to_b());
+  spine_->attach_port(r, trunk->b_to_a());
+  if (spec_.fabric_link.loss > 0) {
+    trunk->set_loss(spec_.fabric_link.loss,
+                    spec_.fabric_link.loss_seed + std::uint64_t(r));
+  }
+  if (spec_.telemetry != nullptr) {
+    // Tier counters share one registry cell across all fabric links, so
+    // "cluster.tier.fabric.up.tx_frames" is the tier total.
+    trunk->a_to_b().instrument(spec_.telemetry->metrics,
+                               "cluster.tier.fabric.up.");
+    trunk->b_to_a().instrument(spec_.telemetry->metrics,
+                               "cluster.tier.fabric.down.");
+  }
+  const std::uint32_t to_spine = fwd.add_nexthop(
+      trio::NexthopUnicast{trunk_port(), trioml::spine_mac()});
+  fwd.add_route(tree_.spine_ip, 32, to_spine);
+  fabric_links_.push_back(std::move(trunk));
+
+  // Leaf aggregation job: local workers in, partial Results up, stamped
+  // with the rack's uplink source id.
+  trioml::TrioMlApp::Config app_config;
+  app_config.slab_pool = spec_.slab_pool;
+  auto app = std::make_unique<trioml::TrioMlApp>(leaf.pfe(0), app_config);
+  app->set_aggregation_address(node.agg_ip);
+  app->install();
+  trioml::TrioMlApp::JobSetup job;
+  job.job_id = spec_.job_id;
+  job.src_ids = node.worker_src_ids;
+  job.block_grad_max = spec_.grads_per_packet;
+  job.block_exp_ms = spec_.block_exp_ms;
+  job.out_src = node.agg_ip;
+  job.out_dst = tree_.spine_ip;
+  job.out_nh = to_spine;
+  job.out_src_id = node.uplink_src_id;
+  app->configure_job(job);
+  leaf_apps_.push_back(std::move(app));
+
+  // Workers and host links; the leaf forwards the final-result multicast
+  // group to every local worker port.
+  for (int i = 0; i < wpr; ++i) {
+    const std::uint32_t member =
+        fwd.add_nexthop(trio::NexthopUnicast{i, trioml::worker_mac(r, i)});
+    fwd.join_group(tree_.result_group, member);
+    fwd.add_route(trioml::worker_ip(r, i), 32, member);
+
+    auto link = std::make_unique<net::Link>(sim_, spec_.host_link.gbps,
+                                            spec_.host_link.latency,
+                                            spec_.host_link.queue_frames);
+    trioml::TrioMlWorker::Config wc;
+    wc.job_id = spec_.job_id;
+    wc.src_id = node.worker_src_ids[std::size_t(i)];
+    wc.ip = trioml::worker_ip(r, i);
+    wc.mac = trioml::worker_mac(r, i);
+    wc.agg_ip = node.agg_ip;
+    wc.agg_mac = trioml::aggregator_mac(r);
+    wc.window = spec_.window;
+    wc.grads_per_packet = spec_.grads_per_packet;
+    wc.expected_sources = tree_.expected_sources;
+    auto worker =
+        std::make_unique<trioml::TrioMlWorker>(sim_, wc, link->a_to_b());
+    link->attach(*worker, 0, leaf, i);
+    leaf.attach_port(i, link->b_to_a());
+    if (spec_.host_link.loss > 0) {
+      link->set_loss(spec_.host_link.loss,
+                     spec_.host_link.loss_seed +
+                         std::uint64_t(r * wpr + i) * 2 + 1);
+    }
+    if (spec_.telemetry != nullptr) {
+      link->a_to_b().instrument(spec_.telemetry->metrics,
+                                "cluster.tier.host.up.");
+      link->b_to_a().instrument(spec_.telemetry->metrics,
+                                "cluster.tier.host.down.");
+    }
+    host_links_.push_back(std::move(link));
+    workers_.push_back(std::move(worker));
+  }
+}
+
+std::vector<trioml::TrioMlApp*> Cluster::apps() {
+  std::vector<trioml::TrioMlApp*> out;
+  out.reserve(leaf_apps_.size() + 1);
+  for (auto& app : leaf_apps_) out.push_back(app.get());
+  out.push_back(spine_app_.get());
+  return out;
+}
+
+void Cluster::start_straggler_detection(int threads, sim::Duration timeout) {
+  for (trioml::TrioMlApp* app : apps()) {
+    app->start_straggler_detection(threads, timeout);
+  }
+}
+
+void Cluster::stop_straggler_detection() {
+  for (trioml::TrioMlApp* app : apps()) app->stop_straggler_detection();
+}
+
+void Cluster::sample_trace_counters() {
+  if (spec_.telemetry == nullptr || !spec_.telemetry->tracer.enabled()) return;
+  auto& tracer = spec_.telemetry->tracer;
+  const sim::Time now = sim_.now();
+  for (int r = 0; r < spec_.racks; ++r) {
+    const int pid = kSummaryPidBase + r;
+    auto& up = fabric_links_[std::size_t(r)]->a_to_b();
+    tracer.counter(pid, "uplink", "tx_bytes", now, double(up.bytes_sent()));
+    tracer.counter(pid, "uplink", "drops", now, double(up.frames_dropped()));
+    tracer.counter(pid, "aggregation", "blocks_completed", now,
+                   double(leaf_apps_[std::size_t(r)]->stats().blocks_completed));
+  }
+  tracer.counter(kSummaryPidBase + spec_.racks, "aggregation",
+                 "blocks_completed", now,
+                 double(spine_app_->stats().blocks_completed));
+}
+
+void Cluster::start_trace_sampling(sim::Duration period) {
+  stop_trace_sampling();
+  if (spec_.telemetry == nullptr || !spec_.telemetry->tracer.enabled()) return;
+  trace_sampling_ = true;
+  trace_period_ = period;
+  sample_trace_counters();
+  trace_event_ = sim_.schedule_in(period, [this] {
+    if (!trace_sampling_) return;
+    trace_sampling_ = false;
+    start_trace_sampling(trace_period_);
+  });
+}
+
+void Cluster::stop_trace_sampling() {
+  if (!trace_sampling_) return;
+  trace_sampling_ = false;
+  sim_.cancel(trace_event_);
+  sample_trace_counters();  // closing sample so the tracks reach the end
+}
+
+}  // namespace cluster

@@ -1,0 +1,101 @@
+// Materializes a ClusterSpec into a running multi-rack testbed: one leaf
+// Trio router per rack with its workers on host links, a spine Trio
+// router one tier up on fabric links, IP routes, the final-result
+// multicast group, and Trio-ML jobs forming the two-level aggregation
+// tree of cluster/tree.hpp. The runtime API mirrors trioml::Testbed
+// (per-worker / per-link accessors, straggler detection across every
+// aggregating router) so Testbed workloads run unmodified on N racks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/spec.hpp"
+#include "cluster/tree.hpp"
+#include "sim/simulator.hpp"
+#include "trio/router.hpp"
+#include "trioml/app.hpp"
+#include "trioml/host.hpp"
+
+namespace cluster {
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec);
+
+  sim::Simulator& simulator() { return sim_; }
+  const ClusterSpec& spec() const { return spec_; }
+  const AggregationTree& tree() const { return tree_; }
+
+  int num_racks() const { return spec_.racks; }
+  int workers_per_rack() const { return spec_.workers_per_rack; }
+  int num_workers() const { return spec_.total_workers(); }
+
+  // --- Topology accessors (workers are rack-major: global = rack*W+i) ----
+  trio::Router& leaf(int rack) { return *leaves_.at(std::size_t(rack)); }
+  trio::Router& spine() { return *spine_; }
+  trioml::TrioMlWorker& worker(int global) {
+    return *workers_.at(std::size_t(global));
+  }
+  trioml::TrioMlWorker& worker(int rack, int local) {
+    return worker(rack * spec_.workers_per_rack + local);
+  }
+  /// Worker `global`'s host link (a_to_b = worker -> leaf), for loss
+  /// injection and telemetry — mirrors Testbed::link.
+  net::Link& link(int global) { return *host_links_.at(std::size_t(global)); }
+  /// Rack `rack`'s trunk (a_to_b = leaf -> spine).
+  net::Link& fabric_link(int rack) {
+    return *fabric_links_.at(std::size_t(rack));
+  }
+
+  trioml::TrioMlApp& leaf_app(int rack) {
+    return *leaf_apps_.at(std::size_t(rack));
+  }
+  trioml::TrioMlApp& spine_app() { return *spine_app_; }
+  /// Every aggregation app, leaves first then the spine (stats rollups).
+  std::vector<trioml::TrioMlApp*> apps();
+
+  /// Starts straggler detection on every aggregating router — each leaf
+  /// and the spine run their own timer-thread scans (paper §5).
+  void start_straggler_detection(int threads, sim::Duration timeout);
+  void stop_straggler_detection();
+
+  // --- Per-rack trace rows (docs/telemetry.md "Cluster telemetry") -------
+  /// Emits one sample of the per-rack counter tracks (uplink tx bytes /
+  /// drops, leaf blocks completed) plus the spine row. No-op untraced.
+  void sample_trace_counters();
+  /// Recurring sampling on the simulated clock. The recurring event keeps
+  /// the simulator's queue non-empty — pair with run_until() +
+  /// stop_trace_sampling(), like registry snapshots.
+  void start_trace_sampling(sim::Duration period);
+  void stop_trace_sampling();
+
+  /// Trace pids: router r's PFEs live at r*kPidStride + pfe + 1, the
+  /// spine's at racks*kPidStride + pfe + 1 (trio::TelemetryScope), and
+  /// the per-rack summary rows at kSummaryPidBase + rack (the spine
+  /// summary row is kSummaryPidBase + racks).
+  static constexpr int kPidStride = 32;
+  static constexpr int kSummaryPidBase = 100'000;
+
+ private:
+  void build_rack(const RackNode& node);
+  int trunk_port() const { return spec_.workers_per_rack; }
+
+  ClusterSpec spec_;
+  AggregationTree tree_;
+  sim::Simulator sim_;
+  std::unique_ptr<trio::Router> spine_;
+  std::vector<std::unique_ptr<trio::Router>> leaves_;
+  std::vector<std::unique_ptr<net::Link>> fabric_links_;   // by rack
+  std::vector<std::unique_ptr<net::Link>> host_links_;     // by global worker
+  std::vector<std::unique_ptr<trioml::TrioMlWorker>> workers_;
+  std::vector<std::unique_ptr<trioml::TrioMlApp>> leaf_apps_;
+  std::unique_ptr<trioml::TrioMlApp> spine_app_;
+  std::uint32_t spine_group_nh_ = 0;
+
+  bool trace_sampling_ = false;
+  sim::Duration trace_period_ = sim::Duration::zero();
+  sim::EventId trace_event_{};
+};
+
+}  // namespace cluster

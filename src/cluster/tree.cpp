@@ -1,0 +1,30 @@
+#include "cluster/tree.hpp"
+
+#include "trioml/addressing.hpp"
+
+namespace cluster {
+
+AggregationTree build_aggregation_tree(const ClusterSpec& spec) {
+  spec.validate();
+  AggregationTree tree;
+  tree.spine_ip = trioml::spine_ip();
+  tree.result_group = trioml::result_group();
+  tree.expected_sources = static_cast<std::uint8_t>(spec.total_workers());
+  tree.racks.reserve(static_cast<std::size_t>(spec.racks));
+  tree.spine_src_ids.reserve(static_cast<std::size_t>(spec.racks));
+  for (int r = 0; r < spec.racks; ++r) {
+    RackNode node;
+    node.rack = r;
+    node.agg_ip = trioml::aggregator_ip(r);
+    node.uplink_src_id = static_cast<std::uint8_t>(r);
+    node.worker_src_ids.reserve(static_cast<std::size_t>(spec.workers_per_rack));
+    for (int i = 0; i < spec.workers_per_rack; ++i) {
+      node.worker_src_ids.push_back(static_cast<std::uint8_t>(i));
+    }
+    tree.racks.push_back(std::move(node));
+    tree.spine_src_ids.push_back(static_cast<std::uint8_t>(r));
+  }
+  return tree;
+}
+
+}  // namespace cluster

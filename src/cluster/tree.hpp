@@ -1,0 +1,44 @@
+// The hierarchical aggregation tree derived from a ClusterSpec — the
+// declarative middle step between "racks x workers" and the materialized
+// routers. Construction rules (docs/cluster.md):
+//
+//   * workers carry per-rack-local source ids 0..W-1 (ids only need to be
+//     unique within one aggregation level, which is what lets the tree
+//     scale past 64 total workers);
+//   * rack r's leaf aggregator presents itself to the spine as source r
+//     and unicasts its partial Results to the spine's IP;
+//   * the spine aggregates one source per rack and multicasts the final
+//     Result to a group whose members are the per-rack trunks; each leaf
+//     forwards the group on to its local workers;
+//   * workers rescale full results by expected_sources = total workers
+//     (degraded results carry their own contributor count, paper §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/spec.hpp"
+#include "net/headers.hpp"
+
+namespace cluster {
+
+/// One rack-level (leaf) aggregator.
+struct RackNode {
+  int rack = 0;
+  net::Ipv4Addr agg_ip;                       // leaf aggregation address
+  std::vector<std::uint8_t> worker_src_ids;   // local ids, 0..W-1
+  std::uint8_t uplink_src_id = 0;             // this rack as the spine sees it
+};
+
+struct AggregationTree {
+  std::vector<RackNode> racks;
+  net::Ipv4Addr spine_ip;                     // top-level aggregation address
+  std::vector<std::uint8_t> spine_src_ids;    // = rack ids
+  net::Ipv4Addr result_group;                 // final-result multicast group
+  std::uint8_t expected_sources = 0;          // denominator for full results
+};
+
+/// Applies the construction rules above. The spec must validate().
+AggregationTree build_aggregation_tree(const ClusterSpec& spec);
+
+}  // namespace cluster

@@ -106,6 +106,12 @@ class Link {
   LinkEndpoint& a_to_b() { return a_to_b_; }
   LinkEndpoint& b_to_a() { return b_to_a_; }
 
+  /// Injects i.i.d. random loss on both directions (decorrelated seeds).
+  void set_loss(double probability, std::uint64_t seed = 1) {
+    a_to_b_.set_loss(probability, seed);
+    b_to_a_.set_loss(probability, seed + 0x9e3779b97f4a7c15ull);
+  }
+
   /// Instruments both directions: `<prefix>ab.*` and `<prefix>ba.*`.
   void instrument(telemetry::Registry& registry, const std::string& prefix) {
     a_to_b_.instrument(registry, prefix + "ab.");

@@ -92,11 +92,13 @@ Pfe::Pfe(sim::Simulator& simulator, const Calibration& cal, Router& router,
         router_.transmit(index_, std::move(out.pkt), out.nexthop_id);
       }) {
   telemetry::Telemetry& telem = router.telemetry();
-  metric_prefix_ = "pfe" + std::to_string(index) + ".";
-  trace_pid_ = trace_rows::pid_of_pfe(index);
+  const TelemetryScope& scope = router.telemetry_scope();
+  metric_prefix_ = scope.metric_prefix + "pfe" + std::to_string(index) + ".";
+  trace_pid_ = scope.trace_pid_base + trace_rows::pid_of_pfe(index);
   if (telem.tracer.enabled()) {
     tracer_ = &telem.tracer;
-    tracer_->set_process_name(trace_pid_, "pfe" + std::to_string(index));
+    tracer_->set_process_name(
+        trace_pid_, scope.process_prefix + "pfe" + std::to_string(index));
     tracer_->set_thread_name(trace_pid_, trace_rows::kDispatch, "dispatch");
     tracer_->set_thread_name(trace_pid_, trace_rows::kReorder, "reorder");
     tracer_->set_thread_name(trace_pid_, trace_rows::kCrossbar, "crossbar");

@@ -90,14 +90,31 @@ Router::Router(sim::Simulator& simulator, Calibration cal, int num_pfes,
   init(num_pfes);
 }
 
+Router::Router(sim::Simulator& simulator, Calibration cal, int num_pfes,
+               int ports_per_pfe, telemetry::Telemetry& telem,
+               TelemetryScope scope, std::string name)
+    : sim_(simulator),
+      cal_(cal),
+      ports_per_pfe_(ports_per_pfe),
+      name_(std::move(name)),
+      telem_(&telem),
+      scope_(std::move(scope)),
+      fabric_(simulator, cal_, num_pfes) {
+  init(num_pfes);
+}
+
 void Router::init(int num_pfes) {
   if (num_pfes <= 0 || ports_per_pfe_ <= 0) {
     throw std::invalid_argument("Router: need at least one PFE and port");
   }
-  rx_ctr_ = telem_->metrics.counter("router.packets_received");
-  tx_ctr_ = telem_->metrics.counter("router.packets_transmitted");
-  discard_ctr_ = telem_->metrics.counter("router.packets_discarded");
-  no_route_ctr_ = telem_->metrics.counter("router.no_route_drops");
+  rx_ctr_ = telem_->metrics.counter(scope_.metric_prefix +
+                                    "router.packets_received");
+  tx_ctr_ = telem_->metrics.counter(scope_.metric_prefix +
+                                    "router.packets_transmitted");
+  discard_ctr_ = telem_->metrics.counter(scope_.metric_prefix +
+                                         "router.packets_discarded");
+  no_route_ctr_ =
+      telem_->metrics.counter(scope_.metric_prefix + "router.no_route_drops");
   for (int i = 0; i < num_pfes; ++i) {
     pfes_.push_back(std::make_unique<Pfe>(sim_, cal_, *this, i));
   }

@@ -21,6 +21,20 @@
 
 namespace trio {
 
+/// Telemetry namespace for one router inside a shared bundle. A single
+/// router leaves the default scope (empty prefixes, pid base 0) and gets
+/// the historical names: "router.*", "pfe0.*", trace process "pfe0".
+/// Multi-router topologies (src/cluster/) give each router a scope so
+/// metric names ("rack0.pfe0.*") and trace process ids never collide.
+struct TelemetryScope {
+  /// Added to trace_rows::pid_of_pfe(i) for every PFE of the router.
+  int trace_pid_base = 0;
+  /// Prepended to every metric name the router and its PFEs register.
+  std::string metric_prefix;
+  /// Prepended to the trace process names ("rack0." -> "rack0.pfe0").
+  std::string process_prefix;
+};
+
 class Router : public net::Node {
  public:
   /// `ports_per_pfe` front-panel ports are assigned to each PFE in order:
@@ -33,6 +47,11 @@ class Router : public net::Node {
   /// tools export them via --metrics-out / --trace-out.
   Router(sim::Simulator& simulator, Calibration cal, int num_pfes,
          int ports_per_pfe, telemetry::Telemetry& telem,
+         std::string name = "trio-router");
+  /// Observed router inside a multi-router topology: like the overload
+  /// above, but all telemetry is namespaced by `scope`.
+  Router(sim::Simulator& simulator, Calibration cal, int num_pfes,
+         int ports_per_pfe, telemetry::Telemetry& telem, TelemetryScope scope,
          std::string name = "trio-router");
 
   // --- net::Node ----------------------------------------------------------
@@ -69,6 +88,7 @@ class Router : public net::Node {
   sim::Simulator& simulator() { return sim_; }
   const Calibration& cal() const { return cal_; }
   telemetry::Telemetry& telemetry() { return *telem_; }
+  const TelemetryScope& telemetry_scope() const { return scope_; }
   telemetry::Registry& metrics() { return telem_->metrics; }
   telemetry::Tracer& tracer() { return telem_->tracer; }
 
@@ -95,6 +115,7 @@ class Router : public net::Node {
   // router. owned_telem_ backs the unobserved overload only.
   std::unique_ptr<telemetry::Telemetry> owned_telem_;
   telemetry::Telemetry* telem_;
+  TelemetryScope scope_;
   ForwardingTable fwd_;
   Fabric fabric_;
   std::vector<std::unique_ptr<Pfe>> pfes_;

@@ -1,0 +1,56 @@
+// The address plan shared by the single-router Testbed and the multi-rack
+// cluster builder (src/cluster/): deterministic worker/aggregator MAC and
+// IPv4 addresses, keyed by (rack, worker-within-rack). The Testbed is the
+// degenerate rack 0, so its historical addresses are unchanged.
+//
+// Plan: rack r occupies 10.r.0.0/24 — workers at .1.., its aggregator at
+// .254 — and the spine aggregator sits alone at 10.255.0.254. Final
+// results are multicast to 239.0.0.1. Rack numbers therefore stay below
+// 255; job source masks cap them lower still (see cluster::ClusterSpec).
+#pragma once
+
+#include <cstdint>
+
+#include "net/headers.hpp"
+
+namespace trioml {
+
+/// MAC of worker `i` in rack `rack` (the Testbed is rack 0).
+inline net::MacAddr worker_mac(int rack, int i) {
+  return net::MacAddr{0x02, 0x00, 0x00, static_cast<std::uint8_t>(rack), 0x01,
+                      static_cast<std::uint8_t>(i + 1)};
+}
+
+/// IPv4 address of worker `i` in rack `rack`.
+inline net::Ipv4Addr worker_ip(int rack, int i) {
+  return net::Ipv4Addr::from_octets(10, static_cast<std::uint8_t>(rack), 0,
+                                    static_cast<std::uint8_t>(i + 1));
+}
+
+/// Aggregation address of rack `rack`'s aggregator (the Testbed router,
+/// or a cluster leaf router).
+inline net::Ipv4Addr aggregator_ip(int rack) {
+  return net::Ipv4Addr::from_octets(10, static_cast<std::uint8_t>(rack), 0,
+                                    254);
+}
+
+inline net::MacAddr aggregator_mac(int rack) {
+  return net::MacAddr{0x02, 0x00, 0x00, static_cast<std::uint8_t>(rack), 0x00,
+                      0xfe};
+}
+
+/// The top-level (spine) aggregator of a multi-rack cluster.
+inline net::Ipv4Addr spine_ip() {
+  return net::Ipv4Addr::from_octets(10, 255, 0, 254);
+}
+
+inline net::MacAddr spine_mac() {
+  return net::MacAddr{0x02, 0x00, 0x00, 0xff, 0x00, 0xfe};
+}
+
+/// Multicast group the final aggregation results are delivered to.
+inline net::Ipv4Addr result_group() {
+  return net::Ipv4Addr::from_octets(239, 0, 0, 1);
+}
+
+}  // namespace trioml

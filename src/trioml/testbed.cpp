@@ -2,25 +2,21 @@
 
 #include <stdexcept>
 
+#include "trioml/addressing.hpp"
+
 namespace trioml {
 
 namespace {
 
-net::MacAddr worker_mac(int i) {
-  return net::MacAddr{0x02, 0x00, 0x00, 0x00, 0x01,
-                      static_cast<std::uint8_t>(i + 1)};
-}
-
-net::Ipv4Addr worker_ip(int i) {
-  return net::Ipv4Addr::from_octets(10, 0, 0,
-                                    static_cast<std::uint8_t>(i + 1));
-}
+// The Testbed is rack 0 of the shared address plan (trioml/addressing.hpp).
+net::MacAddr worker_mac(int i) { return trioml::worker_mac(0, i); }
+net::Ipv4Addr worker_ip(int i) { return trioml::worker_ip(0, i); }
 
 }  // namespace
 
 Testbed::Testbed(TestbedConfig config) : config_(config) {
-  const net::Ipv4Addr router_ip = net::Ipv4Addr::from_octets(10, 0, 0, 254);
-  const net::Ipv4Addr mcast_group = net::Ipv4Addr::from_octets(239, 0, 0, 1);
+  const net::Ipv4Addr router_ip = aggregator_ip(0);
+  const net::Ipv4Addr mcast_group = result_group();
 
   const int num_pfes = config_.hierarchical ? 6 : 1;
   const int ports_per_pfe =

@@ -1,0 +1,159 @@
+// Loss recovery on cluster fabric links (paper §4: "the aggregator
+// recognises duplicate packets by source id", §6.1 optional 1 ms
+// retransmission). Workers run with retransmission enabled while drops
+// are injected on inter-rack links; the allreduce must still converge
+// with correctly rescaled results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/allreduce.hpp"
+#include "cluster/cluster.hpp"
+#include "trioml/wire_format.hpp"
+
+namespace {
+
+using namespace cluster;
+
+// Drops on the uplink (leaf -> spine partial Results): every worker's
+// retransmit rebuilds the rack's block at the leaf, the fresh partial
+// completes the spine block, and duplicates from racks whose partial DID
+// arrive are absorbed by the source mask. Recovery is lossless, so the
+// results stay bit-identical to a flat lossless Testbed run.
+TEST(ClusterLoss, UplinkDropsRecoverBitIdentical) {
+  ClusterSpec spec;
+  spec.racks = 2;
+  spec.workers_per_rack = 2;
+  spec.grads_per_packet = 128;
+  spec.slab_pool = 256;
+  Cluster cl(spec);
+  for (int r = 0; r < 2; ++r) {
+    // a_to_b is the leaf -> spine direction only; results coming back
+    // down are untouched.
+    cl.fabric_link(r).a_to_b().set_loss(0.5, 91 + std::uint64_t(r));
+  }
+  for (int w = 0; w < 4; ++w) {
+    cl.worker(w).enable_retransmit(sim::Duration::micros(200));
+  }
+
+  const auto grads = patterned_gradients(4, 128 * 8);
+  const auto run = run_allreduce(cl, grads, /*gen_id=*/1,
+                                 sim::Time(sim::Duration::millis(100).ns()));
+  ASSERT_EQ(run.finished, 4);
+  for (const auto& r : run.results) EXPECT_EQ(r.degraded_blocks, 0u);
+  EXPECT_TRUE(bit_identical(run.results, testbed_baseline(spec, grads)));
+
+  std::uint64_t dropped = 0, retransmitted = 0;
+  for (int r = 0; r < 2; ++r) {
+    dropped += cl.fabric_link(r).a_to_b().frames_dropped();
+  }
+  for (int w = 0; w < 4; ++w) {
+    retransmitted += cl.worker(w).retransmissions();
+  }
+  EXPECT_GT(dropped, 0u);        // the loss model actually fired
+  EXPECT_GT(retransmitted, 0u);  // and retransmission recovered it
+}
+
+// Drops on the downlink (the spine's final-result multicast toward rack
+// 0): the rack's workers retransmit, the leaf rebuilds and re-sends its
+// partial, but the spine has already freed the block — the re-created
+// spine block only ever holds rack 0's source bit, so recovery needs
+// straggler aging (§5): the aged Result carries src_cnt = 2 and the
+// workers rescale by the contributor count.
+//
+// The retransmit period must exceed the aging window (2x the detection
+// timeout): the hash table ages by check-and-clear REF bits, so every
+// duplicate retransmit re-references the orphaned block and a
+// faster-than-aging retransmitter keeps it alive forever (the paper pairs
+// 1 ms retransmission with a 10 ms block expiry for the same reason).
+TEST(ClusterLoss, DownlinkDropsAgeOutWithRescaledResults) {
+  ClusterSpec spec;
+  spec.racks = 2;
+  spec.workers_per_rack = 2;
+  spec.grads_per_packet = 128;
+  spec.slab_pool = 256;
+  Cluster cl(spec);
+  cl.fabric_link(0).b_to_a().set_loss(0.5, 1234);
+  for (int w = 0; w < 4; ++w) {
+    cl.worker(w).enable_retransmit(sim::Duration::millis(5));
+  }
+  cl.start_straggler_detection(/*threads=*/10, sim::Duration::millis(1));
+
+  int done = 0;
+  std::vector<trioml::AllreduceResult> results(4);
+  for (int w = 0; w < 4; ++w) {
+    std::vector<std::uint32_t> g(128 * 4, static_cast<std::uint32_t>(w + 1));
+    cl.worker(w).start_allreduce(
+        std::move(g), 1, [&results, &done, w](trioml::AllreduceResult r) {
+          results[static_cast<std::size_t>(w)] = std::move(r);
+          ++done;
+        });
+  }
+  cl.simulator().run_until(sim::Time(sim::Duration::millis(100).ns()));
+  cl.stop_straggler_detection();
+
+  ASSERT_EQ(done, 4);
+  EXPECT_GT(cl.fabric_link(0).b_to_a().frames_dropped(), 0u);
+  EXPECT_GT(cl.spine_app().stats().blocks_aged, 0u);
+
+  // Rack 1's downlink is clean: its workers always see the first, full
+  // multicast — sum 1+2+3+4 = 10 over 4 sources.
+  const float full = trioml::dequantize(10) / 4.0f;
+  for (int w = 2; w < 4; ++w) {
+    EXPECT_EQ(results[std::size_t(w)].degraded_blocks, 0u) << "worker " << w;
+    for (float v : results[std::size_t(w)].grads) {
+      ASSERT_NEAR(v, full, 1e-6f) << "worker " << w;
+    }
+  }
+  // Rack 0 lost some result deliveries; those blocks come back via the
+  // aged spine block holding only rack 0's partial — sum 1+2 = 3 rescaled
+  // by src_cnt = 2. Every block is either full or correctly rescaled.
+  const float rescaled = trioml::dequantize(3) / 2.0f;
+  std::uint64_t degraded = 0;
+  for (int w = 0; w < 2; ++w) {
+    degraded += results[std::size_t(w)].degraded_blocks;
+    for (float v : results[std::size_t(w)].grads) {
+      ASSERT_TRUE(std::abs(v - full) < 1e-6f || std::abs(v - rescaled) < 1e-6f)
+          << "worker " << w << " value " << v;
+    }
+  }
+  EXPECT_GT(degraded, 0u);  // the lossy downlink really exercised aging
+}
+
+// Declarative loss on the host tier (ClusterSpec.host_link.loss), both
+// directions: retransmission repairs dropped worker packets, aging at
+// both tree levels repairs dropped result deliveries.
+TEST(ClusterLoss, SpecDeclaredHostLossStillConverges) {
+  ClusterSpec spec;
+  spec.racks = 2;
+  spec.workers_per_rack = 2;
+  spec.grads_per_packet = 128;
+  spec.slab_pool = 256;
+  spec.host_link.loss = 0.2;
+  spec.host_link.loss_seed = 77;
+  Cluster cl(spec);
+  for (int w = 0; w < 4; ++w) {
+    cl.worker(w).enable_retransmit(sim::Duration::millis(5));
+  }
+  cl.start_straggler_detection(/*threads=*/10, sim::Duration::millis(1));
+
+  const auto run = run_allreduce(cl, patterned_gradients(4, 128 * 4),
+                                 /*gen_id=*/1,
+                                 sim::Time(sim::Duration::millis(300).ns()));
+  cl.stop_straggler_detection();
+  ASSERT_EQ(run.finished, 4);
+  std::uint64_t dropped = 0;
+  for (int w = 0; w < 4; ++w) {
+    dropped += cl.link(w).a_to_b().frames_dropped() +
+               cl.link(w).b_to_a().frames_dropped();
+  }
+  EXPECT_GT(dropped, 0u);
+  for (const auto& r : run.results) {
+    ASSERT_EQ(r.grads.size(), 128u * 4u);
+    for (float v : r.grads) {
+      ASSERT_GT(v, 0.0f);  // every recovered value is a real partial mean
+    }
+  }
+}
+
+}  // namespace

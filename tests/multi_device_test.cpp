@@ -5,136 +5,51 @@
 // packet. The top-level aggregator will, of course, multicast the final
 // result back to the servers."
 //
-// Topology built here:
+// Originally this test hand-wired a two-router topology; it now builds
+// the same shape declaratively through cluster::ClusterSpec/Cluster —
+// two racks of two workers behind leaf aggregators feeding a spine:
 //
-//   w0, w1 ── routerA (leaf aggregator) ──┐
-//                                         ├── routerB (top aggregator)
-//                        w2, w3 ──────────┘
+//   w0, w1 ── rack0 leaf ──┐
+//                          ├── spine (top aggregator)
+//   w2, w3 ── rack1 leaf ──┘
 //
-// Router A aggregates workers 0-1 and unicasts its Result (src_id = 4)
-// over the inter-router link to router B, which aggregates it together
-// with workers 2-3 (src ids 2, 3) and multicasts the final result to a
-// group spanning all four workers (A's members reached back through A's
-// forwarding).
+// Each leaf aggregates its rack and unicasts partial Results over the
+// trunk to the spine, which aggregates one source per rack and
+// multicasts the final result back through the leaves to all four
+// workers. The golden assertions of the hand-wired version are kept as a
+// regression check on the cluster builder.
 #include <gtest/gtest.h>
 
-#include "trio/router.hpp"
-#include "trioml/app.hpp"
-#include "trioml/host.hpp"
+#include "cluster/cluster.hpp"
+#include "trioml/wire_format.hpp"
 
 namespace {
 
-using namespace trioml;
+using namespace cluster;
 
-net::MacAddr mac(int i) {
-  return net::MacAddr{0x02, 0, 0, 0, 3, static_cast<std::uint8_t>(i)};
-}
-
-TEST(MultiDevice, TwoRouterHierarchyAggregatesAndMulticasts) {
-  sim::Simulator sim;
-  trio::Calibration cal;
-  trio::Router router_a(sim, cal, 1, 4, "router-a");
-  trio::Router router_b(sim, cal, 1, 4, "router-b");
-
-  const auto a_ip = net::Ipv4Addr::from_string("10.1.0.254");
-  const auto b_ip = net::Ipv4Addr::from_string("10.2.0.254");
-  const auto group = net::Ipv4Addr::from_string("239.9.9.9");
-
-  // Inter-router link: A port 3 <-> B port 3.
-  net::Link trunk(sim, 100.0, sim::Duration::micros(2));
-  trunk.attach(router_a, 3, router_b, 3);
-  router_a.attach_port(3, trunk.a_to_b());
-  router_b.attach_port(3, trunk.b_to_a());
-
-  // Apps.
-  TrioMlApp::Config small;
-  small.slab_pool = 64;
-  TrioMlApp app_a(router_a.pfe(0), small);
-  TrioMlApp app_b(router_b.pfe(0), small);
-  app_a.set_aggregation_address(a_ip);
-  app_b.set_aggregation_address(b_ip);
-  app_a.install();
-  app_b.install();
-
-  // --- Router A: leaf job over workers 0,1; result unicast to B -------
-  auto& fwd_a = router_a.forwarding();
-  const auto a_to_b_nh = fwd_a.add_nexthop(trio::NexthopUnicast{3, mac(99)});
-  fwd_a.add_route(b_ip, 32, a_to_b_nh);
-  {
-    TrioMlApp::JobSetup job;
-    job.job_id = 1;
-    job.src_ids = {0, 1};
-    job.block_grad_max = 128;
-    job.out_src = a_ip;
-    job.out_dst = b_ip;        // next-level aggregator's IP
-    job.out_nh = a_to_b_nh;    // via IP forwarding over the trunk
-    job.out_src_id = 4;        // A appears to B as source 4
-    app_a.configure_job(job);
-  }
-
-  // --- Router B: top-level job over {A(=4), w2, w3}; result multicast --
-  auto& fwd_b = router_b.forwarding();
-  // Multicast members: local workers 2,3 on B's ports 0,1 plus the trunk
-  // back toward A (A forwards the group onward to its local workers).
-  std::uint32_t group_nh_b = 0;
-  for (int port : {0, 1}) {
-    group_nh_b = fwd_b.join_group(
-        group, fwd_b.add_nexthop(trio::NexthopUnicast{port, mac(port + 2)}));
-  }
-  group_nh_b = fwd_b.join_group(
-      group, fwd_b.add_nexthop(trio::NexthopUnicast{3, mac(98)}));
-  {
-    TrioMlApp::JobSetup job;
-    job.job_id = 1;
-    job.src_ids = {2, 3, 4};
-    job.block_grad_max = 128;
-    job.out_src = b_ip;
-    job.out_dst = group;
-    job.out_nh = group_nh_b;
-    app_b.configure_job(job);
-  }
-  // Router A forwards the multicast group to its local workers.
-  for (int port : {0, 1}) {
-    fwd_a.join_group(group,
-                     fwd_a.add_nexthop(trio::NexthopUnicast{port, mac(port)}));
-  }
-
-  // --- Workers ---------------------------------------------------------
-  std::vector<std::unique_ptr<net::Link>> links;
-  std::vector<std::unique_ptr<TrioMlWorker>> workers;
-  int done = 0;
-  std::vector<AllreduceResult> results(4);
-  for (int i = 0; i < 4; ++i) {
-    trio::Router& attach_to = i < 2 ? router_a : router_b;
-    const int port = i % 2;
-    links.push_back(
-        std::make_unique<net::Link>(sim, 100.0, sim::Duration::micros(1)));
-    TrioMlWorker::Config wc;
-    wc.job_id = 1;
-    wc.src_id = static_cast<std::uint8_t>(i);
-    wc.ip = net::Ipv4Addr::from_octets(10, static_cast<std::uint8_t>(i < 2 ? 1 : 2),
-                                       0, static_cast<std::uint8_t>(i + 1));
-    wc.mac = mac(i);
-    wc.agg_ip = i < 2 ? a_ip : b_ip;
-    wc.window = 4;
-    wc.grads_per_packet = 128;
-    wc.expected_sources = 4;
-    workers.push_back(
-        std::make_unique<TrioMlWorker>(sim, wc, links.back()->a_to_b()));
-    links.back()->attach(*workers.back(), 0, attach_to, port);
-    attach_to.attach_port(port, links.back()->b_to_a());
-  }
+TEST(MultiDevice, TwoRackHierarchyAggregatesAndMulticasts) {
+  ClusterSpec spec;
+  spec.racks = 2;
+  spec.workers_per_rack = 2;
+  spec.slab_pool = 64;
+  spec.grads_per_packet = 128;
+  spec.window = 4;
+  spec.host_link.latency = sim::Duration::micros(1);
+  spec.fabric_link.latency = sim::Duration::micros(2);
+  Cluster cl(spec);
 
   // --- Allreduce: worker i contributes (i+1) everywhere ----------------
+  int done = 0;
+  std::vector<trioml::AllreduceResult> results(4);
   for (int i = 0; i < 4; ++i) {
     std::vector<std::uint32_t> g(128 * 8, static_cast<std::uint32_t>(i + 1));
-    workers[static_cast<std::size_t>(i)]->start_allreduce(
-        std::move(g), 1, [&, i](AllreduceResult r) {
+    cl.worker(i).start_allreduce(
+        std::move(g), 1, [&, i](trioml::AllreduceResult r) {
           results[static_cast<std::size_t>(i)] = std::move(r);
           ++done;
         });
   }
-  sim.run();
+  cl.simulator().run();
 
   ASSERT_EQ(done, 4);
   // Sum = 1+2+3+4 = 10, averaged over the 4 expected sources.
@@ -142,15 +57,20 @@ TEST(MultiDevice, TwoRouterHierarchyAggregatesAndMulticasts) {
     const auto& r = results[static_cast<std::size_t>(i)];
     EXPECT_EQ(r.degraded_blocks, 0u) << "worker " << i;
     for (float v : r.grads) {
-      ASSERT_NEAR(v, dequantize(10) / 4.0f, 1e-6f) << "worker " << i;
+      ASSERT_NEAR(v, trioml::dequantize(10) / 4.0f, 1e-6f) << "worker " << i;
     }
   }
-  EXPECT_EQ(app_a.stats().blocks_completed, 8u);
-  EXPECT_EQ(app_b.stats().blocks_completed, 8u);
-  // A's leaf results reduced the trunk traffic: one result stream up
-  // instead of two worker streams.
-  EXPECT_GT(trunk.a_to_b().frames_sent(), 0u);
-  EXPECT_LE(trunk.a_to_b().frames_sent(), 8u + 2u);
+  // Every aggregation level saw all 8 blocks exactly once.
+  EXPECT_EQ(cl.leaf_app(0).stats().blocks_completed, 8u);
+  EXPECT_EQ(cl.leaf_app(1).stats().blocks_completed, 8u);
+  EXPECT_EQ(cl.spine_app().stats().blocks_completed, 8u);
+  // The leaves reduced the trunk traffic: one result stream up instead of
+  // two worker streams.
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_GT(cl.fabric_link(r).a_to_b().frames_sent(), 0u) << "rack " << r;
+    EXPECT_LE(cl.fabric_link(r).a_to_b().frames_sent(), 8u + 2u)
+        << "rack " << r;
+  }
 }
 
 }  // namespace

@@ -4,11 +4,18 @@
 //   trio-run <program.tmc> [--packets N] [--mix ip,arp,opts]
 //            [--counter WORD_ADDR] ... [--metrics-out FILE]
 //            [--trace-out FILE]
+//   trio-run --cluster RxW [--blocks N] [--metrics-out FILE]
+//            [--trace-out FILE]
 //
 // Traffic mix tokens: "ip" (clean IPv4/UDP), "arp" (non-IP EtherType),
 // "opts" (IPv4 with options, IHL=6). Counters named with --counter are
 // read back from the Shared Memory System (as 16-byte Packet/Byte
 // counters at the given 8-byte word address) after the run.
+//
+// --cluster RxW skips the microcode path and instead materializes an
+// R-rack, W-workers-per-rack cluster (src/cluster/, docs/cluster.md),
+// runs one Trio-ML allreduce through its two-level aggregation tree and
+// reports per-tier statistics.
 //
 // --metrics-out writes the telemetry registry as JSON; --trace-out writes
 // a Chrome trace_event JSON timeline (chrome://tracing, Perfetto) with
@@ -19,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/allreduce.hpp"
+#include "cluster/cluster.hpp"
 #include "microcode/compiler.hpp"
 #include "microcode/error.hpp"
 #include "microcode/interpreter.hpp"
@@ -31,8 +40,76 @@ int usage() {
   std::fprintf(stderr,
                "usage: trio-run <program.tmc> [--packets N] "
                "[--mix ip,arp,opts] [--counter WORD_ADDR]... "
+               "[--metrics-out FILE] [--trace-out FILE]\n"
+               "       trio-run --cluster RxW [--blocks N] "
                "[--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
+}
+
+int run_cluster(const std::string& topo, int blocks,
+                const std::string& metrics_out, const std::string& trace_out) {
+  const std::size_t x = topo.find('x');
+  const int racks = x == std::string::npos ? 0 : std::atoi(topo.c_str());
+  const int wpr =
+      x == std::string::npos ? 0 : std::atoi(topo.c_str() + x + 1);
+  if (racks <= 0 || wpr <= 0 || blocks <= 0) return usage();
+
+  telemetry::Telemetry telem(!metrics_out.empty(), !trace_out.empty());
+  cluster::ClusterSpec spec;
+  spec.racks = racks;
+  spec.workers_per_rack = wpr;
+  if (telem.metrics.enabled() || telem.tracer.enabled()) {
+    spec.telemetry = &telem;
+  }
+  try {
+    spec.validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trio-run: %s\n", e.what());
+    return 1;
+  }
+
+  cluster::Cluster cl(spec);
+  const auto grads = cluster::patterned_gradients(
+      spec.total_workers(),
+      std::size_t(blocks) * spec.grads_per_packet);
+  cl.sample_trace_counters();
+  const cluster::AllreduceRun run = cluster::run_allreduce(cl, grads);
+  cl.sample_trace_counters();
+
+  std::printf("%d-rack x %d-worker cluster, %zu gradients/worker\n", racks,
+              wpr, grads[0].size());
+  std::printf("  finished workers: %d/%d in %s simulated time\n",
+              run.finished, spec.total_workers(),
+              cl.simulator().now().to_string().c_str());
+  std::printf("  allreduce: %.2f us, %.2f Gbps aggregate goodput\n",
+              run.duration_us(), run.goodput_gbps());
+  for (int r = 0; r < racks; ++r) {
+    std::printf("  rack%d: leaf blocks %llu, uplink frames %llu\n", r,
+                static_cast<unsigned long long>(
+                    cl.leaf_app(r).stats().blocks_completed),
+                static_cast<unsigned long long>(
+                    cl.fabric_link(r).a_to_b().frames_sent()));
+  }
+  std::printf("  spine: blocks %llu\n",
+              static_cast<unsigned long long>(
+                  cl.spine_app().stats().blocks_completed));
+  if (!metrics_out.empty()) {
+    if (!telem.metrics.write_json_file(metrics_out, cl.simulator().now())) {
+      std::fprintf(stderr, "trio-run: cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("  metrics: %s (%zu metrics)\n", metrics_out.c_str(),
+                telem.metrics.metric_count());
+  }
+  if (!trace_out.empty()) {
+    if (!telem.tracer.write_json_file(trace_out)) {
+      std::fprintf(stderr, "trio-run: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("  trace: %s (%zu events)\n", trace_out.c_str(),
+                telem.tracer.event_count());
+  }
+  return run.finished == spec.total_workers() ? 0 : 1;
 }
 
 net::Buffer make_frame(const std::string& kind) {
@@ -53,6 +130,8 @@ net::Buffer make_frame(const std::string& kind) {
 
 int main(int argc, char** argv) {
   std::string path;
+  std::string cluster_topo;
+  int blocks = 8;
   int packets = 1000;
   std::vector<std::string> mix = {"ip", "arp", "opts"};
   std::vector<std::uint64_t> counters;
@@ -62,6 +141,12 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--packets" && i + 1 < argc) {
       packets = std::atoi(argv[++i]);
+    } else if (arg == "--cluster" && i + 1 < argc) {
+      cluster_topo = argv[++i];
+    } else if (arg.rfind("--cluster=", 0) == 0) {
+      cluster_topo = arg.substr(std::string("--cluster=").size());
+    } else if (arg == "--blocks" && i + 1 < argc) {
+      blocks = std::atoi(argv[++i]);
     } else if (arg == "--mix" && i + 1 < argc) {
       mix.clear();
       std::stringstream ss(argv[++i]);
@@ -82,6 +167,9 @@ int main(int argc, char** argv) {
     } else {
       path = arg;
     }
+  }
+  if (!cluster_topo.empty()) {
+    return run_cluster(cluster_topo, blocks, metrics_out, trace_out);
   }
   if (path.empty() || packets <= 0 || mix.empty()) return usage();
 
