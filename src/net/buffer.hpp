@@ -48,6 +48,14 @@ class Buffer {
   std::span<const std::uint8_t> bytes() const { return bytes_; }
   std::span<std::uint8_t> mutable_bytes() { return bytes_; }
 
+  /// Steals the underlying storage, leaving this buffer empty. Used by the
+  /// packet pool to recycle frame memory (see net/buffer_pool.hpp).
+  std::vector<std::uint8_t> take_storage() {
+    std::vector<std::uint8_t> out = std::move(bytes_);
+    bytes_.clear();
+    return out;
+  }
+
   bool operator==(const Buffer&) const = default;
 
   std::string hex() const;

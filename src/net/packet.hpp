@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "net/buffer.hpp"
+#include "net/buffer_pool.hpp"
 #include "net/headers.hpp"
 #include "sim/time.hpp"
 
@@ -19,6 +20,40 @@ namespace net {
 
 class Packet;
 using PacketPtr = std::shared_ptr<Packet>;
+
+namespace detail {
+
+/// Thread-local freelist for the allocate_shared<Packet> cell (control
+/// block + Packet in one allocation). Every cell has the same size, so a
+/// plain pointer stack suffices; mismatched sizes fall through to the
+/// global allocator.
+class PacketCellPool {
+ public:
+  static void* allocate(std::size_t bytes);
+  static void deallocate(void* p, std::size_t bytes) noexcept;
+  /// Cells handed back out of the freelist (allocation-test observability).
+  static std::uint64_t reuses();
+};
+
+template <typename T>
+struct PacketCellAllocator {
+  using value_type = T;
+  PacketCellAllocator() = default;
+  template <typename U>
+  PacketCellAllocator(const PacketCellAllocator<U>&) {}  // NOLINT
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(PacketCellPool::allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    PacketCellPool::deallocate(p, n * sizeof(T));
+  }
+  template <typename U>
+  bool operator==(const PacketCellAllocator<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace detail
 
 class Packet {
  public:
@@ -28,8 +63,25 @@ class Packet {
 
   explicit Packet(Buffer frame) : frame_(std::move(frame)) {}
 
-  static PacketPtr make(Buffer frame) {
-    return std::make_shared<Packet>(std::move(frame));
+  /// On destruction the frame's storage is parked in the thread's
+  /// BufferPool so the next frame builder reuses it.
+  ~Packet() { BufferPool::recycle(frame_.take_storage()); }
+  Packet(const Packet&) = default;
+  Packet(Packet&&) = default;
+  Packet& operator=(const Packet&) = default;
+  Packet& operator=(Packet&&) = default;
+
+  /// Pooled allocation: the shared_ptr control block and the Packet live
+  /// in one recycled cell, so steady-state packet churn never touches the
+  /// allocator (docs/performance.md).
+  static PacketPtr make(Buffer&& frame) {
+    return std::allocate_shared<Packet>(detail::PacketCellAllocator<Packet>{},
+                                        std::move(frame));
+  }
+
+  /// Copying overload: the frame bytes are copied into pooled storage.
+  static PacketPtr make(const Buffer& frame) {
+    return make(BufferPool::instance().copy(frame));
   }
 
   const Buffer& frame() const { return frame_; }

@@ -1,38 +1,51 @@
-// Discrete-event queue: a priority queue of (time, sequence, callback)
-// entries with O(log n) push/pop and O(1) lazy cancellation.
+// Discrete-event queue: an indexed 4-ary min-heap of (time, sequence)
+// entries with O(log n) push/pop and O(log n) *true* cancellation.
 //
 // Determinism: two events scheduled for the same instant fire in the order
 // they were scheduled (FIFO tie-break on a monotonically increasing
 // sequence number), so simulation runs are exactly reproducible for a given
 // seed regardless of heap internals.
+//
+// Layout (docs/performance.md): heap entries are 24-byte PODs that sift
+// cheaply; the callbacks live in a side slot table indexed by the entry, so
+// reheapification never moves a closure. Each slot carries a generation
+// counter and its current heap position: an EventId is (slot, generation),
+// cancellation validates the generation and removes the entry from the
+// middle of the heap immediately — no tombstones, no per-event hash-set
+// traffic, and size() is exact. A 4-ary heap halves the tree depth of a
+// binary heap and keeps the children of a node in one cache line.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "sim/time.hpp"
 
 namespace sim {
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
+/// Generation-tagged: a handle goes stale the moment its event fires or is
+/// cancelled, so cancelling twice (or cancelling a fired event) is a safe
+/// no-op even after the slot is reused.
 class EventId {
  public:
   constexpr EventId() = default;
-  constexpr bool valid() const { return seq_ != 0; }
+  constexpr bool valid() const { return slot_ != kInvalidSlot; }
   constexpr auto operator<=>(const EventId&) const = default;
 
  private:
   friend class EventQueue;
-  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;  // 0 = invalid
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+  constexpr EventId(std::uint32_t slot, std::uint32_t gen)
+      : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = kInvalidSlot;
+  std::uint32_t gen_ = 0;
 };
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   /// Schedules `cb` to fire at absolute time `at`. Scheduling in the past
   /// (before the most recently popped event) is a programming error and
@@ -40,14 +53,17 @@ class EventQueue {
   EventId schedule(Time at, Callback cb);
 
   /// Cancels a pending event. Returns false if the event already fired or
-  /// was already cancelled. O(1) amortised (lazy deletion).
+  /// was already cancelled. O(log n): the entry leaves the heap now and
+  /// its callback (and everything the closure owns) is destroyed now.
   bool cancel(EventId id);
 
-  bool empty() const { return pending_.empty(); }
-  std::size_t size() const { return pending_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event; Time::max() when empty.
-  Time next_time();
+  Time next_time() const {
+    return heap_.empty() ? Time::max() : heap_.front().at;
+  }
 
   /// Pops and runs the earliest event. Returns its time. Precondition:
   /// !empty().
@@ -56,27 +72,40 @@ class EventQueue {
   Time last_popped() const { return last_popped_; }
 
  private:
-  struct Entry {
+  struct HeapEntry {
     Time at;
     std::uint64_t seq;
-    // Mutable so the callback can be moved out of the (const) heap top
-    // right before execution.
-    mutable Callback cb;
+    std::uint32_t slot;
   };
-  struct Cmp {
-    // std::priority_queue is a max-heap; invert so the earliest
-    // (time, seq) pair is on top.
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 0;
+    std::uint32_t heap_pos = 0;
   };
+  static constexpr std::size_t kArity = 4;
 
-  /// Discards cancelled entries sitting on top of the heap.
-  void drop_cancelled_top();
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Cmp> heap_;
-  std::unordered_set<std::uint64_t> pending_;  // live (not fired/cancelled)
+  void put(std::size_t pos, const HeapEntry& e) {
+    heap_[pos] = e;
+    slots_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  /// Removes the entry at heap position `pos` (the hole is filled by the
+  /// last entry, which is then sifted whichever way restores the
+  /// invariant).
+  void remove_at(std::size_t pos);
+  /// Destroys the slot's callback, bumps its generation (staling every
+  /// outstanding EventId) and returns it to the freelist.
+  void release_slot(std::uint32_t slot);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 1;
   Time last_popped_ = Time::zero();
 };

@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -42,7 +41,7 @@ class Simulator {
   /// Runs at most `max_events` events. Returns the number run.
   std::uint64_t run_events(std::uint64_t max_events);
 
-  bool pending() { return !queue_.empty(); }
+  bool pending() const { return !queue_.empty(); }
   std::size_t queue_size() const { return queue_.size(); }
   std::uint64_t events_executed() const { return events_executed_; }
 

@@ -1,5 +1,6 @@
 #include "trio/ppe.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
@@ -41,10 +42,15 @@ bool Ppe::spawn(std::unique_ptr<PpeProgram> program, net::PacketPtr pkt,
   free_slots_.pop_back();
 
   Thread& th = threads_[static_cast<std::size_t>(slot)];
-  th.ctx = ThreadContext{};
+  // Reset in place rather than assigning a fresh ThreadContext: the LMEM
+  // and register vectors keep their capacity across thread lifetimes, so
+  // steady-state dispatch does not touch the allocator.
   th.ctx.lmem.resize(cal_.lmem_bytes);
+  std::ranges::fill(th.ctx.lmem.mutable_bytes(), 0);
   th.ctx.regs.assign(static_cast<std::size_t>(cal_.gprs_per_thread), 0);
   th.ctx.packet = std::move(pkt);
+  th.ctx.reply = XtxnReply{};
+  th.ctx.instructions_executed = 0;
   th.ctx.timer_index = timer_index;
   th.ctx.spawn_time = sim_.now();
   th.ctx.ppe_index = index_;
@@ -90,22 +96,11 @@ void Ppe::perform(int slot, Action action, sim::Time done) {
     sim_.schedule_at(done, [this, slot] { advance(slot); });
   } else if (auto* sx = std::get_if<ActSyncXtxn>(&action)) {
     // The thread suspends until the reply returns (§3.1 synchronous XTXN).
-    sim_.schedule_at(done, [this, slot, req = std::move(sx->req)]() mutable {
-      Thread& t = threads_[static_cast<std::size_t>(slot)];
-      const sim::Time issued = sim_.now();
-      const XtxnOp op = req.op;
-      pfe_.issue_xtxn(req, t.ctx.packet,
-                      [this, slot, issued, op](XtxnReply reply) {
-        Thread& t2 = threads_[static_cast<std::size_t>(slot)];
-        t2.ctx.reply = std::move(reply);
-        if (tracer_ != nullptr) {
-          tracer_->complete(trace_pid_, tid_of(slot),
-                            std::string("stall:") + xtxn_op_name(op), issued,
-                            sim_.now());
-        }
-        advance(slot);
-      });
-    });
+    // The request is parked in the thread record so the scheduled closure
+    // captures only (this, slot) — moving the request's data vector into
+    // the closure would blow the inline-callback budget.
+    th.pending_sync_req = std::move(sx->req);
+    sim_.schedule_at(done, [this, slot] { issue_pending_sync(slot); });
   } else if (auto* ax = std::get_if<ActAsyncXtxn>(&action)) {
     if (!xtxn_is_posted(ax->req.op)) {
       throw std::logic_error("Ppe: async XTXN must be a posted operation");
@@ -131,6 +126,23 @@ void Ppe::perform(int slot, Action action, sim::Time done) {
   } else {
     throw std::logic_error("Ppe: unknown action");
   }
+}
+
+void Ppe::issue_pending_sync(int slot) {
+  Thread& t = threads_[static_cast<std::size_t>(slot)];
+  const sim::Time issued = sim_.now();
+  const XtxnRequest req = std::move(t.pending_sync_req);
+  const XtxnOp op = req.op;
+  pfe_.issue_xtxn(req, t.ctx.packet, [this, slot, issued, op](XtxnReply reply) {
+    Thread& t2 = threads_[static_cast<std::size_t>(slot)];
+    t2.ctx.reply = std::move(reply);
+    if (tracer_ != nullptr) {
+      tracer_->complete(trace_pid_, tid_of(slot),
+                        std::string("stall:") + xtxn_op_name(op), issued,
+                        sim_.now());
+    }
+    advance(slot);
+  });
 }
 
 void Ppe::finish(int slot) {

@@ -62,11 +62,15 @@ class Ppe {
     std::unique_ptr<PpeProgram> program;
     std::optional<std::uint64_t> ticket;
     sim::Time async_done_at;
+    // Sync-XTXN request parked between the action and its issue time, so
+    // the scheduled closure stays within the inline-callback budget.
+    XtxnRequest pending_sync_req;
     bool active = false;
   };
 
   void advance(int slot);
   void perform(int slot, Action action, sim::Time done);
+  void issue_pending_sync(int slot);
   void finish(int slot);
 
   /// Trace row id of a thread slot: rows of all PPEs in a PFE interleave

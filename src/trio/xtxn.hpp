@@ -5,8 +5,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
+
+#include "sim/inline_callback.hpp"
 
 namespace trio {
 
@@ -91,6 +92,9 @@ struct XtxnReply {
   std::vector<std::uint8_t> data;
 };
 
-using XtxnCallback = std::function<void(XtxnReply)>;
+// Move-only with 32 bytes of inline storage: the engine's reply closures
+// (this, slot, issue-time, op) fit without touching the allocator; larger
+// captures from tests or applications fall back to one heap cell.
+using XtxnCallback = sim::InlineFunction<void(XtxnReply), 32>;
 
 }  // namespace trio

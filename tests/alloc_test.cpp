@@ -1,0 +1,201 @@
+// Allocation-count regression tests for the event-core fast path.
+//
+// The perf contract (docs/performance.md): once the queue's slot table,
+// the heap array, and the packet pools are warm, the hot paths never touch
+// the global allocator — not per scheduled event (InlineCallback storage
+// is inline), not per recycled packet (BufferPool + the packet cell
+// freelist). This binary overrides global operator new to count
+// allocations and asserts *zero* across the measured steady-state windows.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "trio/router.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// Counting overrides: every allocation path funnels through these. delete
+// is intentionally uncounted — the tests only care that the hot loops stop
+// *acquiring* memory.
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+std::uint64_t allocs() { return g_allocs.load(std::memory_order_relaxed); }
+
+/// A link-delivery-sized capture (~40 bytes): the event queue must store
+/// it inline.
+struct LinkSizedWork {
+  std::uint64_t* sink;
+  void* peer;
+  int port;
+  std::uint64_t a, b, c;
+  void operator()() const { *sink += a + b + c + std::uint64_t(port); }
+};
+
+TEST(AllocCount, SteadyStateEventSchedulingIsAllocationFree) {
+  static_assert(sim::InlineCallback::stores_inline<LinkSizedWork>());
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  const LinkSizedWork work{&sink, nullptr, 3, 1, 2, 3};
+  // Warm-up: grows the heap array, the slot table and the freelist to
+  // their steady-state footprint.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule_in(sim::Duration(i % 17), work);
+    }
+    sim.run();
+  }
+  const std::uint64_t before = allocs();
+  for (int round = 0; round < 16; ++round) {
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule_in(sim::Duration(i % 17), work);
+    }
+    sim.run();
+  }
+  EXPECT_EQ(allocs() - before, 0u) << "16384 events should allocate nothing";
+  EXPECT_GT(sink, 0u);
+}
+
+TEST(AllocCount, CancelAndRescheduleIsAllocationFree) {
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  const LinkSizedWork work{&sink, nullptr, 5, 4, 5, 6};
+  std::vector<sim::EventId> ids(512);
+  auto batch = [&] {
+    for (int i = 0; i < 512; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          sim.schedule_in(sim::Duration(100 + i % 13), work);
+    }
+    for (int i = 0; i < 512; ++i) {
+      sim.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    for (int i = 0; i < 256; ++i) {
+      sim.schedule_in(sim::Duration(i % 7), work);
+    }
+    sim.run();
+  };
+  for (int round = 0; round < 4; ++round) batch();  // warm-up
+  const std::uint64_t before = allocs();
+  for (int round = 0; round < 16; ++round) batch();
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+net::PacketPtr make_test_packet(const std::vector<std::uint8_t>& payload) {
+  return net::Packet::make(net::build_udp_frame(
+      {1, 1, 1, 1, 1, 1}, {2, 2, 2, 2, 2, 2},
+      net::Ipv4Addr::from_octets(10, 0, 0, 1),
+      net::Ipv4Addr::from_octets(10, 0, 0, 2), 1, 2, payload));
+}
+
+TEST(AllocCount, RecycledPacketsAreAllocationFree) {
+  const std::vector<std::uint8_t> payload(1024, 0xab);
+  for (int i = 0; i < 64; ++i) {
+    auto p = make_test_packet(payload);  // warm the pools
+  }
+  const std::uint64_t before = allocs();
+  for (int i = 0; i < 4096; ++i) {
+    auto p = make_test_packet(payload);
+    // Dropped here: frame storage -> BufferPool, cell -> packet cell pool.
+  }
+  EXPECT_EQ(allocs() - before, 0u) << "4096 recycled packets, zero allocs";
+}
+
+/// Echo node: immediately retransmits every received frame on its own
+/// endpoint — with its peer doing the same, one packet ping-pongs across
+/// the two links forever, exercising link scheduling + packet transport.
+class EchoNode : public net::Node {
+ public:
+  void attach(net::LinkEndpoint& tx) { tx_ = &tx; }
+  void receive(net::PacketPtr pkt, int) override { tx_->send(std::move(pkt)); }
+  std::string name() const override { return "echo"; }
+
+ private:
+  net::LinkEndpoint* tx_ = nullptr;
+};
+
+TEST(AllocCount, LinkEchoLoopSteadyStateIsAllocationFree) {
+  sim::Simulator sim;
+  EchoNode a, b;
+  net::Link ab(sim, 100.0, sim::Duration::micros(1));
+  ab.attach(a, 0, b, 0);
+  a.attach(ab.a_to_b());
+  b.attach(ab.b_to_a());
+  const std::vector<std::uint8_t> payload(1024, 0x5a);
+  ASSERT_TRUE(ab.a_to_b().send(make_test_packet(payload)));
+  // Warm-up: a few thousand hops.
+  sim.run_until(sim::Time(0) + sim::Duration::millis(2));
+  const std::uint64_t frames_before = ab.a_to_b().frames_sent();
+  const std::uint64_t before = allocs();
+  sim.run_until(sim::Time(0) + sim::Duration::millis(12));
+  EXPECT_EQ(allocs() - before, 0u);
+  EXPECT_GT(ab.a_to_b().frames_sent(), frames_before + 100)
+      << "the loop must actually have forwarded frames";
+}
+
+TEST(AllocCount, RouterForwardingSteadyStateStaysUnderBudget) {
+  // The full link->PFE->link path cannot be allocation-free today: each
+  // packet clones a per-packet PpeProgram (unique_ptr) and opens a
+  // reorder-map ticket. This pins the steady-state budget so regressions
+  // (or a future fix dropping it to zero) are visible.
+  sim::Simulator sim;
+  trio::Router router(sim, trio::Calibration{}, 1, 2);
+  const auto nh = router.forwarding().add_nexthop(trio::NexthopUnicast{1, {}});
+  router.forwarding().add_route(net::Ipv4Addr::from_octets(0, 0, 0, 0), 0, nh);
+  int delivered = 0;
+  router.attach_port_sink(1, [&delivered](net::PacketPtr) { ++delivered; });
+  const std::vector<std::uint8_t> payload(256, 0x11);
+  auto inject = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      router.receive(make_test_packet(payload), 0);
+    }
+    sim.run();
+  };
+  inject(256);  // warm-up
+  const int warm_delivered = delivered;
+  const std::uint64_t before = allocs();
+  inject(1024);
+  const std::uint64_t per_packet = (allocs() - before) / 1024;
+  EXPECT_EQ(delivered - warm_delivered, 1024);
+  EXPECT_LE(per_packet, 12u)
+      << "per-packet allocation budget regressed: " << per_packet;
+}
+
+}  // namespace
