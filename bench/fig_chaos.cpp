@@ -1,0 +1,164 @@
+// Chaos sweep (extension, docs/faults.md): fault intensity vs
+// time-to-convergence of a cluster allreduce.
+//
+// Each sweep point runs an 8-worker, 2-rack allreduce under a scaled
+// chaos schedule — Gilbert–Elliott burst loss on every host link, one
+// trunk flap — with the hardened recovery path on (bounded exponential
+// backoff, retry budgets, straggler aging). The top intensity also
+// crashes one worker mid-allreduce, exercising the excluded-worker
+// semantics: convergence is then over the 7 survivors. Every point is
+// run twice and the fault-log digests compared, so the bench doubles as
+// a determinism check.
+//
+//   fig_chaos [--quick] [--json-out=<file>]   # BENCH_chaos.json in CI
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/allreduce.hpp"
+#include "cluster/cluster.hpp"
+#include "faults/injector.hpp"
+#include "faults/schedule.hpp"
+
+namespace {
+
+struct Point {
+  double intensity;     // scales burst p_enter and the flap outage
+  bool crash;           // also crash worker 5 mid-allreduce
+};
+
+struct Outcome {
+  double convergence_us = 0;
+  int finished = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t backoff_rearms = 0;
+  std::uint64_t budget_exhausted = 0;
+  std::uint64_t degraded_blocks = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t digest = 0;
+};
+
+Outcome run_point(const Point& p, std::size_t blocks) {
+  cluster::ClusterSpec spec;
+  spec.racks = 2;
+  spec.workers_per_rack = 4;
+  spec.grads_per_packet = 1024;
+
+  cluster::Cluster cl(spec);
+  const int workers = spec.total_workers();
+  for (int w = 0; w < workers; ++w) {
+    cl.worker(w).enable_hardened_retransmit(sim::Duration::millis(5),
+                                            /*retry_budget=*/10,
+                                            sim::Duration::millis(20));
+  }
+  cl.start_straggler_detection(/*threads=*/10, sim::Duration::millis(1));
+
+  faults::FaultSchedule schedule;
+  if (p.intensity > 0) {
+    net::GilbertElliott ge;
+    ge.p_enter = 0.01 * p.intensity;
+    ge.p_exit = 0.2;
+    schedule.burst_loss(sim::Time(), faults::FaultSchedule::host_link(
+                                         faults::Target::kAll),
+                        ge, sim::Duration::millis(2));
+    schedule.flap(sim::Time() + sim::Duration::micros(30),
+                  faults::FaultSchedule::fabric_link(0),
+                  sim::Duration(std::int64_t(100'000 * p.intensity)));
+  }
+  if (p.crash) {
+    schedule.crash(sim::Time() + sim::Duration::micros(50), 5);
+  }
+
+  faults::FaultInjector injector(cl.simulator(), nullptr);
+  injector.bind(cl);
+  injector.arm(schedule);
+
+  const auto grads = cluster::patterned_gradients(
+      workers, blocks * spec.grads_per_packet);
+  const auto run = cluster::run_allreduce(
+      cl, grads, /*gen_id=*/1, sim::Time(sim::Duration::millis(200).ns()));
+  cl.stop_straggler_detection();
+
+  Outcome out;
+  out.convergence_us = run.duration_us();
+  out.finished = run.finished;
+  for (int w = 0; w < workers; ++w) {
+    out.retransmits += cl.worker(w).retransmissions();
+    out.backoff_rearms += cl.worker(w).backoff_rearms();
+    out.budget_exhausted += cl.worker(w).retry_budget_exhausted();
+  }
+  for (const auto& r : run.results) out.degraded_blocks += r.degraded_blocks;
+  out.faults = injector.faults_injected();
+  out.recoveries = injector.recoveries();
+  out.digest = injector.digest();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::string json_out = benchutil::parse_json_out_flag(argc, argv);
+  const std::size_t blocks = quick ? 16 : 64;
+
+  benchutil::banner(
+      "Chaos sweep: fault intensity vs time-to-convergence",
+      "extension of SS7 \"Packet loss in Trio-ML\" under injected faults");
+
+  std::vector<Point> sweep = {
+      {0.0, false}, {0.5, false}, {1.0, false}, {2.0, false}, {2.0, true},
+  };
+  if (quick) sweep = {{0.0, false}, {1.0, false}, {2.0, true}};
+
+  benchutil::row({"intensity", "crash", "conv_us", "finished", "rexmits",
+                  "backoffs", "degraded", "determ"});
+  benchutil::JsonSeries series;
+  int failures = 0;
+  for (const Point& p : sweep) {
+    const Outcome a = run_point(p, blocks);
+    const Outcome b = run_point(p, blocks);
+    const bool deterministic =
+        a.digest == b.digest && a.convergence_us == b.convergence_us &&
+        a.finished == b.finished && a.retransmits == b.retransmits;
+    if (!deterministic) ++failures;
+    const int expected = 8 - (p.crash ? 1 : 0);
+    if (a.finished < expected) ++failures;
+
+    benchutil::row({benchutil::fmt(p.intensity, 1), p.crash ? "yes" : "no",
+                    benchutil::fmt(a.convergence_us),
+                    std::to_string(a.finished) + "/8",
+                    std::to_string(a.retransmits),
+                    std::to_string(a.backoff_rearms),
+                    std::to_string(a.degraded_blocks),
+                    deterministic ? "yes" : "NO"});
+    series.number("intensity", p.intensity)
+        .boolean("crash", p.crash)
+        .number("convergence_us", a.convergence_us)
+        .number("finished", std::uint64_t(a.finished))
+        .number("retransmits", a.retransmits)
+        .number("backoff_rearms", a.backoff_rearms)
+        .number("retry_budget_exhausted", a.budget_exhausted)
+        .number("degraded_blocks", a.degraded_blocks)
+        .number("faults_injected", a.faults)
+        .number("recoveries", a.recoveries)
+        .boolean("deterministic", deterministic)
+        .end_row();
+  }
+
+  if (!json_out.empty() && series.write_file(json_out)) {
+    std::printf("\nwrote %zu rows to %s\n", series.row_count(),
+                json_out.c_str());
+  }
+  if (failures != 0) {
+    std::printf("\n%d sweep point(s) failed determinism/convergence\n",
+                failures);
+    return 1;
+  }
+  return 0;
+}

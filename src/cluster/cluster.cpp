@@ -166,6 +166,9 @@ void Cluster::build_rack(const RackNode& node) {
                                 "cluster.tier.host.up.");
       link->b_to_a().instrument(spec_.telemetry->metrics,
                                 "cluster.tier.host.down.");
+      // Shared across workers: tier totals of the recovery-path counters
+      // (retransmits, backoff re-arms, exhausted budgets, crashes).
+      worker->instrument(spec_.telemetry->metrics, "cluster.worker.");
     }
     host_links_.push_back(std::move(link));
     workers_.push_back(std::move(worker));

@@ -1,0 +1,85 @@
+#include "faults/fault.hpp"
+
+#include <sstream>
+
+namespace faults {
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  std::ostringstream out;
+  if (ns != 0 && ns % 1'000'000'000 == 0) out << ns / 1'000'000'000 << "s";
+  else if (ns != 0 && ns % 1'000'000 == 0) out << ns / 1'000'000 << "ms";
+  else if (ns != 0 && ns % 1'000 == 0) out << ns / 1'000 << "us";
+  else out << ns << "ns";
+  return out.str();
+}
+
+}  // namespace
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "down";
+    case FaultKind::kLinkUp: return "up";
+    case FaultKind::kLinkFlap: return "flap";
+    case FaultKind::kBurstLoss: return "burst";
+    case FaultKind::kIidLoss: return "loss";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kRouterStall: return "stall";
+    case FaultKind::kHostCrash: return "crash";
+    case FaultKind::kHostRestart: return "restart";
+    case FaultKind::kBucketDrop: return "drop-buckets";
+  }
+  return "?";
+}
+
+std::string target_name(const Target& target) {
+  std::string out;
+  switch (target.kind) {
+    case TargetKind::kHostLink: out = "host"; break;
+    case TargetKind::kFabricLink: out = "fabric"; break;
+    case TargetKind::kWorker: out = "worker"; break;
+    case TargetKind::kLeafRouter: out = "leaf"; break;
+    case TargetKind::kSpineRouter: return "spine";
+    case TargetKind::kLeafAgg: out = "leaf"; break;
+    case TargetKind::kSpineAgg: return "spine";
+  }
+  out += ':';
+  out += target.index == Target::kAll ? "*" : std::to_string(target.index);
+  if (target.dir == LinkDir::kUp) out += ".up";
+  else if (target.dir == LinkDir::kDown) out += ".down";
+  return out;
+}
+
+std::string describe(const FaultEvent& event) {
+  std::ostringstream out;
+  out << format_ns(event.at.ns()) << ' ' << kind_name(event.kind) << ' '
+      << target_name(event.target);
+  switch (event.kind) {
+    case FaultKind::kLinkFlap:
+    case FaultKind::kRouterStall:
+      out << " for " << format_ns(event.duration.ns());
+      break;
+    case FaultKind::kBurstLoss:
+      out << " p_enter=" << event.burst.p_enter
+          << " p_exit=" << event.burst.p_exit;
+      if (event.duration.ns() != 0) {
+        out << " for " << format_ns(event.duration.ns());
+      }
+      break;
+    case FaultKind::kIidLoss:
+    case FaultKind::kCorrupt:
+      out << ' ' << event.probability;
+      if (event.duration.ns() != 0) {
+        out << " for " << format_ns(event.duration.ns());
+      }
+      break;
+    case FaultKind::kBucketDrop:
+      out << " job=" << int(event.job_id);
+      break;
+    default:
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace faults

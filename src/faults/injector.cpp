@@ -1,0 +1,323 @@
+#include "faults/injector.hpp"
+
+#include <stdexcept>
+
+#include "cluster/cluster.hpp"
+#include "trio/router.hpp"
+#include "trioml/app.hpp"
+#include "trioml/host.hpp"
+#include "trioml/testbed.hpp"
+
+namespace faults {
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Label for one expanded wildcard instance ("host:3.up" from "host:*").
+std::string instance_label(const Target& t, int instance) {
+  Target concrete = t;
+  concrete.index = instance;
+  return target_name(concrete);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& simulator,
+                             telemetry::Telemetry* telem)
+    : sim_(simulator), telem_(telem) {
+  if (telem_ != nullptr) {
+    injected_ctr_ = telem_->metrics.counter("faults.injected");
+    recovered_ctr_ = telem_->metrics.counter("faults.recovered");
+    buckets_ctr_ = telem_->metrics.counter("faults.buckets_dropped");
+  }
+}
+
+void FaultInjector::bind(cluster::Cluster& cluster) {
+  topo_ = Topology{};
+  topo_.host_links = cluster.num_workers();
+  topo_.fabric_links = cluster.num_racks();
+  topo_.workers = cluster.num_workers();
+  topo_.leaf_routers = cluster.num_racks();
+  topo_.leaf_aggs = cluster.num_racks();
+  topo_.has_spine = true;
+  topo_.host_link = [&cluster](int i) { return &cluster.link(i); };
+  topo_.fabric_link = [&cluster](int r) { return &cluster.fabric_link(r); };
+  topo_.worker = [&cluster](int i) { return &cluster.worker(i); };
+  topo_.leaf_router = [&cluster](int r) { return &cluster.leaf(r); };
+  topo_.spine_router = [&cluster]() { return &cluster.spine(); };
+  topo_.leaf_agg = [&cluster](int r) { return &cluster.leaf_app(r); };
+  topo_.spine_agg = [&cluster]() { return &cluster.spine_app(); };
+  bound_ = true;
+}
+
+void FaultInjector::bind(trioml::Testbed& testbed) {
+  topo_ = Topology{};
+  topo_.host_links = testbed.num_workers();
+  topo_.fabric_links = 0;
+  topo_.workers = testbed.num_workers();
+  topo_.leaf_routers = 1;  // `leaf:0` / `router:0` = the testbed's router
+  // `leaf:n` addresses the n-th aggregating app (in hierarchical mode the
+  // top-level PFE is the last one), not the raw PFE number.
+  const std::vector<trioml::TrioMlApp*> apps = testbed.apps();
+  topo_.leaf_aggs = static_cast<int>(apps.size());
+  topo_.has_spine = false;
+  topo_.host_link = [&testbed](int i) { return &testbed.link(i); };
+  topo_.worker = [&testbed](int i) { return &testbed.worker(i); };
+  topo_.leaf_router = [&testbed](int) { return &testbed.router(); };
+  topo_.leaf_agg = [apps](int i) { return apps.at(std::size_t(i)); };
+  bound_ = true;
+}
+
+void FaultInjector::arm(const FaultSchedule& schedule) {
+  if (!bound_) {
+    throw std::logic_error("FaultInjector: bind() a topology before arm()");
+  }
+  for (const FaultEvent& event : schedule.events()) {
+    // Validate eagerly so a bad schedule fails at arm() time, not deep
+    // into the run.
+    int count = 0;
+    bool spine = false;
+    switch (event.target.kind) {
+      case TargetKind::kHostLink: count = topo_.host_links; break;
+      case TargetKind::kFabricLink: count = topo_.fabric_links; break;
+      case TargetKind::kWorker: count = topo_.workers; break;
+      case TargetKind::kLeafRouter: count = topo_.leaf_routers; break;
+      case TargetKind::kLeafAgg: count = topo_.leaf_aggs; break;
+      case TargetKind::kSpineRouter:
+      case TargetKind::kSpineAgg:
+        spine = true;
+        break;
+    }
+    if (spine) {
+      if (!topo_.has_spine) {
+        throw std::out_of_range("FaultInjector: no spine in this topology (" +
+                                describe(event) + ")");
+      }
+    } else if (count == 0 ||
+               (event.target.index != Target::kAll &&
+                event.target.index >= count)) {
+      throw std::out_of_range("FaultInjector: target out of range (" +
+                              describe(event) + ")");
+    }
+    sim_.schedule_at(event.at, [this, event] { execute(event); });
+  }
+}
+
+std::uint64_t FaultInjector::derive_seed(const FaultEvent& event,
+                                         int instance) const {
+  if (event.seed != 0) return event.seed + std::uint64_t(instance) * kGolden;
+  std::uint64_t h = 0x6a09e667f3bcc908ull;
+  h = mix(h ^ std::uint64_t(event.at.ns()));
+  h = mix(h ^ (std::uint64_t(event.kind) << 8) ^
+          (std::uint64_t(event.target.kind) << 16));
+  h = mix(h ^ std::uint64_t(instance + 1));
+  return h | 1;  // never 0
+}
+
+void FaultInjector::record(const std::string& what, bool recovery) {
+  log_.push_back(LogEntry{sim_.now(), what});
+  if (recovery) {
+    ++recoveries_;
+    recovered_ctr_.inc();
+  } else {
+    ++faults_injected_;
+    injected_ctr_.inc();
+  }
+  if (telem_ != nullptr) {
+    telem_->tracer.instant(kTracePid, recovery ? 1 : 0, what, sim_.now());
+  }
+}
+
+void FaultInjector::apply_to_link(const FaultEvent& event, net::Link& link,
+                                  int instance) {
+  const Target& t = event.target;
+  const std::string name = instance_label(t, instance);
+  // Apply `fn` to the selected direction(s); dir_index decorrelates seeds.
+  const auto each_dir = [&](auto&& fn) {
+    if (t.dir != LinkDir::kDown) fn(link.a_to_b(), 0);
+    if (t.dir != LinkDir::kUp) fn(link.b_to_a(), 1);
+  };
+  switch (event.kind) {
+    case FaultKind::kLinkDown:
+      each_dir([](net::LinkEndpoint& ep, int) { ep.set_down(true); });
+      record(kind_name(event.kind) + std::string(" ") + name, false);
+      break;
+    case FaultKind::kLinkUp:
+      each_dir([](net::LinkEndpoint& ep, int) { ep.set_down(false); });
+      record(kind_name(event.kind) + std::string(" ") + name, true);
+      break;
+    case FaultKind::kLinkFlap: {
+      each_dir([](net::LinkEndpoint& ep, int) { ep.set_down(true); });
+      record("flap " + name + " down", false);
+      sim_.schedule_in(event.duration, [this, &link, event, name] {
+        const auto dir = event.target.dir;
+        if (dir != LinkDir::kDown) link.a_to_b().set_down(false);
+        if (dir != LinkDir::kUp) link.b_to_a().set_down(false);
+        record("flap " + name + " up", true);
+      });
+      break;
+    }
+    case FaultKind::kBurstLoss: {
+      each_dir([&](net::LinkEndpoint& ep, int dir) {
+        ep.set_burst_loss(event.burst,
+                          derive_seed(event, instance) + dir * kGolden);
+      });
+      record("burst " + name + " on", false);
+      if (event.duration.ns() != 0) {
+        sim_.schedule_in(event.duration, [this, &link, event, name] {
+          const auto dir = event.target.dir;
+          if (dir != LinkDir::kDown) link.a_to_b().clear_burst_loss();
+          if (dir != LinkDir::kUp) link.b_to_a().clear_burst_loss();
+          record("burst " + name + " off", true);
+        });
+      }
+      break;
+    }
+    case FaultKind::kIidLoss: {
+      each_dir([&](net::LinkEndpoint& ep, int dir) {
+        ep.set_loss(event.probability,
+                    derive_seed(event, instance) + dir * kGolden);
+      });
+      record("loss " + name + " on", false);
+      if (event.duration.ns() != 0) {
+        sim_.schedule_in(event.duration, [this, &link, event, name] {
+          const auto dir = event.target.dir;
+          if (dir != LinkDir::kDown) link.a_to_b().set_loss(0.0);
+          if (dir != LinkDir::kUp) link.b_to_a().set_loss(0.0);
+          record("loss " + name + " off", true);
+        });
+      }
+      break;
+    }
+    case FaultKind::kCorrupt: {
+      each_dir([&](net::LinkEndpoint& ep, int dir) {
+        ep.set_corruption(event.probability,
+                          derive_seed(event, instance) + dir * kGolden);
+      });
+      record("corrupt " + name + " on", false);
+      if (event.duration.ns() != 0) {
+        sim_.schedule_in(event.duration, [this, &link, event, name] {
+          const auto dir = event.target.dir;
+          if (dir != LinkDir::kDown) link.a_to_b().set_corruption(0.0);
+          if (dir != LinkDir::kUp) link.b_to_a().set_corruption(0.0);
+          record("corrupt " + name + " off", true);
+        });
+      }
+      break;
+    }
+    default:
+      throw std::logic_error("FaultInjector: not a link fault");
+  }
+}
+
+void FaultInjector::execute(const FaultEvent& event) {
+  const Target& t = event.target;
+  switch (t.kind) {
+    case TargetKind::kHostLink:
+    case TargetKind::kFabricLink: {
+      const bool host = t.kind == TargetKind::kHostLink;
+      const int count = host ? topo_.host_links : topo_.fabric_links;
+      const auto& get = host ? topo_.host_link : topo_.fabric_link;
+      if (t.index != Target::kAll) {
+        apply_to_link(event, *get(t.index), t.index);
+      } else {
+        for (int i = 0; i < count; ++i) apply_to_link(event, *get(i), i);
+      }
+      break;
+    }
+    case TargetKind::kWorker: {
+      const auto apply = [&](int i) {
+        trioml::TrioMlWorker& w = *topo_.worker(i);
+        if (event.kind == FaultKind::kHostCrash) {
+          w.crash();
+          record("crash worker:" + std::to_string(i), false);
+        } else if (event.kind == FaultKind::kHostRestart) {
+          w.restart();
+          record("restart worker:" + std::to_string(i), true);
+        } else {
+          throw std::logic_error("FaultInjector: bad worker fault");
+        }
+      };
+      if (t.index != Target::kAll) apply(t.index);
+      else for (int i = 0; i < topo_.workers; ++i) apply(i);
+      break;
+    }
+    case TargetKind::kLeafRouter:
+    case TargetKind::kSpineRouter: {
+      if (event.kind != FaultKind::kRouterStall) {
+        throw std::logic_error("FaultInjector: bad router fault");
+      }
+      const auto apply = [&](trio::Router& r, const std::string& name) {
+        r.stall_for(event.duration);
+        record("stall " + name, false);
+        sim_.schedule_in(event.duration, [this, name] {
+          record("resume " + name, true);
+        });
+      };
+      if (t.kind == TargetKind::kSpineRouter) {
+        apply(*topo_.spine_router(), "spine");
+      } else if (t.index != Target::kAll) {
+        apply(*topo_.leaf_router(t.index),
+              "leaf:" + std::to_string(t.index));
+      } else {
+        for (int i = 0; i < topo_.leaf_routers; ++i) {
+          apply(*topo_.leaf_router(i), "leaf:" + std::to_string(i));
+        }
+      }
+      break;
+    }
+    case TargetKind::kLeafAgg:
+    case TargetKind::kSpineAgg: {
+      if (event.kind != FaultKind::kBucketDrop) {
+        throw std::logic_error("FaultInjector: bad aggregator fault");
+      }
+      const auto apply = [&](trioml::TrioMlApp& app, const std::string& name) {
+        const std::size_t n = app.drop_active_blocks(event.job_id);
+        buckets_dropped_ += n;
+        buckets_ctr_.inc(n);
+        record("drop-buckets " + name + " job=" +
+                   std::to_string(int(event.job_id)) + " (" +
+                   std::to_string(n) + " blocks)",
+               false);
+      };
+      if (t.kind == TargetKind::kSpineAgg) {
+        apply(*topo_.spine_agg(), "spine");
+      } else if (t.index != Target::kAll) {
+        apply(*topo_.leaf_agg(t.index), "leaf:" + std::to_string(t.index));
+      } else {
+        for (int i = 0; i < topo_.leaf_aggs; ++i) {
+          apply(*topo_.leaf_agg(i), "leaf:" + std::to_string(i));
+        }
+      }
+      break;
+    }
+  }
+}
+
+std::uint64_t FaultInjector::digest() const {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto eat = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const LogEntry& entry : log_) {
+    eat(std::uint64_t(entry.at.ns()));
+    for (char c : entry.what) {
+      h ^= std::uint8_t(c);
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace faults

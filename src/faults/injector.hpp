@@ -1,0 +1,112 @@
+// FaultInjector: binds a FaultSchedule to a live topology and executes
+// it on the simulated clock (docs/faults.md).
+//
+// The injector adapts either a trioml::Testbed (single router) or a
+// cluster::Cluster (leaf/spine) behind a uniform Topology view, expands
+// wildcard targets, schedules every event — and the recovery half of
+// windowed events (flap up, loss-model off) — and records each action in
+// an ordered event log. The FNV-1a digest over that log is the replay
+// fingerprint: two runs of the same schedule on the same topology must
+// produce equal digests (tests/faults_test.cpp).
+//
+// Every action is counted in the telemetry registry under `faults.*` and
+// emitted as an instant trace row on pid kTracePid, so chaos shows up
+// directly in Perfetto next to the PFE spans it perturbs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "faults/schedule.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace cluster {
+class Cluster;
+}
+namespace trioml {
+class Testbed;
+class TrioMlApp;
+class TrioMlWorker;
+}
+namespace trio {
+class Router;
+}
+
+namespace faults {
+
+class FaultInjector {
+ public:
+  /// `telem` may be null (no counters / trace rows).
+  explicit FaultInjector(sim::Simulator& simulator,
+                         telemetry::Telemetry* telem = nullptr);
+
+  /// Binds the injector to a topology. Call exactly one bind() before
+  /// arm(); the topology must outlive the injector.
+  void bind(cluster::Cluster& cluster);
+  void bind(trioml::Testbed& testbed);
+
+  /// Schedules every event of `schedule` on the simulator. May be called
+  /// multiple times (schedules accumulate). Throws std::logic_error when
+  /// unbound and std::out_of_range for a target the topology lacks.
+  void arm(const FaultSchedule& schedule);
+
+  struct LogEntry {
+    sim::Time at;
+    std::string what;
+  };
+  /// Every executed action (faults and recoveries) in execution order.
+  const std::vector<LogEntry>& log() const { return log_; }
+  /// FNV-1a fingerprint of the log — equal across deterministic replays.
+  std::uint64_t digest() const;
+
+  std::uint64_t faults_injected() const { return faults_injected_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  /// Total block records destroyed by kBucketDrop events.
+  std::uint64_t buckets_dropped() const { return buckets_dropped_; }
+
+  /// Trace pid for chaos instant rows (clears the Cluster summary band).
+  static constexpr int kTracePid = 999'000;
+
+ private:
+  /// Uniform view over Testbed / Cluster. Counts drive wildcard
+  /// expansion; absent parts (e.g. a testbed's spine) are size 0 / null.
+  struct Topology {
+    int host_links = 0;
+    int fabric_links = 0;
+    int workers = 0;
+    int leaf_routers = 0;
+    int leaf_aggs = 0;
+    bool has_spine = false;
+    std::function<net::Link*(int)> host_link;
+    std::function<net::Link*(int)> fabric_link;
+    std::function<trioml::TrioMlWorker*(int)> worker;
+    std::function<trio::Router*(int)> leaf_router;
+    std::function<trio::Router*()> spine_router;
+    std::function<trioml::TrioMlApp*(int)> leaf_agg;
+    std::function<trioml::TrioMlApp*()> spine_agg;
+  };
+
+  void execute(const FaultEvent& event);
+  void apply_to_link(const FaultEvent& event, net::Link& link, int instance);
+  void record(const std::string& what, bool recovery);
+  std::uint64_t derive_seed(const FaultEvent& event, int instance) const;
+
+  sim::Simulator& sim_;
+  telemetry::Telemetry* telem_;
+  Topology topo_;
+  bool bound_ = false;
+
+  std::vector<LogEntry> log_;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t buckets_dropped_ = 0;
+  telemetry::Counter injected_ctr_;
+  telemetry::Counter recovered_ctr_;
+  telemetry::Counter buckets_ctr_;
+};
+
+}  // namespace faults

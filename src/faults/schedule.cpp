@@ -1,0 +1,364 @@
+#include "faults/schedule.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace faults {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;  // rest of line is a comment
+    out.push_back(tok);
+  }
+  return out;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& line,
+                       const std::string& why) {
+  throw std::invalid_argument("faults DSL line " + std::to_string(line_no) +
+                              ": " + why + " in \"" + line + "\"");
+}
+
+double parse_double(const std::string& tok, bool* ok) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  *ok = end != nullptr && *end == '\0' && end != tok.c_str();
+  return v;
+}
+
+/// `host:3`, `host:*.up`, `fabric:0.down`, `worker:5`, `leaf:1`, `spine`,
+/// `router:2`, `router:spine`. `link_context` decides how `leaf`/`spine`
+/// resolve (router vs aggregation app).
+Target parse_target(const std::string& tok, bool agg_context, bool* ok) {
+  *ok = true;
+  Target t;
+  std::string body = tok;
+  if (body.size() > 3 && body.compare(body.size() - 3, 3, ".up") == 0) {
+    t.dir = LinkDir::kUp;
+    body.resize(body.size() - 3);
+  } else if (body.size() > 5 &&
+             body.compare(body.size() - 5, 5, ".down") == 0) {
+    t.dir = LinkDir::kDown;
+    body.resize(body.size() - 5);
+  }
+
+  std::string kind = body, idx;
+  if (const auto colon = body.find(':'); colon != std::string::npos) {
+    kind = body.substr(0, colon);
+    idx = body.substr(colon + 1);
+  }
+
+  if (kind == "host") t.kind = TargetKind::kHostLink;
+  else if (kind == "fabric") t.kind = TargetKind::kFabricLink;
+  else if (kind == "worker") t.kind = TargetKind::kWorker;
+  else if (kind == "leaf")
+    t.kind = agg_context ? TargetKind::kLeafAgg : TargetKind::kLeafRouter;
+  else if (kind == "spine")
+    t.kind = agg_context ? TargetKind::kSpineAgg : TargetKind::kSpineRouter;
+  else if (kind == "router") {
+    if (idx == "spine") {
+      t.kind = TargetKind::kSpineRouter;
+      idx.clear();
+    } else {
+      t.kind = TargetKind::kLeafRouter;
+    }
+  } else {
+    *ok = false;
+    return t;
+  }
+
+  if (idx.empty() || idx == "*") {
+    t.index = Target::kAll;
+  } else {
+    char* end = nullptr;
+    const long v = std::strtol(idx.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+      *ok = false;
+      return t;
+    }
+    t.index = static_cast<int>(v);
+  }
+  return t;
+}
+
+bool is_link_target(const Target& t) {
+  return t.kind == TargetKind::kHostLink || t.kind == TargetKind::kFabricLink;
+}
+
+/// Splits `key=value` tokens; returns false for anything else.
+bool parse_kv(const std::string& tok, std::string* key, std::string* value) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == tok.size()) return false;
+  *key = tok.substr(0, eq);
+  *value = tok.substr(eq + 1);
+  return true;
+}
+
+}  // namespace
+
+sim::Duration parse_duration(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || end == nullptr || v < 0) {
+    throw std::invalid_argument("bad duration: " + token);
+  }
+  const std::string unit(end);
+  double scale = 0;
+  if (unit == "ns") scale = 1;
+  else if (unit == "us") scale = 1e3;
+  else if (unit == "ms") scale = 1e6;
+  else if (unit == "s") scale = 1e9;
+  else throw std::invalid_argument("bad duration unit: " + token);
+  return sim::Duration(static_cast<std::int64_t>(v * scale + 0.5));
+}
+
+FaultSchedule& FaultSchedule::flap(sim::Time at, Target link,
+                                   sim::Duration outage) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkFlap;
+  e.target = link;
+  e.duration = outage;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::link_down(sim::Time at, Target link) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkDown;
+  e.target = link;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::link_up(sim::Time at, Target link) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkUp;
+  e.target = link;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::burst_loss(sim::Time at, Target link,
+                                         const net::GilbertElliott& model,
+                                         sim::Duration window,
+                                         std::uint64_t seed) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kBurstLoss;
+  e.target = link;
+  e.duration = window;
+  e.burst = model;
+  e.seed = seed;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::iid_loss(sim::Time at, Target link,
+                                       double probability,
+                                       sim::Duration window,
+                                       std::uint64_t seed) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kIidLoss;
+  e.target = link;
+  e.duration = window;
+  e.probability = probability;
+  e.seed = seed;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::corrupt(sim::Time at, Target link,
+                                      double probability,
+                                      sim::Duration window,
+                                      std::uint64_t seed) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCorrupt;
+  e.target = link;
+  e.duration = window;
+  e.probability = probability;
+  e.seed = seed;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::stall(sim::Time at, Target router,
+                                    sim::Duration length) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kRouterStall;
+  e.target = router;
+  e.duration = length;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::crash(sim::Time at, int worker_index) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kHostCrash;
+  e.target = worker(worker_index);
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::restart(sim::Time at, int worker_index) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kHostRestart;
+  e.target = worker(worker_index);
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::drop_buckets(sim::Time at, Target agg,
+                                           std::uint8_t job_id) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kBucketDrop;
+  e.target = agg;
+  e.job_id = job_id;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::add(FaultEvent event) {
+  events_.push_back(event);
+  return *this;
+}
+
+FaultSchedule FaultSchedule::parse(const std::string& text) {
+  FaultSchedule schedule;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (toks.size() < 3 || toks[0] != "at") {
+      fail(line_no, line, "expected `at <time> <verb> <target> ...`");
+    }
+    sim::Time at;
+    try {
+      at = sim::Time() + parse_duration(toks[1]);
+    } catch (const std::invalid_argument& e) {
+      fail(line_no, line, e.what());
+    }
+    const std::string& verb = toks[2];
+    if (toks.size() < 4) fail(line_no, line, "missing target");
+    const bool agg_context = verb == "drop-buckets";
+    bool ok = false;
+    const Target target = parse_target(toks[3], agg_context, &ok);
+    if (!ok) fail(line_no, line, "bad target `" + toks[3] + "`");
+
+    FaultEvent e;
+    e.at = at;
+    e.target = target;
+    std::size_t pos = 4;  // first parameter token
+
+    // `<number>` right after the target = probability (loss / corrupt).
+    double probability = -1;
+    if (pos < toks.size()) {
+      bool num_ok = false;
+      const double v = parse_double(toks[pos], &num_ok);
+      if (num_ok) {
+        probability = v;
+        ++pos;
+      }
+    }
+
+    // Trailing params: `for <dur>`, `seed=N`, `job=N`, GE model fields.
+    sim::Duration duration = sim::Duration::zero();
+    bool have_duration = false;
+    while (pos < toks.size()) {
+      if (toks[pos] == "for") {
+        if (pos + 1 >= toks.size()) fail(line_no, line, "`for` needs a time");
+        try {
+          duration = parse_duration(toks[pos + 1]);
+        } catch (const std::invalid_argument& err) {
+          fail(line_no, line, err.what());
+        }
+        have_duration = true;
+        pos += 2;
+        continue;
+      }
+      std::string key, value;
+      if (!parse_kv(toks[pos], &key, &value)) {
+        fail(line_no, line, "unexpected token `" + toks[pos] + "`");
+      }
+      bool num_ok = false;
+      const double v = parse_double(value, &num_ok);
+      if (!num_ok) fail(line_no, line, "bad value in `" + toks[pos] + "`");
+      if (key == "p_enter") e.burst.p_enter = v;
+      else if (key == "p_exit") e.burst.p_exit = v;
+      else if (key == "loss_good") e.burst.loss_good = v;
+      else if (key == "loss_bad") e.burst.loss_bad = v;
+      else if (key == "seed") e.seed = static_cast<std::uint64_t>(v);
+      else if (key == "job") e.job_id = static_cast<std::uint8_t>(v);
+      else fail(line_no, line, "unknown parameter `" + key + "`");
+      ++pos;
+    }
+    e.duration = duration;
+    e.probability = probability < 0 ? 0.0 : probability;
+
+    if (verb == "flap") {
+      e.kind = FaultKind::kLinkFlap;
+      if (!have_duration) fail(line_no, line, "flap needs `for <time>`");
+    } else if (verb == "down") {
+      e.kind = FaultKind::kLinkDown;
+    } else if (verb == "up") {
+      e.kind = FaultKind::kLinkUp;
+    } else if (verb == "burst") {
+      e.kind = FaultKind::kBurstLoss;
+    } else if (verb == "loss") {
+      e.kind = FaultKind::kIidLoss;
+      if (probability < 0) fail(line_no, line, "loss needs a probability");
+    } else if (verb == "corrupt") {
+      e.kind = FaultKind::kCorrupt;
+      if (probability < 0) fail(line_no, line, "corrupt needs a probability");
+    } else if (verb == "stall") {
+      e.kind = FaultKind::kRouterStall;
+      if (!have_duration) fail(line_no, line, "stall needs `for <time>`");
+    } else if (verb == "crash") {
+      e.kind = FaultKind::kHostCrash;
+    } else if (verb == "restart") {
+      e.kind = FaultKind::kHostRestart;
+    } else if (verb == "drop-buckets") {
+      e.kind = FaultKind::kBucketDrop;
+    } else {
+      fail(line_no, line, "unknown verb `" + verb + "`");
+    }
+
+    const bool link_verb =
+        e.kind == FaultKind::kLinkDown || e.kind == FaultKind::kLinkUp ||
+        e.kind == FaultKind::kLinkFlap || e.kind == FaultKind::kBurstLoss ||
+        e.kind == FaultKind::kIidLoss || e.kind == FaultKind::kCorrupt;
+    if (link_verb && !is_link_target(e.target)) {
+      fail(line_no, line, "verb `" + verb + "` needs a link target");
+    }
+    if ((e.kind == FaultKind::kHostCrash ||
+         e.kind == FaultKind::kHostRestart) &&
+        e.target.kind != TargetKind::kWorker) {
+      fail(line_no, line, "verb `" + verb + "` needs a worker target");
+    }
+    if (e.kind == FaultKind::kRouterStall &&
+        e.target.kind != TargetKind::kLeafRouter &&
+        e.target.kind != TargetKind::kSpineRouter) {
+      fail(line_no, line, "stall needs a router target");
+    }
+    schedule.add(e);
+  }
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read fault schedule: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+}  // namespace faults

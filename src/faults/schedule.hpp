@@ -1,0 +1,92 @@
+// FaultSchedule: an ordered list of FaultEvents, built programmatically
+// (fluent builder) or parsed from the line-oriented chaos DSL consumed
+// by `trio-run --faults FILE` (grammar in docs/faults.md):
+//
+//   # outage on worker 3's access link, burst loss everywhere, one crash
+//   at 10ms flap host:3 for 2ms
+//   at 0ms  burst host:* p_enter=0.02 p_exit=0.3 for 5ms
+//   at 1ms  loss fabric:0 0.05 for 3ms
+//   at 2ms  corrupt host:1.up 0.01
+//   at 4ms  stall leaf:0 for 500us
+//   at 3ms  crash worker:5
+//   at 6ms  restart worker:5
+//   at 5ms  drop-buckets spine job=1
+//
+// Times are absolute simulation times (`10ms`, `250us`, `1s`, `4000ns`);
+// events may appear in any order — the injector sorts before arming.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault.hpp"
+
+namespace faults {
+
+class FaultSchedule {
+ public:
+  // --- Fluent builder (each returns *this for chaining) ------------------
+  FaultSchedule& flap(sim::Time at, Target link, sim::Duration outage);
+  FaultSchedule& link_down(sim::Time at, Target link);
+  FaultSchedule& link_up(sim::Time at, Target link);
+  /// `window` zero = burst loss stays on for the rest of the run.
+  FaultSchedule& burst_loss(sim::Time at, Target link,
+                            const net::GilbertElliott& model,
+                            sim::Duration window = sim::Duration::zero(),
+                            std::uint64_t seed = 0);
+  FaultSchedule& iid_loss(sim::Time at, Target link, double probability,
+                          sim::Duration window = sim::Duration::zero(),
+                          std::uint64_t seed = 0);
+  FaultSchedule& corrupt(sim::Time at, Target link, double probability,
+                         sim::Duration window = sim::Duration::zero(),
+                         std::uint64_t seed = 0);
+  FaultSchedule& stall(sim::Time at, Target router, sim::Duration length);
+  FaultSchedule& crash(sim::Time at, int worker);
+  FaultSchedule& restart(sim::Time at, int worker);
+  FaultSchedule& drop_buckets(sim::Time at, Target agg, std::uint8_t job_id);
+  FaultSchedule& add(FaultEvent event);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Parses the chaos DSL. Throws std::invalid_argument naming the
+  /// offending line on any syntax error.
+  static FaultSchedule parse(const std::string& text);
+  /// parse() over a file's contents; throws std::runtime_error when the
+  /// file cannot be read.
+  static FaultSchedule load(const std::string& path);
+
+  // --- Target shorthands (mirror the DSL's target syntax) ----------------
+  static Target host_link(int worker, LinkDir dir = LinkDir::kBoth) {
+    return Target{TargetKind::kHostLink, worker, dir};
+  }
+  static Target fabric_link(int rack, LinkDir dir = LinkDir::kBoth) {
+    return Target{TargetKind::kFabricLink, rack, dir};
+  }
+  static Target worker(int index) {
+    return Target{TargetKind::kWorker, index, LinkDir::kBoth};
+  }
+  static Target leaf_router(int rack) {
+    return Target{TargetKind::kLeafRouter, rack, LinkDir::kBoth};
+  }
+  static Target spine_router() {
+    return Target{TargetKind::kSpineRouter, 0, LinkDir::kBoth};
+  }
+  static Target leaf_agg(int rack) {
+    return Target{TargetKind::kLeafAgg, rack, LinkDir::kBoth};
+  }
+  static Target spine_agg() {
+    return Target{TargetKind::kSpineAgg, 0, LinkDir::kBoth};
+  }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Parses `10ms` / `250us` / `1s` / `4000ns` (integer or decimal number +
+/// unit). Exposed for flag parsing in tools; throws on bad input.
+sim::Duration parse_duration(const std::string& token);
+
+}  // namespace faults

@@ -26,15 +26,68 @@ void LinkEndpoint::set_loss(double probability, std::uint64_t seed) {
   loss_rng_.reseed(seed);
 }
 
+void LinkEndpoint::set_burst_loss(const GilbertElliott& model,
+                                  std::uint64_t seed) {
+  burst_enabled_ = true;
+  burst_bad_ = false;
+  burst_model_ = model;
+  burst_rng_.reseed(seed);
+}
+
+void LinkEndpoint::set_corruption(double probability, std::uint64_t seed) {
+  corrupt_probability_ = probability;
+  corrupt_rng_.reseed(seed);
+}
+
 bool LinkEndpoint::send(PacketPtr pkt) {
   if (peer_ == nullptr) {
     throw std::logic_error("LinkEndpoint::send: endpoint not connected");
+  }
+  if (down_) {
+    ++frames_dropped_;
+    ++down_drops_;
+    drops_ctr_.inc();
+    down_drops_ctr_.inc();
+    return false;
+  }
+  if (burst_enabled_) {
+    // Step the Gilbert–Elliott chain once per offered frame, then draw
+    // the loss in the (possibly new) state.
+    if (burst_bad_) {
+      if (burst_rng_.bernoulli(burst_model_.p_exit)) burst_bad_ = false;
+    } else {
+      if (burst_rng_.bernoulli(burst_model_.p_enter)) burst_bad_ = true;
+    }
+    const double p =
+        burst_bad_ ? burst_model_.loss_bad : burst_model_.loss_good;
+    if (p > 0.0 && burst_rng_.bernoulli(p)) {
+      ++frames_dropped_;
+      ++burst_drops_;
+      drops_ctr_.inc();
+      burst_drops_ctr_.inc();
+      return false;
+    }
   }
   if (in_flight_ >= queue_frames_ ||
       (loss_probability_ > 0.0 && loss_rng_.bernoulli(loss_probability_))) {
     ++frames_dropped_;
     drops_ctr_.inc();
     return false;
+  }
+  if (corrupt_probability_ > 0.0 &&
+      corrupt_rng_.bernoulli(corrupt_probability_) && pkt->size() > 0) {
+    // XOR one byte past the Ethernet header (when the frame has one) with
+    // a non-zero mask; the receiver sees a damaged but delivered frame.
+    const std::size_t lo =
+        pkt->size() > EthernetHeader::kSize ? EthernetHeader::kSize : 0;
+    const std::size_t off =
+        lo + static_cast<std::size_t>(
+                 corrupt_rng_.next_below(pkt->size() - lo));
+    const auto mask = static_cast<std::uint8_t>(
+        1 + corrupt_rng_.next_below(255));
+    pkt->frame().set_u8(off, pkt->frame().u8(off) ^ mask);
+    ++frames_corrupted_;
+    corrupt_ctr_.inc();
   }
   const sim::Time start =
       busy_until_ > sim_.now() ? busy_until_ : sim_.now();

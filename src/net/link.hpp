@@ -26,6 +26,19 @@ class Node {
   virtual std::string name() const = 0;
 };
 
+/// Two-state Markov burst-loss model (Gilbert–Elliott). The chain steps
+/// once per offered frame: in the *good* state frames are lost with
+/// `loss_good`, in the *bad* state with `loss_bad`; `p_enter` / `p_exit`
+/// are the per-frame good→bad / bad→good transition probabilities, so the
+/// mean burst length is 1/p_exit frames. Models the correlated loss that
+/// i.i.d. drops cannot (docs/faults.md).
+struct GilbertElliott {
+  double p_enter = 0.001;
+  double p_exit = 0.2;
+  double loss_good = 0.0;
+  double loss_bad = 1.0;
+};
+
 /// One direction of a link.
 class LinkEndpoint {
  public:
@@ -45,6 +58,27 @@ class LinkEndpoint {
   /// drops elsewhere in the fabric — §7 "Packet loss in Trio-ML").
   void set_loss(double probability, std::uint64_t seed = 1);
 
+  // --- Fault hooks (src/faults/, docs/faults.md) -------------------------
+  /// Administratively downs this direction (link flap): every frame
+  /// offered while down is dropped and counted under down_drops().
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  /// Enables Gilbert–Elliott burst loss. Coexists with set_loss(); the
+  /// burst chain is consulted first.
+  void set_burst_loss(const GilbertElliott& model, std::uint64_t seed = 1);
+  void clear_burst_loss() { burst_enabled_ = false; }
+
+  /// Frame corruption: with the given per-frame probability one payload
+  /// byte of the transiting frame is XORed with a non-zero mask (drawn
+  /// deterministically from `seed`). The frame still arrives — corruption
+  /// stresses the receiver's parse/validation path, not delivery.
+  void set_corruption(double probability, std::uint64_t seed = 1);
+
+  std::uint64_t down_drops() const { return down_drops_; }
+  std::uint64_t burst_drops() const { return burst_drops_; }
+  std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -60,13 +94,18 @@ class LinkEndpoint {
   }
 
   /// Registers `<prefix>tx_frames`, `<prefix>tx_bytes`, `<prefix>rx_frames`
-  /// and `<prefix>drops` for this direction. Un-instrumented endpoints pay
+  /// and `<prefix>drops` for this direction, plus the fault-class
+  /// breakdowns `<prefix>fault.down_drops`, `<prefix>fault.burst_drops`
+  /// and `<prefix>fault.corrupt_frames`. Un-instrumented endpoints pay
   /// nothing.
   void instrument(telemetry::Registry& registry, const std::string& prefix) {
     tx_frames_ctr_ = registry.counter(prefix + "tx_frames");
     tx_bytes_ctr_ = registry.counter(prefix + "tx_bytes");
     rx_frames_ctr_ = registry.counter(prefix + "rx_frames");
     drops_ctr_ = registry.counter(prefix + "drops");
+    down_drops_ctr_ = registry.counter(prefix + "fault.down_drops");
+    burst_drops_ctr_ = registry.counter(prefix + "fault.burst_drops");
+    corrupt_ctr_ = registry.counter(prefix + "fault.corrupt_frames");
   }
 
  private:
@@ -83,10 +122,23 @@ class LinkEndpoint {
   std::uint64_t bytes_sent_ = 0;
   double loss_probability_ = 0.0;
   sim::Rng loss_rng_{1};
+  bool down_ = false;
+  bool burst_enabled_ = false;
+  bool burst_bad_ = false;
+  GilbertElliott burst_model_;
+  sim::Rng burst_rng_{1};
+  double corrupt_probability_ = 0.0;
+  sim::Rng corrupt_rng_{1};
+  std::uint64_t down_drops_ = 0;
+  std::uint64_t burst_drops_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
   telemetry::Counter tx_frames_ctr_;
   telemetry::Counter tx_bytes_ctr_;
   telemetry::Counter rx_frames_ctr_;
   telemetry::Counter drops_ctr_;
+  telemetry::Counter down_drops_ctr_;
+  telemetry::Counter burst_drops_ctr_;
+  telemetry::Counter corrupt_ctr_;
 };
 
 /// Full-duplex link: two endpoints wired between nodes a and b.
@@ -110,6 +162,20 @@ class Link {
   void set_loss(double probability, std::uint64_t seed = 1) {
     a_to_b_.set_loss(probability, seed);
     b_to_a_.set_loss(probability, seed + 0x9e3779b97f4a7c15ull);
+  }
+
+  /// Fault hooks on both directions at once (decorrelated seeds).
+  void set_down(bool down) {
+    a_to_b_.set_down(down);
+    b_to_a_.set_down(down);
+  }
+  void set_burst_loss(const GilbertElliott& model, std::uint64_t seed = 1) {
+    a_to_b_.set_burst_loss(model, seed);
+    b_to_a_.set_burst_loss(model, seed + 0x9e3779b97f4a7c15ull);
+  }
+  void set_corruption(double probability, std::uint64_t seed = 1) {
+    a_to_b_.set_corruption(probability, seed);
+    b_to_a_.set_corruption(probability, seed + 0x9e3779b97f4a7c15ull);
   }
 
   /// Instruments both directions: `<prefix>ab.*` and `<prefix>ba.*`.

@@ -58,6 +58,16 @@ bool HwHashTable::contains(std::uint64_t key) const {
   return false;
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>> HwHashTable::entries()
+    const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(size_);
+  for (const auto& bucket : buckets_) {
+    for (const auto& r : bucket) out.emplace_back(r.key, r.value);
+  }
+  return out;
+}
+
 std::vector<std::uint64_t> HwHashTable::scan_partition(std::uint32_t part,
                                                        std::uint32_t parts,
                                                        std::size_t max_out) {

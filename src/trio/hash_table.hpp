@@ -37,6 +37,11 @@ class HwHashTable {
   bool erase(std::uint64_t key);
   bool contains(std::uint64_t key) const;
 
+  /// Every (key, value) record in deterministic bucket/chain order.
+  /// Control-plane / fault-injection use (zero simulated time); REF flags
+  /// are untouched.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries() const;
+
   /// Check-and-clear REF over partition `part` of `parts`: records whose
   /// REF flag was already clear are returned (aged out); all visited flags
   /// are cleared. `max_out` bounds the report size.

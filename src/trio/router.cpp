@@ -115,6 +115,9 @@ void Router::init(int num_pfes) {
                                          "router.packets_discarded");
   no_route_ctr_ =
       telem_->metrics.counter(scope_.metric_prefix + "router.no_route_drops");
+  stall_ctr_ = telem_->metrics.counter(scope_.metric_prefix + "router.stalls");
+  stall_held_ctr_ = telem_->metrics.counter(scope_.metric_prefix +
+                                            "router.stall_held_frames");
   for (int i = 0; i < num_pfes; ++i) {
     pfes_.push_back(std::make_unique<Pfe>(sim_, cal_, *this, i));
   }
@@ -129,7 +132,37 @@ void Router::receive(net::PacketPtr pkt, int port) {
   ++packets_received_;
   rx_ctr_.inc();
   pkt->set_ingress_port(port);
+  if (sim_.now() < stalled_until_) {
+    ++stall_held_frames_;
+    stall_held_ctr_.inc();
+    stalled_rx_.push_back(StalledRx{std::move(pkt), port});
+    return;
+  }
   pfe(pfe_of_port(port)).ingress(std::move(pkt));
+}
+
+void Router::stall_until(sim::Time t) {
+  if (t <= stalled_until_ || t <= sim_.now()) return;
+  const bool was_stalled = sim_.now() < stalled_until_;
+  stalled_until_ = t;
+  ++stalls_;
+  stall_ctr_.inc();
+  if (!was_stalled) {
+    sim_.schedule_at(t, [this] { resume_from_stall(); });
+  }
+}
+
+void Router::resume_from_stall() {
+  if (sim_.now() < stalled_until_) {
+    // The stall was extended after this resume event was armed.
+    sim_.schedule_at(stalled_until_, [this] { resume_from_stall(); });
+    return;
+  }
+  std::vector<StalledRx> held;
+  held.swap(stalled_rx_);
+  for (StalledRx& rx : held) {
+    pfe(pfe_of_port(rx.port)).ingress(std::move(rx.pkt));
+  }
 }
 
 void Router::attach_port(int global_port, net::LinkEndpoint& tx) {

@@ -92,6 +92,17 @@ class Router : public net::Node {
   telemetry::Registry& metrics() { return telem_->metrics; }
   telemetry::Tracer& tracer() { return telem_->tracer; }
 
+  // --- Fault hooks (src/faults/, docs/faults.md) -------------------------
+  /// Stalls the whole forwarding plane until `t` (models a PFE
+  /// stall-and-resume: microcode reload, control-plane pause). Packets
+  /// arriving while stalled are held at ingress and replayed to their
+  /// PFEs in arrival order at resume; nothing is lost, latency spikes.
+  void stall_until(sim::Time t);
+  void stall_for(sim::Duration d) { stall_until(sim_.now() + d); }
+  bool stalled() const { return sim_.now() < stalled_until_; }
+  std::uint64_t stalls() const { return stalls_; }
+  std::uint64_t stall_held_frames() const { return stall_held_frames_; }
+
   std::uint64_t packets_received() const { return packets_received_; }
   std::uint64_t packets_transmitted() const { return packets_transmitted_; }
   std::uint64_t packets_discarded() const { return packets_discarded_; }
@@ -106,6 +117,7 @@ class Router : public net::Node {
   void egress_enqueue(int src_pfe, int global_port, net::PacketPtr pkt,
                       const net::MacAddr& dst_mac);
   void port_out(int global_port, net::PacketPtr pkt);
+  void resume_from_stall();
 
   sim::Simulator& sim_;
   Calibration cal_;
@@ -122,6 +134,15 @@ class Router : public net::Node {
   std::vector<net::LinkEndpoint*> port_tx_;
   std::vector<std::function<void(net::PacketPtr)>> port_sinks_;
 
+  sim::Time stalled_until_;
+  struct StalledRx {
+    net::PacketPtr pkt;
+    int port;
+  };
+  std::vector<StalledRx> stalled_rx_;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t stall_held_frames_ = 0;
+
   std::uint64_t packets_received_ = 0;
   std::uint64_t packets_transmitted_ = 0;
   std::uint64_t packets_discarded_ = 0;
@@ -130,6 +151,8 @@ class Router : public net::Node {
   telemetry::Counter tx_ctr_;
   telemetry::Counter discard_ctr_;
   telemetry::Counter no_route_ctr_;
+  telemetry::Counter stall_ctr_;
+  telemetry::Counter stall_held_ctr_;
 };
 
 }  // namespace trio

@@ -69,6 +69,33 @@ void TrioMlApp::remove_job(std::uint8_t job_id) {
   job_records_.erase(job_id);
 }
 
+std::size_t TrioMlApp::drop_active_blocks(std::uint8_t job_id) {
+  auto& hash = pfe_.hash_table();
+  std::size_t dropped = 0;
+  for (const auto& [key, record_addr] : hash.entries()) {
+    if (is_job_key(key)) continue;
+    std::uint8_t j;
+    std::uint16_t gen;
+    std::uint32_t block;
+    split_key(key, j, gen, block);
+    if (j != job_id) continue;
+    hash.erase(key);
+    free_slab(Slab{record_addr, buffer_of_record(record_addr)});
+    ++dropped;
+  }
+  // Rewind the job's active-block count so block_cnt_max capping stays
+  // accurate after the loss.
+  const std::uint64_t active_addr = job_active_counter_addr(job_id);
+  if (active_addr != 0 && dropped != 0) {
+    auto& sms = pfe_.sms();
+    const std::uint32_t active = sms.peek_u32(active_addr);
+    sms.poke_u32(active_addr,
+                 active >= dropped ? active - std::uint32_t(dropped) : 0);
+  }
+  stats_.blocks_lost_fault += dropped;
+  return dropped;
+}
+
 std::uint64_t TrioMlApp::job_counter_addr(std::uint8_t job_id) const {
   auto it = job_counters_.find(job_id);
   return it == job_counters_.end() ? 0 : it->second;

@@ -51,6 +51,16 @@ class TrioMlApp {
   /// Removes the job (records of in-flight blocks are left to age out).
   void remove_job(std::uint8_t job_id);
 
+  /// Fault hook (src/faults/, docs/faults.md): models loss of the
+  /// aggregation-bucket state — every active block record of `job_id` is
+  /// dropped from the hash table, its slab freed (and the buffer zeroed,
+  /// so re-created blocks start clean) and the job's active-block counter
+  /// rewound. Contributions already absorbed into the dropped buckets are
+  /// gone; workers whose blocks never complete recover by retransmitting,
+  /// which re-creates the buckets from scratch. Returns the number of
+  /// blocks dropped (also counted in Stats::blocks_lost_fault).
+  std::size_t drop_active_blocks(std::uint8_t job_id);
+
   /// Installs the aggregation program factory on the PFE. Non-aggregation
   /// packets fall back to the router's IP forwarding program.
   void install();
@@ -121,6 +131,7 @@ class TrioMlApp {
     std::uint64_t blocks_created = 0;
     std::uint64_t blocks_completed = 0;
     std::uint64_t blocks_aged = 0;
+    std::uint64_t blocks_lost_fault = 0;  // dropped by drop_active_blocks
     std::uint64_t results_emitted = 0;
     std::uint64_t gradients_aggregated = 0;
     std::uint64_t straggler_events = 0;        // per-source charges (§5)

@@ -1,12 +1,18 @@
 #include "trioml/host.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace trioml {
 
 TrioMlWorker::TrioMlWorker(sim::Simulator& simulator, Config config,
                            net::LinkEndpoint& tx)
-    : sim_(simulator), config_(config), tx_(tx) {
+    : sim_(simulator),
+      config_(config),
+      tx_(tx),
+      rng_(config.rng_seed != 0
+               ? config.rng_seed
+               : 0x7f4a7c15ull + (std::uint64_t(config.src_id) << 8)) {
   if (config_.grads_per_packet == 0 ||
       config_.grads_per_packet > kMaxGradsPerPacket) {
     throw std::invalid_argument("TrioMlWorker: bad grads_per_packet");
@@ -21,6 +27,9 @@ void TrioMlWorker::start_allreduce(std::vector<std::uint32_t> grads,
                                    std::function<void(AllreduceResult)> done) {
   if (done_) {
     throw std::logic_error("TrioMlWorker: allreduce already in progress");
+  }
+  if (crashed_) {
+    throw std::logic_error("TrioMlWorker: host is crashed (restart() first)");
   }
   grads_ = std::move(grads);
   gen_id_ = gen_id;
@@ -60,8 +69,22 @@ void TrioMlWorker::stall_for(sim::Duration d) {
   }
 }
 
+void TrioMlWorker::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++crashes_;
+  crash_ctr_.inc();
+  for (auto& [block, out] : outstanding_) {
+    sim_.cancel(out.retransmit_timer);
+  }
+  outstanding_.clear();
+  grads_.clear();
+  done_ = nullptr;  // the in-flight allreduce dies with the host
+  num_blocks_ = next_block_ = completed_blocks_ = 0;
+}
+
 void TrioMlWorker::pump() {
-  if (!done_) return;
+  if (!done_ || crashed_) return;
   if (sim_.now() < stalled_until_) {
     if (!pump_scheduled_) {
       pump_scheduled_ = true;
@@ -79,6 +102,7 @@ void TrioMlWorker::pump() {
 }
 
 void TrioMlWorker::send_block(std::uint32_t block_id, bool is_retransmit) {
+  if (crashed_) return;
   const std::size_t begin =
       std::size_t(block_id) * config_.grads_per_packet;
   const std::size_t count =
@@ -98,24 +122,55 @@ void TrioMlWorker::send_block(std::uint32_t block_id, bool is_retransmit) {
       std::span<const std::uint32_t>(grads_.data() + begin, count));
   tx_.send(net::Packet::make(std::move(frame)));
   ++packets_sent_;
-  if (is_retransmit) ++retransmissions_;
+  if (is_retransmit) {
+    ++retransmissions_;
+    retransmits_ctr_.inc();
+  }
 
   Outstanding& out = outstanding_[block_id];
-  if (!is_retransmit) out.sent = sim_.now();
-  out.grad_cnt = static_cast<std::uint16_t>(count);
-  if (config_.retransmit) {
-    sim_.cancel(out.retransmit_timer);
-    out.retransmit_timer =
-        sim_.schedule_in(config_.retransmit_timeout, [this, block_id] {
-          auto it = outstanding_.find(block_id);
-          if (it != outstanding_.end()) {
-            send_block(block_id, /*is_retransmit=*/true);
-          }
-        });
+  if (!is_retransmit) {
+    out.sent = sim_.now();
+    out.retries = 0;
   }
+  out.grad_cnt = static_cast<std::uint16_t>(count);
+  if (config_.retransmit) arm_retransmit(block_id, out);
+}
+
+void TrioMlWorker::arm_retransmit(std::uint32_t block_id, Outstanding& out) {
+  sim_.cancel(out.retransmit_timer);
+  if (config_.retry_budget != 0 && out.retries >= config_.retry_budget) {
+    // Budget exhausted: stop resending. The block stays outstanding — an
+    // aged (degraded) Result from upstream still completes it, so a dead
+    // contributor degrades the answer instead of wedging the worker.
+    ++retry_budget_exhausted_;
+    budget_exhausted_ctr_.inc();
+    return;
+  }
+  sim::Duration timeout = config_.retransmit_timeout;
+  if (config_.retransmit_backoff && out.retries > 0) {
+    double ns = static_cast<double>(timeout.ns());
+    for (std::uint32_t k = 0;
+         k < out.retries && ns < double(config_.backoff_max.ns()); ++k) {
+      ns *= config_.backoff_factor;
+    }
+    ns = std::min(ns, static_cast<double>(config_.backoff_max.ns()));
+    if (config_.backoff_jitter > 0.0) {
+      ns *= 1.0 + config_.backoff_jitter * (2.0 * rng_.next_double() - 1.0);
+    }
+    timeout = sim::Duration(std::max<std::int64_t>(1, std::int64_t(ns)));
+    ++backoff_rearms_;
+    backoff_ctr_.inc();
+  }
+  out.retransmit_timer = sim_.schedule_in(timeout, [this, block_id] {
+    auto it = outstanding_.find(block_id);
+    if (it == outstanding_.end() || crashed_) return;
+    ++it->second.retries;
+    send_block(block_id, /*is_retransmit=*/true);
+  });
 }
 
 void TrioMlWorker::receive(net::PacketPtr pkt, int) {
+  if (crashed_) return;  // a crashed host hears nothing
   const net::Buffer& frame = pkt->frame();
   if (frame.size() < kGradOff) return;
   const auto udp = net::UdpHeader::parse(frame, net::UdpFrameLayout::kUdpOff);

@@ -47,6 +47,25 @@ class TrioMlWorker : public net::Node {
     std::uint8_t expected_sources = 0;  // full-aggregation contributor count
     bool retransmit = false;            // disabled in the paper's evaluation
     sim::Duration retransmit_timeout = sim::Duration::millis(1);
+
+    // --- Hardened loss recovery (docs/faults.md) -------------------------
+    /// Per-block retransmit budget; 0 = unbounded. When a block exhausts
+    /// its budget the worker stops resending it and waits for the aged
+    /// (degraded) Result — graceful degradation instead of a retransmit
+    /// storm against a dead aggregator or crashed peer.
+    std::uint32_t retry_budget = 0;
+    /// Exponential backoff on consecutive retransmits of the same block:
+    /// timeout_k = min(retransmit_timeout * backoff_factor^k, backoff_max),
+    /// jittered by ±backoff_jitter (drawn from the worker's sim::Rng).
+    /// Backoff makes the "retransmit period must exceed the aging window"
+    /// constraint self-resolving: a few retries in, the interval outgrows
+    /// any aging window and orphaned upstream blocks can expire.
+    bool retransmit_backoff = false;
+    double backoff_factor = 2.0;
+    sim::Duration backoff_max = sim::Duration::millis(50);
+    double backoff_jitter = 0.2;
+    /// Jitter stream seed; 0 derives a per-worker seed from src_id.
+    std::uint64_t rng_seed = 0;
   };
 
   TrioMlWorker(sim::Simulator& simulator, Config config,
@@ -79,6 +98,43 @@ class TrioMlWorker : public net::Node {
     config_.retransmit_timeout = timeout;
   }
 
+  /// Loss recovery hardened for injected faults (docs/faults.md): fixed
+  /// initial timeout, then bounded exponential backoff with jitter and a
+  /// per-block retry budget.
+  void enable_hardened_retransmit(sim::Duration initial_timeout,
+                                  std::uint32_t retry_budget,
+                                  sim::Duration backoff_max,
+                                  double jitter = 0.2) {
+    enable_retransmit(initial_timeout);
+    config_.retry_budget = retry_budget;
+    config_.retransmit_backoff = true;
+    config_.backoff_max = backoff_max;
+    config_.backoff_jitter = jitter;
+  }
+
+  // --- Fault hooks (src/faults/) -----------------------------------------
+  /// Host crash: all worker-side allreduce state vanishes — outstanding
+  /// blocks, retransmit timers and the in-flight completion callback (the
+  /// allreduce is abandoned; run drivers count the worker as unfinished).
+  /// In-flight frames still fly; a crashed worker ignores everything it
+  /// receives and sends nothing.
+  void crash();
+  /// Restart after a crash: the worker comes back cold (no allreduce in
+  /// progress) and may start a fresh allreduce.
+  void restart() { crashed_ = false; }
+  bool crashed() const { return crashed_; }
+
+  /// Registers the worker's recovery counters (`<prefix>retransmits`,
+  /// `<prefix>backoff_rearms`, `<prefix>retry_budget_exhausted`,
+  /// `<prefix>crashes`). Same prefix across workers = shared tier totals,
+  /// like LinkEndpoint::instrument.
+  void instrument(telemetry::Registry& registry, const std::string& prefix) {
+    retransmits_ctr_ = registry.counter(prefix + "retransmits");
+    backoff_ctr_ = registry.counter(prefix + "backoff_rearms");
+    budget_exhausted_ctr_ = registry.counter(prefix + "retry_budget_exhausted");
+    crash_ctr_ = registry.counter(prefix + "crashes");
+  }
+
   bool busy() const { return done_ != nullptr; }
   const Config& config() const { return config_; }
 
@@ -100,16 +156,23 @@ class TrioMlWorker : public net::Node {
   std::uint64_t results_received() const { return results_received_; }
   std::uint64_t degraded_results() const { return degraded_results_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t backoff_rearms() const { return backoff_rearms_; }
+  std::uint64_t retry_budget_exhausted() const {
+    return retry_budget_exhausted_;
+  }
+  std::uint64_t crashes() const { return crashes_; }
 
  private:
   struct Outstanding {
     sim::Time sent;
     std::uint16_t grad_cnt;
+    std::uint32_t retries = 0;
     sim::EventId retransmit_timer;
   };
 
   void pump();
   void send_block(std::uint32_t block_id, bool is_retransmit);
+  void arm_retransmit(std::uint32_t block_id, Outstanding& out);
   void on_result(const TrioMlHeader& hdr, const net::Buffer& frame);
   void complete();
 
@@ -128,12 +191,22 @@ class TrioMlWorker : public net::Node {
   sim::Time stalled_until_;
   bool pump_scheduled_ = false;
 
+  bool crashed_ = false;
+  sim::Rng rng_;  // backoff jitter (per-worker deterministic stream)
+
   std::vector<StragglerNotice> straggler_notices_;
   sim::Samples block_latency_us_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t results_received_ = 0;
   std::uint64_t degraded_results_ = 0;
   std::uint64_t retransmissions_ = 0;
+  std::uint64_t backoff_rearms_ = 0;
+  std::uint64_t retry_budget_exhausted_ = 0;
+  std::uint64_t crashes_ = 0;
+  telemetry::Counter retransmits_ctr_;
+  telemetry::Counter backoff_ctr_;
+  telemetry::Counter budget_exhausted_ctr_;
+  telemetry::Counter crash_ctr_;
 };
 
 }  // namespace trioml

@@ -142,6 +142,7 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     if (config_.telemetry != nullptr) {
       link->instrument(config_.telemetry->metrics,
                        "link.worker" + std::to_string(i) + ".");
+      worker->instrument(config_.telemetry->metrics, "worker.");
     }
     router_->attach_port(worker_port[static_cast<std::size_t>(i)],
                          link->b_to_a());

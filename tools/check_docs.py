@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Documentation checks (run by the `docs` CI job).
+
+1. Every relative markdown link in README.md, EXPERIMENTS.md and
+   docs/*.md must point at a file that exists in the repository.
+2. Every fenced ```cpp block in those files must compile
+   (syntax-only, wrapped in a function body after tools/docs_prelude.hpp
+   so snippets can reference a surrounding simulation).
+
+Blocks tagged with any other language (```sh, ```c, untagged ASCII
+diagrams) are not compiled. Usage:
+
+    python3 tools/check_docs.py [--repo ROOT] [--compiler c++]
+"""
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files(repo: Path):
+    files = [repo / "README.md", repo / "EXPERIMENTS.md"]
+    files += sorted((repo / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_links(repo: Path, md: Path) -> list:
+    errors = []
+    # Strip fenced code blocks: their brackets are not links.
+    lines, in_fence = [], False
+    for line in md.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            lines.append(line)
+    for target in LINK_RE.findall("\n".join(lines)):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            errors.append(f"{md.relative_to(repo)}: broken link -> {target}")
+    return errors
+
+
+def cpp_blocks(md: Path):
+    block, in_cpp = [], False
+    for number, line in enumerate(md.read_text().splitlines(), start=1):
+        stripped = line.strip()
+        if not in_cpp and stripped == "```cpp":
+            block, in_cpp, start = [], True, number + 1
+        elif in_cpp and stripped == "```":
+            in_cpp = False
+            yield start, "\n".join(block)
+        elif in_cpp:
+            block.append(line)
+
+
+def check_cpp(repo: Path, md: Path, compiler: str) -> list:
+    errors = []
+    for index, (line, body) in enumerate(cpp_blocks(md)):
+        source = (
+            '#include "docs_prelude.hpp"\n'
+            f"void docs_snippet_{index}(TRIO_DOCS_SNIPPET_PARAMS) "
+            f"{{{{\n{body}\n}}}}\n"
+        )
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".cpp", dir=repo, delete=False
+        ) as tmp:
+            tmp.write(source)
+            tmp_path = Path(tmp.name)
+        try:
+            proc = subprocess.run(
+                [
+                    compiler,
+                    "-fsyntax-only",
+                    "-std=c++20",
+                    "-I", str(repo / "src"),
+                    "-I", str(repo / "tools"),
+                    str(tmp_path),
+                ],
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                errors.append(
+                    f"{md.relative_to(repo)}:{line}: cpp block does not "
+                    f"compile:\n{proc.stderr.strip()}"
+                )
+        finally:
+            tmp_path.unlink()
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=Path(__file__).resolve().parent.parent,
+                        type=Path)
+    parser.add_argument("--compiler", default="c++")
+    args = parser.parse_args()
+    repo = args.repo.resolve()
+
+    errors, checked_links, checked_blocks = [], 0, 0
+    for md in doc_files(repo):
+        link_errors = check_links(repo, md)
+        errors += link_errors
+        checked_links += 1
+        block_errors = check_cpp(repo, md, args.compiler)
+        errors += block_errors
+        checked_blocks += sum(1 for _ in cpp_blocks(md))
+
+    for message in errors:
+        print(message, file=sys.stderr)
+    print(f"checked {checked_links} file(s), {checked_blocks} cpp block(s): "
+          f"{len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+// Compile-check prelude for the ```cpp blocks in docs/*.md and
+// README.md (tools/check_docs.py wraps each block as
+// `void docs_snippet_N(TRIO_DOCS_SNIPPET_PARAMS) {{ <block> }}`).
+//
+// Docs snippets reference a running simulation's surroundings — a
+// calibration, gradient vectors, a completion callback — without
+// declaring them; the parameter macro provides those names so a snippet
+// compiles exactly as written (the doubled braces let snippets shadow
+// them). Keep the list generic: a snippet that needs something exotic
+// should declare it itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/allreduce.hpp"
+#include "cluster/cluster.hpp"
+#include "faults/injector.hpp"
+#include "faults/schedule.hpp"
+#include "microcode/compiler.hpp"
+#include "microcode/interpreter.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trio/router.hpp"
+#include "trioml/host.hpp"
+#include "trioml/testbed.hpp"
+
+#define TRIO_DOCS_SNIPPET_PARAMS                                      \
+  trio::Calibration cal, telemetry::Telemetry &telem, int num_pfes,   \
+      int ports_per_pfe, int w, std::vector<std::uint32_t> gradients, \
+      std::vector<std::vector<std::uint32_t>> grads,                  \
+      std::vector<std::vector<std::uint32_t>> gradients_per_worker,   \
+      std::string source, std::function<void(trioml::AllreduceResult)> on_done

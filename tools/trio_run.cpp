@@ -4,8 +4,8 @@
 //   trio-run <program.tmc> [--packets N] [--mix ip,arp,opts]
 //            [--counter WORD_ADDR] ... [--metrics-out FILE]
 //            [--trace-out FILE]
-//   trio-run --cluster RxW [--blocks N] [--metrics-out FILE]
-//            [--trace-out FILE]
+//   trio-run --cluster RxW [--blocks N] [--faults FILE] [--deadline DUR]
+//            [--metrics-out FILE] [--trace-out FILE]
 //
 // Traffic mix tokens: "ip" (clean IPv4/UDP), "arp" (non-IP EtherType),
 // "opts" (IPv4 with options, IHL=6). Counters named with --counter are
@@ -16,6 +16,13 @@
 // R-rack, W-workers-per-rack cluster (src/cluster/, docs/cluster.md),
 // runs one Trio-ML allreduce through its two-level aggregation tree and
 // reports per-tier statistics.
+//
+// --faults FILE (cluster mode) loads a chaos schedule in the faults DSL
+// (docs/faults.md), arms it on the cluster, hardens every worker's
+// retransmit path and enables straggler aging so injected faults recover;
+// --deadline DUR (e.g. 200ms) bounds the run. Crashed workers are
+// expected not to finish: the exit status only fails when a *surviving*
+// worker misses the deadline.
 //
 // --metrics-out writes the telemetry registry as JSON; --trace-out writes
 // a Chrome trace_event JSON timeline (chrome://tracing, Perfetto) with
@@ -28,6 +35,8 @@
 
 #include "cluster/allreduce.hpp"
 #include "cluster/cluster.hpp"
+#include "faults/injector.hpp"
+#include "faults/schedule.hpp"
 #include "microcode/compiler.hpp"
 #include "microcode/error.hpp"
 #include "microcode/interpreter.hpp"
@@ -42,11 +51,13 @@ int usage() {
                "[--mix ip,arp,opts] [--counter WORD_ADDR]... "
                "[--metrics-out FILE] [--trace-out FILE]\n"
                "       trio-run --cluster RxW [--blocks N] "
+               "[--faults FILE] [--deadline DUR] "
                "[--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
 
 int run_cluster(const std::string& topo, int blocks,
+                const std::string& faults_path, const std::string& deadline_s,
                 const std::string& metrics_out, const std::string& trace_out) {
   const std::size_t x = topo.find('x');
   const int racks = x == std::string::npos ? 0 : std::atoi(topo.c_str());
@@ -68,12 +79,54 @@ int run_cluster(const std::string& topo, int blocks,
     return 1;
   }
 
+  faults::FaultSchedule schedule;
+  if (!faults_path.empty()) {
+    try {
+      schedule = faults::FaultSchedule::load(faults_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trio-run: %s\n", e.what());
+      return 1;
+    }
+  }
+  sim::Time deadline = sim::Time::max();
+  if (!deadline_s.empty()) {
+    try {
+      deadline = sim::Time() + faults::parse_duration(deadline_s);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trio-run: %s\n", e.what());
+      return 1;
+    }
+  } else if (!schedule.empty()) {
+    deadline = sim::Time() + sim::Duration::millis(200);
+  }
+
   cluster::Cluster cl(spec);
+  faults::FaultInjector injector(cl.simulator(), &telem);
+  if (!schedule.empty()) {
+    injector.bind(cl);
+    try {
+      injector.arm(schedule);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trio-run: %s\n", e.what());
+      return 1;
+    }
+    // A faulted run needs the recovery machinery: hardened retransmits on
+    // every worker plus straggler aging so dead contributors age out.
+    for (int w = 0; w < spec.total_workers(); ++w) {
+      cl.worker(w).enable_hardened_retransmit(sim::Duration::millis(5),
+                                              /*retry_budget=*/10,
+                                              sim::Duration::millis(20));
+    }
+    cl.start_straggler_detection(/*threads=*/10, sim::Duration::millis(1));
+  }
+
   const auto grads = cluster::patterned_gradients(
       spec.total_workers(),
       std::size_t(blocks) * spec.grads_per_packet);
   cl.sample_trace_counters();
-  const cluster::AllreduceRun run = cluster::run_allreduce(cl, grads);
+  const cluster::AllreduceRun run =
+      cluster::run_allreduce(cl, grads, /*gen_id=*/1, deadline);
+  if (!schedule.empty()) cl.stop_straggler_detection();
   cl.sample_trace_counters();
 
   std::printf("%d-rack x %d-worker cluster, %zu gradients/worker\n", racks,
@@ -93,6 +146,29 @@ int run_cluster(const std::string& topo, int blocks,
   std::printf("  spine: blocks %llu\n",
               static_cast<unsigned long long>(
                   cl.spine_app().stats().blocks_completed));
+  int crashed_workers = 0;
+  if (!schedule.empty()) {
+    std::uint64_t retransmits = 0, exhausted = 0;
+    for (int w = 0; w < spec.total_workers(); ++w) {
+      retransmits += cl.worker(w).retransmissions();
+      exhausted += cl.worker(w).retry_budget_exhausted();
+      if (cl.worker(w).crashes() > 0) ++crashed_workers;
+    }
+    std::printf(
+        "  faults: %llu injected, %llu recoveries, %d crashed worker(s)\n",
+        static_cast<unsigned long long>(injector.faults_injected()),
+        static_cast<unsigned long long>(injector.recoveries()),
+        crashed_workers);
+    std::printf("  recovery: %llu retransmits, %llu budgets exhausted\n",
+                static_cast<unsigned long long>(retransmits),
+                static_cast<unsigned long long>(exhausted));
+    std::printf("  fault log digest: %016llx\n",
+                static_cast<unsigned long long>(injector.digest()));
+    for (const auto& entry : injector.log()) {
+      std::printf("    [%s] %s\n", entry.at.to_string().c_str(),
+                  entry.what.c_str());
+    }
+  }
   if (!metrics_out.empty()) {
     if (!telem.metrics.write_json_file(metrics_out, cl.simulator().now())) {
       std::fprintf(stderr, "trio-run: cannot write %s\n", metrics_out.c_str());
@@ -109,7 +185,9 @@ int run_cluster(const std::string& topo, int blocks,
     std::printf("  trace: %s (%zu events)\n", trace_out.c_str(),
                 telem.tracer.event_count());
   }
-  return run.finished == spec.total_workers() ? 0 : 1;
+  // Workers that crashed are expected casualties; every survivor must
+  // have finished.
+  return run.finished >= spec.total_workers() - crashed_workers ? 0 : 1;
 }
 
 net::Buffer make_frame(const std::string& kind) {
@@ -131,6 +209,8 @@ net::Buffer make_frame(const std::string& kind) {
 int main(int argc, char** argv) {
   std::string path;
   std::string cluster_topo;
+  std::string faults_path;
+  std::string deadline_s;
   int blocks = 8;
   int packets = 1000;
   std::vector<std::string> mix = {"ip", "arp", "opts"};
@@ -147,6 +227,14 @@ int main(int argc, char** argv) {
       cluster_topo = arg.substr(std::string("--cluster=").size());
     } else if (arg == "--blocks" && i + 1 < argc) {
       blocks = std::atoi(argv[++i]);
+    } else if (arg == "--faults" && i + 1 < argc) {
+      faults_path = argv[++i];
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults_path = arg.substr(std::string("--faults=").size());
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      deadline_s = argv[++i];
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      deadline_s = arg.substr(std::string("--deadline=").size());
     } else if (arg == "--mix" && i + 1 < argc) {
       mix.clear();
       std::stringstream ss(argv[++i]);
@@ -169,7 +257,8 @@ int main(int argc, char** argv) {
     }
   }
   if (!cluster_topo.empty()) {
-    return run_cluster(cluster_topo, blocks, metrics_out, trace_out);
+    return run_cluster(cluster_topo, blocks, faults_path, deadline_s,
+                       metrics_out, trace_out);
   }
   if (path.empty() || packets <= 0 || mix.empty()) return usage();
 
