@@ -1,5 +1,6 @@
 #include "cluster/cluster.hpp"
 
+#include <stdexcept>
 #include <string>
 
 #include "trioml/addressing.hpp"
@@ -33,9 +34,15 @@ Cluster::Cluster(ClusterSpec spec)
                                           *spec_.telemetry, scope, name);
   };
   spine_ = make_router(racks, "spine", std::max(1, racks));
+  // The standby spine gets the pid slot after the primary; each leaf gets
+  // one extra front-panel port for its standby trunk.
+  if (spec_.backup_spine) {
+    backup_spine_ = make_router(racks + 1, "spine-b", std::max(1, racks));
+  }
+  const int leaf_ports = wpr + 1 + (spec_.backup_spine ? 1 : 0);
   leaves_.reserve(std::size_t(racks));
   for (int r = 0; r < racks; ++r) {
-    leaves_.push_back(make_router(r, rack_name(r), wpr + 1));
+    leaves_.push_back(make_router(r, rack_name(r), leaf_ports));
   }
 
   // --- Spine: top-level job over one source per rack --------------------
@@ -64,7 +71,38 @@ Cluster::Cluster(ClusterSpec spec)
     spine_app_->configure_job(job);
   }
 
+  // --- Standby spine: identical top-level job, its own trunks ------------
+  if (spec_.backup_spine) {
+    auto& bfwd = backup_spine_->forwarding();
+    std::uint32_t backup_group_nh = 0;
+    for (int r = 0; r < racks; ++r) {
+      const std::uint32_t member = bfwd.add_nexthop(
+          trio::NexthopUnicast{r, trioml::aggregator_mac(r)});
+      backup_group_nh = bfwd.join_group(tree_.result_group, member);
+      bfwd.add_route(tree_.racks[std::size_t(r)].agg_ip, 32, member);
+    }
+    trioml::TrioMlApp::Config app_config;
+    app_config.slab_pool = spec_.slab_pool;
+    backup_spine_app_ =
+        std::make_unique<trioml::TrioMlApp>(backup_spine_->pfe(0), app_config);
+    // Same aggregation address as the primary: failover rewrites leaf
+    // nexthops only, the partial-Result destination IP never changes.
+    backup_spine_app_->set_aggregation_address(tree_.spine_ip);
+    backup_spine_app_->install();
+    trioml::TrioMlApp::JobSetup job;
+    job.job_id = spec_.job_id;
+    job.src_ids = tree_.spine_src_ids;
+    job.block_grad_max = spec_.grads_per_packet;
+    job.block_exp_ms = spec_.block_exp_ms;
+    job.out_src = tree_.spine_ip;
+    job.out_dst = tree_.result_group;
+    job.out_nh = backup_group_nh;
+    backup_spine_app_->configure_job(job);
+  }
+
   // --- Racks ----------------------------------------------------------------
+  to_spine_nh_.reserve(std::size_t(racks));
+  to_backup_spine_nh_.reserve(std::size_t(racks));
   leaf_apps_.reserve(std::size_t(racks));
   host_links_.reserve(std::size_t(racks * wpr));
   workers_.reserve(std::size_t(racks * wpr));
@@ -111,6 +149,32 @@ void Cluster::build_rack(const RackNode& node) {
       trio::NexthopUnicast{trunk_port(), trioml::spine_mac()});
   fwd.add_route(tree_.spine_ip, 32, to_spine);
   fabric_links_.push_back(std::move(trunk));
+  to_spine_nh_.push_back(to_spine);
+
+  // Standby trunk to the backup spine, pre-wired but unused until
+  // fail_over_to_backup() rewrites the spine route onto it.
+  if (spec_.backup_spine) {
+    auto backup_trunk = std::make_unique<net::Link>(
+        sim_, spec_.fabric_link.gbps, spec_.fabric_link.latency,
+        spec_.fabric_link.queue_frames);
+    backup_trunk->attach(leaf, backup_trunk_port(), *backup_spine_, r);
+    leaf.attach_port(backup_trunk_port(), backup_trunk->a_to_b());
+    backup_spine_->attach_port(r, backup_trunk->b_to_a());
+    if (spec_.fabric_link.loss > 0) {
+      backup_trunk->set_loss(
+          spec_.fabric_link.loss,
+          spec_.fabric_link.loss_seed + 0x10000 + std::uint64_t(r));
+    }
+    if (spec_.telemetry != nullptr) {
+      backup_trunk->a_to_b().instrument(spec_.telemetry->metrics,
+                                        "cluster.tier.fabric_backup.up.");
+      backup_trunk->b_to_a().instrument(spec_.telemetry->metrics,
+                                        "cluster.tier.fabric_backup.down.");
+    }
+    to_backup_spine_nh_.push_back(fwd.add_nexthop(trio::NexthopUnicast{
+        backup_trunk_port(), trioml::backup_spine_mac()}));
+    backup_fabric_links_.push_back(std::move(backup_trunk));
+  }
 
   // Leaf aggregation job: local workers in, partial Results up, stamped
   // with the rack's uplink source id.
@@ -177,10 +241,39 @@ void Cluster::build_rack(const RackNode& node) {
 
 std::vector<trioml::TrioMlApp*> Cluster::apps() {
   std::vector<trioml::TrioMlApp*> out;
-  out.reserve(leaf_apps_.size() + 1);
+  out.reserve(leaf_apps_.size() + 2);
   for (auto& app : leaf_apps_) out.push_back(app.get());
   out.push_back(spine_app_.get());
+  if (backup_spine_app_) out.push_back(backup_spine_app_.get());
   return out;
+}
+
+void Cluster::rehome_spine_tier(bool to_backup) {
+  const auto& nhs = to_backup ? to_backup_spine_nh_ : to_spine_nh_;
+  for (int r = 0; r < spec_.racks; ++r) {
+    // add_route overwrites the existing /32, so partial Results taking
+    // the IP-forwarding path re-home instantly...
+    leaves_[std::size_t(r)]->forwarding().add_route(tree_.spine_ip, 32,
+                                                    nhs[std::size_t(r)]);
+    // ...and patching the job record re-homes the leaf app's own Result
+    // emissions, including blocks already aggregating (the record's
+    // egress nexthop is read at result time).
+    leaf_apps_[std::size_t(r)]->retarget_job_output(spec_.job_id,
+                                                    nhs[std::size_t(r)]);
+  }
+  on_backup_spine_ = to_backup;
+}
+
+void Cluster::fail_over_to_backup() {
+  if (!has_backup_spine()) {
+    throw std::logic_error("Cluster: no backup spine configured");
+  }
+  rehome_spine_tier(/*to_backup=*/true);
+}
+
+void Cluster::restore_primary_spine() {
+  if (!has_backup_spine()) return;
+  rehome_spine_tier(/*to_backup=*/false);
 }
 
 void Cluster::start_straggler_detection(int threads, sim::Duration timeout) {

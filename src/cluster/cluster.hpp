@@ -34,6 +34,9 @@ class Cluster {
   // --- Topology accessors (workers are rack-major: global = rack*W+i) ----
   trio::Router& leaf(int rack) { return *leaves_.at(std::size_t(rack)); }
   trio::Router& spine() { return *spine_; }
+  bool has_backup_spine() const { return backup_spine_ != nullptr; }
+  /// The standby spine (spec.backup_spine; throws when absent).
+  trio::Router& backup_spine() { return *backup_spine_; }
   trioml::TrioMlWorker& worker(int global) {
     return *workers_.at(std::size_t(global));
   }
@@ -52,8 +55,27 @@ class Cluster {
     return *leaf_apps_.at(std::size_t(rack));
   }
   trioml::TrioMlApp& spine_app() { return *spine_app_; }
-  /// Every aggregation app, leaves first then the spine (stats rollups).
+  trioml::TrioMlApp& backup_spine_app() { return *backup_spine_app_; }
+  /// Rack `rack`'s standby trunk (a_to_b = leaf -> backup spine).
+  net::Link& backup_fabric_link(int rack) {
+    return *backup_fabric_links_.at(std::size_t(rack));
+  }
+  /// Every aggregation app, leaves first then the spine(s) (stats
+  /// rollups); the backup spine's app is last when one exists.
   std::vector<trioml::TrioMlApp*> apps();
+
+  // --- Failover (src/recovery/, docs/recovery.md) ------------------------
+  /// Re-homes the aggregation tree's top level onto the standby spine:
+  /// every leaf's spine route and its job record's egress nexthop are
+  /// rewritten to the backup trunk. In-flight blocks on the leaves are
+  /// untouched — even their Results go to the backup, because the job
+  /// record is consulted at result-emission time. Requires
+  /// spec.backup_spine; idempotent.
+  void fail_over_to_backup();
+  /// Points the leaves back at the primary spine (post-revival rejoin).
+  void restore_primary_spine();
+  /// True while the leaves are homed on the backup spine.
+  bool on_backup_spine() const { return on_backup_spine_; }
 
   /// Starts straggler detection on every aggregating router — each leaf
   /// and the spine run their own timer-thread scans (paper §5).
@@ -79,19 +101,27 @@ class Cluster {
 
  private:
   void build_rack(const RackNode& node);
+  void rehome_spine_tier(bool to_backup);
   int trunk_port() const { return spec_.workers_per_rack; }
+  int backup_trunk_port() const { return spec_.workers_per_rack + 1; }
 
   ClusterSpec spec_;
   AggregationTree tree_;
   sim::Simulator sim_;
   std::unique_ptr<trio::Router> spine_;
+  std::unique_ptr<trio::Router> backup_spine_;
   std::vector<std::unique_ptr<trio::Router>> leaves_;
   std::vector<std::unique_ptr<net::Link>> fabric_links_;   // by rack
+  std::vector<std::unique_ptr<net::Link>> backup_fabric_links_;  // by rack
   std::vector<std::unique_ptr<net::Link>> host_links_;     // by global worker
   std::vector<std::unique_ptr<trioml::TrioMlWorker>> workers_;
   std::vector<std::unique_ptr<trioml::TrioMlApp>> leaf_apps_;
   std::unique_ptr<trioml::TrioMlApp> spine_app_;
+  std::unique_ptr<trioml::TrioMlApp> backup_spine_app_;
   std::uint32_t spine_group_nh_ = 0;
+  std::vector<std::uint32_t> to_spine_nh_;         // per rack
+  std::vector<std::uint32_t> to_backup_spine_nh_;  // per rack
+  bool on_backup_spine_ = false;
 
   bool trace_sampling_ = false;
   sim::Duration trace_period_ = sim::Duration::zero();

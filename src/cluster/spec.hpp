@@ -45,6 +45,14 @@ struct ClusterSpec {
   std::size_t slab_pool = 8192;
   trio::Calibration cal;
 
+  /// Builds a standby spine router ("spine-b") wired to every leaf over
+  /// its own trunk tier, running the same top-level aggregation job on
+  /// the same aggregation address as the primary. Idle until
+  /// Cluster::fail_over_to_backup() (usually driven by
+  /// recovery::RecoveryManager) re-homes the leaves onto it —
+  /// docs/recovery.md.
+  bool backup_spine = false;
+
   /// When set, every router is built observed by this bundle (which must
   /// outlive the Cluster) under a per-router trio::TelemetryScope
   /// ("rackN.*" / "spine.*"), and the links register per-tier counters

@@ -28,6 +28,8 @@ const char* kind_name(FaultKind kind) {
     case FaultKind::kHostCrash: return "crash";
     case FaultKind::kHostRestart: return "restart";
     case FaultKind::kBucketDrop: return "drop-buckets";
+    case FaultKind::kRouterKill: return "kill";
+    case FaultKind::kRouterRevive: return "revive";
   }
   return "?";
 }

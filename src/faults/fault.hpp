@@ -27,6 +27,9 @@ enum class FaultKind {
   kHostCrash,   // worker loses all allreduce state and goes deaf
   kHostRestart, // crashed worker comes back cold
   kBucketDrop,  // aggregator drops every active block record of `job_id`
+  kRouterKill,  // hard power loss: frames drop, aggregation state is
+                // invalidated by generation bump (docs/recovery.md)
+  kRouterRevive,// killed router forwards again (state stays invalidated)
 };
 
 /// What a fault applies to. `index` selects one instance; kAll hits every

@@ -37,6 +37,7 @@ FaultInjector::FaultInjector(sim::Simulator& simulator,
     injected_ctr_ = telem_->metrics.counter("faults.injected");
     recovered_ctr_ = telem_->metrics.counter("faults.recovered");
     buckets_ctr_ = telem_->metrics.counter("faults.buckets_dropped");
+    invalidated_ctr_ = telem_->metrics.counter("faults.blocks_invalidated");
   }
 }
 
@@ -55,6 +56,12 @@ void FaultInjector::bind(cluster::Cluster& cluster) {
   topo_.spine_router = [&cluster]() { return &cluster.spine(); };
   topo_.leaf_agg = [&cluster](int r) { return &cluster.leaf_app(r); };
   topo_.spine_agg = [&cluster]() { return &cluster.spine_app(); };
+  topo_.router_apps = [&cluster](bool spine, int index) {
+    std::vector<trioml::TrioMlApp*> apps;
+    if (spine) apps.push_back(&cluster.spine_app());
+    else apps.push_back(&cluster.leaf_app(index));
+    return apps;
+  };
   bound_ = true;
 }
 
@@ -73,6 +80,7 @@ void FaultInjector::bind(trioml::Testbed& testbed) {
   topo_.worker = [&testbed](int i) { return &testbed.worker(i); };
   topo_.leaf_router = [&testbed](int) { return &testbed.router(); };
   topo_.leaf_agg = [apps](int i) { return apps.at(std::size_t(i)); };
+  topo_.router_apps = [apps](bool, int) { return apps; };
   bound_ = true;
 }
 
@@ -252,24 +260,55 @@ void FaultInjector::execute(const FaultEvent& event) {
     }
     case TargetKind::kLeafRouter:
     case TargetKind::kSpineRouter: {
-      if (event.kind != FaultKind::kRouterStall) {
+      if (event.kind != FaultKind::kRouterStall &&
+          event.kind != FaultKind::kRouterKill &&
+          event.kind != FaultKind::kRouterRevive) {
         throw std::logic_error("FaultInjector: bad router fault");
       }
-      const auto apply = [&](trio::Router& r, const std::string& name) {
-        r.stall_for(event.duration);
-        record("stall " + name, false);
-        sim_.schedule_in(event.duration, [this, name] {
-          record("resume " + name, true);
-        });
+      const bool spine = t.kind == TargetKind::kSpineRouter;
+      const auto apply = [&](trio::Router& r, int index,
+                             const std::string& name) {
+        switch (event.kind) {
+          case FaultKind::kRouterStall:
+            r.stall_for(event.duration);
+            record("stall " + name, false);
+            sim_.schedule_in(event.duration, [this, name] {
+              record("resume " + name, true);
+            });
+            break;
+          case FaultKind::kRouterKill: {
+            // Power loss: the router's in-chip aggregation state dies
+            // with it. The generation bump is the invalidation point —
+            // a post-revive router cannot age out pre-kill buckets into
+            // bogus degraded Results (docs/recovery.md).
+            r.kill();
+            std::size_t invalidated = 0;
+            for (trioml::TrioMlApp* app : topo_.router_apps(spine, index)) {
+              invalidated += app->invalidate_active_blocks();
+            }
+            blocks_invalidated_ += invalidated;
+            invalidated_ctr_.inc(invalidated);
+            record("kill " + name + " (" + std::to_string(invalidated) +
+                       " blocks invalidated)",
+                   false);
+            break;
+          }
+          case FaultKind::kRouterRevive:
+            r.revive();
+            record("revive " + name, true);
+            break;
+          default:
+            break;
+        }
       };
-      if (t.kind == TargetKind::kSpineRouter) {
-        apply(*topo_.spine_router(), "spine");
+      if (spine) {
+        apply(*topo_.spine_router(), 0, "spine");
       } else if (t.index != Target::kAll) {
-        apply(*topo_.leaf_router(t.index),
+        apply(*topo_.leaf_router(t.index), t.index,
               "leaf:" + std::to_string(t.index));
       } else {
         for (int i = 0; i < topo_.leaf_routers; ++i) {
-          apply(*topo_.leaf_router(i), "leaf:" + std::to_string(i));
+          apply(*topo_.leaf_router(i), i, "leaf:" + std::to_string(i));
         }
       }
       break;

@@ -67,6 +67,8 @@ class FaultInjector {
   std::uint64_t recoveries() const { return recoveries_; }
   /// Total block records destroyed by kBucketDrop events.
   std::uint64_t buckets_dropped() const { return buckets_dropped_; }
+  /// Total block records invalidated by kRouterKill generation bumps.
+  std::uint64_t blocks_invalidated() const { return blocks_invalidated_; }
 
   /// Trace pid for chaos instant rows (clears the Cluster summary band).
   static constexpr int kTracePid = 999'000;
@@ -88,6 +90,11 @@ class FaultInjector {
     std::function<trio::Router*()> spine_router;
     std::function<trioml::TrioMlApp*(int)> leaf_agg;
     std::function<trioml::TrioMlApp*()> spine_agg;
+    /// Aggregation apps living on a given router (kRouterKill models
+    /// power loss, which takes the router's in-chip state with it). The
+    /// testbed's one router hosts every app; a cluster leaf hosts one.
+    std::function<std::vector<trioml::TrioMlApp*>(bool spine, int index)>
+        router_apps;
   };
 
   void execute(const FaultEvent& event);
@@ -104,9 +111,11 @@ class FaultInjector {
   std::uint64_t faults_injected_ = 0;
   std::uint64_t recoveries_ = 0;
   std::uint64_t buckets_dropped_ = 0;
+  std::uint64_t blocks_invalidated_ = 0;
   telemetry::Counter injected_ctr_;
   telemetry::Counter recovered_ctr_;
   telemetry::Counter buckets_ctr_;
+  telemetry::Counter invalidated_ctr_;
 };
 
 }  // namespace faults

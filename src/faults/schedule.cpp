@@ -197,6 +197,22 @@ FaultSchedule& FaultSchedule::stall(sim::Time at, Target router,
   return add(e);
 }
 
+FaultSchedule& FaultSchedule::kill(sim::Time at, Target router) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kRouterKill;
+  e.target = router;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::revive(sim::Time at, Target router) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kRouterRevive;
+  e.target = router;
+  return add(e);
+}
+
 FaultSchedule& FaultSchedule::crash(sim::Time at, int worker_index) {
   FaultEvent e;
   e.at = at;
@@ -321,6 +337,13 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
     } else if (verb == "stall") {
       e.kind = FaultKind::kRouterStall;
       if (!have_duration) fail(line_no, line, "stall needs `for <time>`");
+    } else if (verb == "kill") {
+      e.kind = FaultKind::kRouterKill;
+      if (have_duration) {
+        fail(line_no, line, "kill is permanent; use a `revive` line");
+      }
+    } else if (verb == "revive") {
+      e.kind = FaultKind::kRouterRevive;
     } else if (verb == "crash") {
       e.kind = FaultKind::kHostCrash;
     } else if (verb == "restart") {
@@ -343,10 +366,12 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
         e.target.kind != TargetKind::kWorker) {
       fail(line_no, line, "verb `" + verb + "` needs a worker target");
     }
-    if (e.kind == FaultKind::kRouterStall &&
+    if ((e.kind == FaultKind::kRouterStall ||
+         e.kind == FaultKind::kRouterKill ||
+         e.kind == FaultKind::kRouterRevive) &&
         e.target.kind != TargetKind::kLeafRouter &&
         e.target.kind != TargetKind::kSpineRouter) {
-      fail(line_no, line, "stall needs a router target");
+      fail(line_no, line, "verb `" + verb + "` needs a router target");
     }
     schedule.add(e);
   }

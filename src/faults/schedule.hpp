@@ -42,6 +42,11 @@ class FaultSchedule {
                          sim::Duration window = sim::Duration::zero(),
                          std::uint64_t seed = 0);
   FaultSchedule& stall(sim::Time at, Target router, sim::Duration length);
+  /// Hard router death (docs/recovery.md): frames drop and the router's
+  /// aggregation state is invalidated. Recover with revive() + the
+  /// recovery control plane, not a matching `up`.
+  FaultSchedule& kill(sim::Time at, Target router);
+  FaultSchedule& revive(sim::Time at, Target router);
   FaultSchedule& crash(sim::Time at, int worker);
   FaultSchedule& restart(sim::Time at, int worker);
   FaultSchedule& drop_buckets(sim::Time at, Target agg, std::uint8_t job_id);

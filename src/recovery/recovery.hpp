@@ -1,0 +1,103 @@
+// RecoveryManager: the self-healing control plane for Cluster allreduce
+// jobs (docs/recovery.md). Closes the detect -> failover -> recover loop:
+//
+//   * detect   — a HeartbeatMonitor watches the spine and every leaf via
+//                timer-thread heartbeats + phi accrual;
+//   * failover — a dead spine triggers Cluster::fail_over_to_backup():
+//                every leaf's spine route and job-record egress nexthop
+//                re-home onto the standby spine (spec.backup_spine), no
+//                job restart;
+//   * recover  — the dead router's aggregation buckets were invalidated
+//                by generation bump (power-loss model); contributions
+//                absorbed into them are re-contributed by the workers'
+//                retransmit path and re-aggregated on the standby, so the
+//                allreduce result stays bit-identical to the fault-free
+//                run. A dead *leaf* detaches its whole subtree instead —
+//                workers behind it are single-homed, so the spine's aging
+//                path degrades results rather than re-homing.
+//
+// Every transition is appended to a deterministic log; digest() folds the
+// monitor's liveness log and the manager's action log into one FNV-1a
+// replay fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "recovery/heartbeat.hpp"
+
+namespace recovery {
+
+struct RecoveryConfig {
+  HeartbeatConfig heartbeat;
+  /// Re-home onto the backup spine when the primary is declared dead
+  /// (requires ClusterSpec::backup_spine; ignored without one).
+  bool auto_failover = true;
+  /// Restore the primary spine when its heartbeats resume. Off by
+  /// default: rejoin mid-allreduce is safe (the primary's state was
+  /// invalidated) but usually wanted only between jobs.
+  bool auto_rejoin = false;
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(cluster::Cluster& cluster, RecoveryConfig config = {});
+
+  /// Starts liveness detection (heartbeat groups + phi checks). The
+  /// check event keeps the simulator's queue non-empty — pair with
+  /// run_until() + stop(), like trace sampling.
+  void start();
+  void stop();
+
+  HeartbeatMonitor& monitor() { return monitor_; }
+  const HeartbeatMonitor& monitor() const { return monitor_; }
+
+  bool spine_dead() const { return monitor_.dead(spine_idx_); }
+  bool failed_over() const { return cluster_.on_backup_spine(); }
+
+  std::uint64_t failovers() const { return failovers_; }
+  std::uint64_t rejoins() const { return rejoins_; }
+  std::uint64_t subtree_detachments() const { return subtree_detachments_; }
+  /// Blocks invalidated by this manager's generation bumps (on failover
+  /// and rejoin; the fault injector's kill-time bump counts separately).
+  std::uint64_t blocks_invalidated() const { return blocks_invalidated_; }
+
+  /// Recovery-time instrumentation for bench/fig_failover.
+  sim::Time last_death_at() const { return last_death_at_; }
+  sim::Time last_failover_at() const { return last_failover_at_; }
+
+  struct LogEntry {
+    sim::Time at;
+    std::string what;
+  };
+  const std::vector<LogEntry>& log() const { return log_; }
+  /// Combined replay fingerprint: the monitor's liveness log folded with
+  /// the manager's failover/rejoin actions.
+  std::uint64_t digest() const;
+
+ private:
+  void on_transition(int idx, bool dead);
+  void record(const std::string& what, bool recovery);
+
+  cluster::Cluster& cluster_;
+  RecoveryConfig config_;
+  HeartbeatMonitor monitor_;
+  int spine_idx_ = -1;
+  std::vector<int> leaf_idx_;  // watch index per rack
+
+  std::vector<LogEntry> log_;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t rejoins_ = 0;
+  std::uint64_t subtree_detachments_ = 0;
+  std::uint64_t blocks_invalidated_ = 0;
+  sim::Time last_death_at_;
+  sim::Time last_failover_at_;
+  telemetry::Counter failover_ctr_;
+  telemetry::Counter rejoin_ctr_;
+  telemetry::Counter detach_ctr_;
+  telemetry::Counter invalidated_ctr_;
+};
+
+}  // namespace recovery

@@ -16,23 +16,39 @@ std::vector<HwHashTable::Record>& HwHashTable::bucket_for(std::uint64_t key) {
   return buckets_[mix64(key) % buckets_.size()];
 }
 
-bool HwHashTable::insert(std::uint64_t key, std::uint64_t value) {
+void HwHashTable::drop_record(std::vector<Record>& bucket, std::size_t i) {
+  bucket[i] = bucket.back();
+  bucket.pop_back();
+  --size_;
+}
+
+bool HwHashTable::insert(std::uint64_t key, std::uint64_t value, bool pinned) {
   auto& b = bucket_for(key);
-  for (auto& r : b) {
-    if (r.key == key) return false;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[i].key != key) continue;
+    if (!stale(b[i])) return false;
+    // A stale record does not block re-insertion under the new generation.
+    ++stale_reclaimed_;
+    drop_record(b, i);
+    break;
   }
-  b.push_back(Record{key, value, /*ref=*/true});
+  b.push_back(Record{key, value, /*ref=*/true, pinned, generation_});
   ++size_;
   return true;
 }
 
 std::optional<std::uint64_t> HwHashTable::lookup(std::uint64_t key) {
   auto& b = bucket_for(key);
-  for (auto& r : b) {
-    if (r.key == key) {
-      r.ref = true;  // REF set on every reference
-      return r.value;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    auto& r = b[i];
+    if (r.key != key) continue;
+    if (stale(r)) {
+      ++stale_reclaimed_;
+      drop_record(b, i);
+      return std::nullopt;
     }
+    r.ref = true;  // REF set on every reference
+    return r.value;
   }
   return std::nullopt;
 }
@@ -40,12 +56,11 @@ std::optional<std::uint64_t> HwHashTable::lookup(std::uint64_t key) {
 bool HwHashTable::erase(std::uint64_t key) {
   auto& b = bucket_for(key);
   for (std::size_t i = 0; i < b.size(); ++i) {
-    if (b[i].key == key) {
-      b[i] = b.back();
-      b.pop_back();
-      --size_;
-      return true;
-    }
+    if (b[i].key != key) continue;
+    const bool was_stale = stale(b[i]);
+    if (was_stale) ++stale_reclaimed_;
+    drop_record(b, i);
+    return !was_stale;  // stale records read as already-absent
   }
   return false;
 }
@@ -53,7 +68,7 @@ bool HwHashTable::erase(std::uint64_t key) {
 bool HwHashTable::contains(std::uint64_t key) const {
   const auto& b = buckets_[mix64(key) % buckets_.size()];
   for (const auto& r : b) {
-    if (r.key == key) return true;
+    if (r.key == key) return !stale(r);
   }
   return false;
 }
@@ -63,9 +78,29 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> HwHashTable::entries()
   std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
   out.reserve(size_);
   for (const auto& bucket : buckets_) {
-    for (const auto& r : bucket) out.emplace_back(r.key, r.value);
+    for (const auto& r : bucket) {
+      if (!stale(r)) out.emplace_back(r.key, r.value);
+    }
   }
   return out;
+}
+
+std::size_t HwHashTable::sweep_stale(
+    const std::function<void(std::uint64_t, std::uint64_t)>& reclaim) {
+  std::size_t swept = 0;
+  for (auto& bucket : buckets_) {
+    for (std::size_t i = 0; i < bucket.size();) {
+      if (stale(bucket[i])) {
+        if (reclaim) reclaim(bucket[i].key, bucket[i].value);
+        ++stale_reclaimed_;
+        ++swept;
+        drop_record(bucket, i);
+      } else {
+        ++i;
+      }
+    }
+  }
+  return swept;
 }
 
 std::vector<std::uint64_t> HwHashTable::scan_partition(std::uint32_t part,
@@ -80,12 +115,22 @@ std::vector<std::uint64_t> HwHashTable::scan_partition(std::uint32_t part,
       begin + span < buckets_.size() ? begin + span : buckets_.size();
   std::vector<std::uint64_t> aged;
   for (std::size_t i = begin; i < end; ++i) {
-    for (auto& r : buckets_[i]) {
+    auto& bucket = buckets_[i];
+    for (std::size_t j = 0; j < bucket.size();) {
+      auto& r = bucket[j];
+      if (stale(r)) {
+        // Invalidated generation: reclaim silently, never report as aged
+        // (the owner already handed the paired storage off at bump time).
+        ++stale_reclaimed_;
+        drop_record(bucket, j);
+        continue;
+      }
       if (!r.ref) {
         if (aged.size() < max_out) aged.push_back(r.key);
       } else {
         r.ref = false;
       }
+      ++j;
     }
   }
   return aged;
@@ -107,11 +152,13 @@ sim::Time HwHashTable::issue(const XtxnRequest& req, XtxnCallback cb) {
       break;
     case XtxnOp::kHashDelete: {
       // The delete reply carries the deleted record's value so a claiming
-      // thread (e.g. the straggler scan) learns the record address.
+      // thread (e.g. the straggler scan) learns the record address. Stale
+      // records read as absent, so a scan thread racing a generation bump
+      // cannot claim an invalidated bucket.
       auto& b = bucket_for(req.arg0);
       reply.ok = false;
       for (auto& r : b) {
-        if (r.key == req.arg0) {
+        if (r.key == req.arg0 && !stale(r)) {
           reply.ok = true;
           reply.value = r.value;
           break;

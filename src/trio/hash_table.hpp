@@ -8,11 +8,21 @@
 // flag was already clear and clearing the rest (check-then-clear, exactly
 // the paper's aging scheme).
 //
+// Records are also tagged with the table's *generation* at insert time.
+// bump_generation() is the O(1) invalidation point the recovery control
+// plane uses after a router failure (docs/recovery.md): every non-pinned
+// record inserted under an older generation becomes invisible to lookups,
+// deletes, scans and entries() from that instant, and is reclaimed lazily
+// (or eagerly via sweep_stale(), which hands each stale record back so the
+// owner can free its slab). Pinned records — control-plane state such as
+// Trio-ML job records — survive generation bumps.
+//
 // Like the SMS, operations are applied functionally at arrival and timed
 // analytically through a single service engine per table.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -32,22 +42,37 @@ class HwHashTable {
   sim::Time issue(const XtxnRequest& req, XtxnCallback cb);
 
   // Functional (zero-time) API used by the control plane and tests.
-  bool insert(std::uint64_t key, std::uint64_t value);
+  /// `pinned` records ignore generation bumps (job records, not blocks).
+  bool insert(std::uint64_t key, std::uint64_t value, bool pinned = false);
   std::optional<std::uint64_t> lookup(std::uint64_t key);  // sets REF
   bool erase(std::uint64_t key);
   bool contains(std::uint64_t key) const;
 
-  /// Every (key, value) record in deterministic bucket/chain order.
+  /// Every *live* (key, value) record in deterministic bucket/chain order.
   /// Control-plane / fault-injection use (zero simulated time); REF flags
-  /// are untouched.
+  /// are untouched and stale records are skipped.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> entries() const;
 
   /// Check-and-clear REF over partition `part` of `parts`: records whose
   /// REF flag was already clear are returned (aged out); all visited flags
-  /// are cleared. `max_out` bounds the report size.
+  /// are cleared. `max_out` bounds the report size. Stale records are
+  /// erased in passing, never reported.
   std::vector<std::uint64_t> scan_partition(std::uint32_t part,
                                             std::uint32_t parts,
                                             std::size_t max_out = 64);
+
+  // --- Generation epochs (self-healing control plane, docs/recovery.md) ---
+  std::uint32_t generation() const { return generation_; }
+  /// Invalidates every non-pinned record inserted before this call: they
+  /// become invisible immediately and are reclaimed lazily. Returns the
+  /// new generation.
+  std::uint32_t bump_generation() { return ++generation_; }
+  /// Eagerly erases every stale record, invoking `reclaim(key, value)` for
+  /// each so the owner can free paired storage. Returns the number erased.
+  std::size_t sweep_stale(
+      const std::function<void(std::uint64_t, std::uint64_t)>& reclaim);
+  /// Stale records dropped so far (lazily on access or via sweep_stale).
+  std::uint64_t stale_reclaimed() const { return stale_reclaimed_; }
 
   /// Number of buckets a single partition scan visits (for timing).
   std::size_t partition_buckets(std::uint32_t parts) const {
@@ -63,14 +88,22 @@ class HwHashTable {
     std::uint64_t key;
     std::uint64_t value;
     bool ref;
+    bool pinned;
+    std::uint32_t gen;
   };
 
+  bool stale(const Record& r) const {
+    return !r.pinned && r.gen != generation_;
+  }
   std::vector<Record>& bucket_for(std::uint64_t key);
+  void drop_record(std::vector<Record>& bucket, std::size_t i);
 
   sim::Simulator& sim_;
   Calibration cal_;
   std::vector<std::vector<Record>> buckets_;
   std::size_t size_ = 0;
+  std::uint32_t generation_ = 0;
+  std::uint64_t stale_reclaimed_ = 0;
   sim::Time engine_free_;
   std::uint64_t ops_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "trio/pfe.hpp"
+#include "trio/router.hpp"
 #include "trio/xtxn.hpp"
 
 namespace trio {
@@ -78,6 +79,14 @@ void Ppe::advance(int slot) {
   if (!th.active) {
     throw std::logic_error("Ppe::advance on inactive thread");
   }
+  if (pfe_.router().killed()) {
+    // Power loss (Router::kill) destroys in-flight threads: unwind
+    // through finish() at the next scheduled step, with no further
+    // program steps — a dead chip must not keep mutating SMS/hash state
+    // that the recovery control plane already invalidated.
+    finish(slot);
+    return;
+  }
   Action action = th.program->step(th.ctx);
   const std::uint32_t k = action_instructions(action);
   th.ctx.instructions_executed += k;
@@ -129,6 +138,11 @@ void Ppe::perform(int slot, Action action, sim::Time done) {
 }
 
 void Ppe::issue_pending_sync(int slot) {
+  if (pfe_.router().killed()) {
+    // The XTXN would otherwise still be applied by a powered-off chip.
+    finish(slot);
+    return;
+  }
   Thread& t = threads_[static_cast<std::size_t>(slot)];
   const sim::Time issued = sim_.now();
   const XtxnRequest req = std::move(t.pending_sync_req);

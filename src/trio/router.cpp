@@ -118,6 +118,9 @@ void Router::init(int num_pfes) {
   stall_ctr_ = telem_->metrics.counter(scope_.metric_prefix + "router.stalls");
   stall_held_ctr_ = telem_->metrics.counter(scope_.metric_prefix +
                                             "router.stall_held_frames");
+  kill_ctr_ = telem_->metrics.counter(scope_.metric_prefix + "router.kills");
+  kill_drop_ctr_ = telem_->metrics.counter(scope_.metric_prefix +
+                                           "router.kill_dropped_frames");
   for (int i = 0; i < num_pfes; ++i) {
     pfes_.push_back(std::make_unique<Pfe>(sim_, cal_, *this, i));
   }
@@ -128,6 +131,11 @@ void Router::init(int num_pfes) {
 void Router::receive(net::PacketPtr pkt, int port) {
   if (port < 0 || port >= num_ports()) {
     throw std::out_of_range("Router::receive: bad port");
+  }
+  if (killed_) {
+    ++kill_dropped_frames_;
+    kill_drop_ctr_.inc();
+    return;
   }
   ++packets_received_;
   rx_ctr_.inc();
@@ -164,6 +172,19 @@ void Router::resume_from_stall() {
     pfe(pfe_of_port(rx.port)).ingress(std::move(rx.pkt));
   }
 }
+
+void Router::kill() {
+  if (killed_) return;
+  killed_ = true;
+  ++kills_;
+  kill_ctr_.inc();
+  // Frames a stall was holding for replay die with the router.
+  kill_dropped_frames_ += stalled_rx_.size();
+  kill_drop_ctr_.inc(stalled_rx_.size());
+  stalled_rx_.clear();
+}
+
+void Router::revive() { killed_ = false; }
 
 void Router::attach_port(int global_port, net::LinkEndpoint& tx) {
   port_tx_.at(static_cast<std::size_t>(global_port)) = &tx;
@@ -227,6 +248,14 @@ void Router::egress_enqueue(int src_pfe, int global_port, net::PacketPtr pkt,
 }
 
 void Router::port_out(int global_port, net::PacketPtr pkt) {
+  if (killed_) {
+    // In-flight work (fabric transits, PPE emits) racing the kill instant
+    // is dropped at the egress point, like a pulled line card.
+    ++kill_dropped_frames_;
+    kill_drop_ctr_.inc();
+    (void)pkt;
+    return;
+  }
   ++packets_transmitted_;
   tx_ctr_.inc();
   pkt->set_egress_port(global_port);

@@ -103,6 +103,19 @@ class Router : public net::Node {
   std::uint64_t stalls() const { return stalls_; }
   std::uint64_t stall_held_frames() const { return stall_held_frames_; }
 
+  /// Hard power loss: every frame at ingress or egress is dropped (no
+  /// stall-and-replay), including any frames a stall was holding. Dataplane
+  /// state (aggregation buckets) is *not* cleared here — the fault injector
+  /// models state loss explicitly via the hash-table generation bump so the
+  /// invalidation is visible in the fault log (docs/recovery.md).
+  void kill();
+  /// Clears the killed flag; the router forwards again with whatever
+  /// state survives (for Trio-ML, an invalidated-generation hash table).
+  void revive();
+  bool killed() const { return killed_; }
+  std::uint64_t kills() const { return kills_; }
+  std::uint64_t kill_dropped_frames() const { return kill_dropped_frames_; }
+
   std::uint64_t packets_received() const { return packets_received_; }
   std::uint64_t packets_transmitted() const { return packets_transmitted_; }
   std::uint64_t packets_discarded() const { return packets_discarded_; }
@@ -143,6 +156,10 @@ class Router : public net::Node {
   std::uint64_t stalls_ = 0;
   std::uint64_t stall_held_frames_ = 0;
 
+  bool killed_ = false;
+  std::uint64_t kills_ = 0;
+  std::uint64_t kill_dropped_frames_ = 0;
+
   std::uint64_t packets_received_ = 0;
   std::uint64_t packets_transmitted_ = 0;
   std::uint64_t packets_discarded_ = 0;
@@ -153,6 +170,8 @@ class Router : public net::Node {
   telemetry::Counter no_route_ctr_;
   telemetry::Counter stall_ctr_;
   telemetry::Counter stall_held_ctr_;
+  telemetry::Counter kill_ctr_;
+  telemetry::Counter kill_drop_ctr_;
 };
 
 }  // namespace trio

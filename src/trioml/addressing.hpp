@@ -48,6 +48,19 @@ inline net::MacAddr spine_mac() {
   return net::MacAddr{0x02, 0x00, 0x00, 0xff, 0x00, 0xfe};
 }
 
+/// The standby spine aggregator (src/recovery/ failover target). It
+/// listens on the *same* aggregation address as the primary — spine_ip()
+/// — so failover only rewrites leaf nexthops, never worker or leaf job
+/// state; this management address and MAC are its own identity on the
+/// backup trunk links.
+inline net::Ipv4Addr backup_spine_ip() {
+  return net::Ipv4Addr::from_octets(10, 255, 0, 253);
+}
+
+inline net::MacAddr backup_spine_mac() {
+  return net::MacAddr{0x02, 0x00, 0x00, 0xff, 0x00, 0xfd};
+}
+
 /// Multicast group the final aggregation results are delivered to.
 inline net::Ipv4Addr result_group() {
   return net::Ipv4Addr::from_octets(239, 0, 0, 1);

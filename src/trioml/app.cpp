@@ -59,7 +59,10 @@ void TrioMlApp::configure_job(const JobSetup& setup) {
   job_records_[setup.job_id] = addr;
   job_counters_[setup.job_id] = ctr;
   job_active_counters_[setup.job_id] = active;
-  if (!pfe_.hash_table().insert(job_key(setup.job_id), addr)) {
+  // Job records are control-plane state: pinned, so they survive the
+  // generation bump a router kill triggers (invalidate_active_blocks).
+  if (!pfe_.hash_table().insert(job_key(setup.job_id), addr,
+                                /*pinned=*/true)) {
     throw std::invalid_argument("TrioMlApp: job already configured");
   }
 }
@@ -94,6 +97,41 @@ std::size_t TrioMlApp::drop_active_blocks(std::uint8_t job_id) {
   }
   stats_.blocks_lost_fault += dropped;
   return dropped;
+}
+
+std::size_t TrioMlApp::invalidate_active_blocks() {
+  auto& hash = pfe_.hash_table();
+  hash.bump_generation();
+  std::unordered_map<std::uint8_t, std::uint32_t> per_job;
+  std::size_t dropped = hash.sweep_stale(
+      [this, &per_job](std::uint64_t key, std::uint64_t record_addr) {
+        std::uint8_t j;
+        std::uint16_t gen;
+        std::uint32_t block;
+        split_key(key, j, gen, block);
+        ++per_job[j];
+        free_slab(Slab{record_addr, buffer_of_record(record_addr)});
+      });
+  auto& sms = pfe_.sms();
+  for (const auto& [job_id, lost] : per_job) {
+    const std::uint64_t active_addr = job_active_counter_addr(job_id);
+    if (active_addr == 0) continue;
+    const std::uint32_t active = sms.peek_u32(active_addr);
+    sms.poke_u32(active_addr, active >= lost ? active - lost : 0);
+  }
+  stats_.blocks_lost_fault += dropped;
+  return dropped;
+}
+
+bool TrioMlApp::retarget_job_output(std::uint8_t job_id,
+                                    std::uint32_t out_nh) {
+  const std::uint64_t addr = job_record_addr(job_id);
+  if (addr == 0) return false;
+  auto& sms = pfe_.sms();
+  JobRecord rec = JobRecord::unpack(sms.peek_bytes(addr, JobRecord::kSize));
+  rec.out_nh_addr = out_nh;
+  sms.poke_bytes(addr, rec.pack());
+  return true;
 }
 
 std::uint64_t TrioMlApp::job_counter_addr(std::uint8_t job_id) const {

@@ -61,6 +61,23 @@ class TrioMlApp {
   /// blocks dropped (also counted in Stats::blocks_lost_fault).
   std::size_t drop_active_blocks(std::uint8_t job_id);
 
+  // --- Recovery hooks (src/recovery/, docs/recovery.md) ------------------
+  /// Models hard state loss (router kill / power loss): bumps the hash
+  /// table's generation — the O(1) hardware invalidation point, after
+  /// which no datapath thread can look up or claim a pre-kill block — then
+  /// sweeps the stale records, freeing their slabs and rewinding each
+  /// job's active-block counter. Job records are pinned and survive.
+  /// Returns the number of blocks invalidated (counted in
+  /// Stats::blocks_lost_fault).
+  std::size_t invalidate_active_blocks();
+
+  /// Failover re-homing: patches the job record's egress nexthop in SMS
+  /// without touching anything else, so the job keeps running and even
+  /// blocks already aggregating emit their results via the new nexthop
+  /// (the record is read at result-emission time). Returns false if the
+  /// job is unknown.
+  bool retarget_job_output(std::uint8_t job_id, std::uint32_t out_nh);
+
   /// Installs the aggregation program factory on the PFE. Non-aggregation
   /// packets fall back to the router's IP forwarding program.
   void install();

@@ -31,6 +31,10 @@ void TrioMlWorker::start_allreduce(std::vector<std::uint32_t> grads,
   if (crashed_) {
     throw std::logic_error("TrioMlWorker: host is crashed (restart() first)");
   }
+  // New incarnation: any still-pending timer/pump event from a previous
+  // allreduce (or a crashed one) now carries a stale epoch and no-ops.
+  ++epoch_;
+  pump_scheduled_ = false;
   grads_ = std::move(grads);
   gen_id_ = gen_id;
   done_ = std::move(done);
@@ -62,7 +66,8 @@ void TrioMlWorker::stall_for(sim::Duration d) {
   if (until > stalled_until_) stalled_until_ = until;
   if (done_ && !pump_scheduled_) {
     pump_scheduled_ = true;
-    sim_.schedule_at(stalled_until_, [this] {
+    sim_.schedule_at(stalled_until_, [this, epoch = epoch_] {
+      if (epoch != epoch_) return;  // belongs to a dead incarnation
       pump_scheduled_ = false;
       pump();
     });
@@ -77,6 +82,14 @@ void TrioMlWorker::crash() {
   for (auto& [block, out] : outstanding_) {
     sim_.cancel(out.retransmit_timer);
   }
+  // Belt and braces: epoch bump invalidates any event that survived the
+  // cancellation sweep (e.g. a pump armed by stall_for, which is not
+  // tracked in outstanding_), so nothing can fire against freed block
+  // state or against blocks a restarted incarnation re-creates under the
+  // same ids.
+  ++epoch_;
+  pump_scheduled_ = false;
+  stalled_until_ = sim_.now();  // the stall modelled the dead process
   outstanding_.clear();
   grads_.clear();
   done_ = nullptr;  // the in-flight allreduce dies with the host
@@ -88,7 +101,8 @@ void TrioMlWorker::pump() {
   if (sim_.now() < stalled_until_) {
     if (!pump_scheduled_) {
       pump_scheduled_ = true;
-      sim_.schedule_at(stalled_until_, [this] {
+      sim_.schedule_at(stalled_until_, [this, epoch = epoch_] {
+        if (epoch != epoch_) return;
         pump_scheduled_ = false;
         pump();
       });
@@ -161,9 +175,14 @@ void TrioMlWorker::arm_retransmit(std::uint32_t block_id, Outstanding& out) {
     ++backoff_rearms_;
     backoff_ctr_.inc();
   }
-  out.retransmit_timer = sim_.schedule_in(timeout, [this, block_id] {
+  out.retransmit_timer = sim_.schedule_in(timeout, [this, block_id,
+                                                    epoch = epoch_] {
+    // Epoch check first: block_id alone is ambiguous across incarnations
+    // (a restarted allreduce re-creates the same ids), so a stale timer
+    // must not charge retries against the new incarnation's block.
+    if (epoch != epoch_ || crashed_) return;
     auto it = outstanding_.find(block_id);
-    if (it == outstanding_.end() || crashed_) return;
+    if (it == outstanding_.end()) return;
     ++it->second.retries;
     send_block(block_id, /*is_retransmit=*/true);
   });

@@ -138,6 +138,13 @@ class TrioMlWorker : public net::Node {
   bool busy() const { return done_ != nullptr; }
   const Config& config() const { return config_; }
 
+  /// Allreduce incarnation counter: bumped by start_allreduce() and
+  /// crash(), captured by every timer/pump callback the worker schedules.
+  /// A callback whose epoch no longer matches belongs to a dead
+  /// incarnation and must not touch (re-created) block state — see the
+  /// crash-teardown regression in tests/recovery_test.cpp.
+  std::uint64_t allreduce_epoch() const { return epoch_; }
+
   /// §5 advanced mitigation: straggler notifications received from the
   /// classifier timer threads.
   struct StragglerNotice {
@@ -190,6 +197,7 @@ class TrioMlWorker : public net::Node {
   std::unordered_map<std::uint32_t, Outstanding> outstanding_;
   sim::Time stalled_until_;
   bool pump_scheduled_ = false;
+  std::uint64_t epoch_ = 0;
 
   bool crashed_ = false;
   sim::Rng rng_;  // backoff jitter (per-worker deterministic stream)

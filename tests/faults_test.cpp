@@ -102,6 +102,36 @@ TEST(FaultSchedule, RejectsMalformedLines) {
                std::invalid_argument);  // unknown verb
 }
 
+TEST(FaultSchedule, ParsesKillAndRevive) {
+  const FaultSchedule s = FaultSchedule::parse(R"(
+at 3ms kill spine
+at 1ms kill leaf:1
+at 6ms revive spine
+)");
+  ASSERT_EQ(s.size(), 3u);
+  const auto& e = s.events();
+  EXPECT_EQ(e[0].kind, FaultKind::kRouterKill);
+  EXPECT_EQ(e[0].target.kind, TargetKind::kSpineRouter);
+  EXPECT_EQ(e[0].at.ns(), sim::Duration::millis(3).ns());
+  EXPECT_EQ(e[0].duration.ns(), 0);  // kill is permanent, never windowed
+  EXPECT_EQ(e[1].kind, FaultKind::kRouterKill);
+  EXPECT_EQ(e[1].target.kind, TargetKind::kLeafRouter);
+  EXPECT_EQ(e[1].target.index, 1);
+  EXPECT_EQ(e[2].kind, FaultKind::kRouterRevive);
+  EXPECT_EQ(e[2].target.kind, TargetKind::kSpineRouter);
+}
+
+TEST(FaultSchedule, RejectsMalformedKillAndRevive) {
+  EXPECT_THROW(FaultSchedule::parse("at 1ms kill spine for 2ms"),
+               std::invalid_argument);  // kill is permanent; revive instead
+  EXPECT_THROW(FaultSchedule::parse("at 1ms kill host:0"),
+               std::invalid_argument);  // kill needs a router
+  EXPECT_THROW(FaultSchedule::parse("at 1ms revive worker:0"),
+               std::invalid_argument);  // revive needs a router
+  EXPECT_THROW(FaultSchedule::parse("at 1ms kill"),
+               std::invalid_argument);  // missing target
+}
+
 TEST(FaultInjector, RejectsOutOfRangeTargetsAtArmTime) {
   cluster::ClusterSpec spec;
   spec.racks = 2;

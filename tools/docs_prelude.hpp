@@ -21,6 +21,7 @@
 #include "faults/schedule.hpp"
 #include "microcode/compiler.hpp"
 #include "microcode/interpreter.hpp"
+#include "recovery/recovery.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trio/router.hpp"
 #include "trioml/host.hpp"
