@@ -81,6 +81,7 @@ Cluster::Cluster(ClusterSpec spec)
       backup_group_nh = bfwd.join_group(tree_.result_group, member);
       bfwd.add_route(tree_.racks[std::size_t(r)].agg_ip, 32, member);
     }
+    backup_spine_group_nh_ = backup_group_nh;
     trioml::TrioMlApp::Config app_config;
     app_config.slab_pool = spec_.slab_pool;
     backup_spine_app_ =
@@ -255,11 +256,15 @@ void Cluster::rehome_spine_tier(bool to_backup) {
     // the IP-forwarding path re-home instantly...
     leaves_[std::size_t(r)]->forwarding().add_route(tree_.spine_ip, 32,
                                                     nhs[std::size_t(r)]);
-    // ...and patching the job record re-homes the leaf app's own Result
+    // ...and patching the job records re-homes the leaf app's own Result
     // emissions, including blocks already aggregating (the record's
-    // egress nexthop is read at result time).
-    leaf_apps_[std::size_t(r)]->retarget_job_output(spec_.job_id,
-                                                    nhs[std::size_t(r)]);
+    // egress nexthop is read at result time). Every configured job moves:
+    // a failover re-homes all tenants, not just the cluster's primary
+    // job (docs/jobs.md).
+    for (std::uint8_t job : leaf_apps_[std::size_t(r)]->configured_jobs()) {
+      leaf_apps_[std::size_t(r)]->retarget_job_output(job,
+                                                      nhs[std::size_t(r)]);
+    }
   }
   on_backup_spine_ = to_backup;
 }

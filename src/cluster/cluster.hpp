@@ -64,6 +64,21 @@ class Cluster {
   /// rollups); the backup spine's app is last when one exists.
   std::vector<trioml::TrioMlApp*> apps();
 
+  // --- Aggregation-tree plumbing (src/jobs/ instantiates per-tenant
+  // jobs over the same physical tree; docs/jobs.md) -----------------------
+  /// Leaf `rack`'s nexthop onto the primary / standby spine trunk.
+  std::uint32_t to_spine_nexthop(int rack) const {
+    return to_spine_nh_.at(std::size_t(rack));
+  }
+  std::uint32_t to_backup_spine_nexthop(int rack) const {
+    return to_backup_spine_nh_.at(std::size_t(rack));
+  }
+  /// The spine's (and standby spine's) result-multicast group nexthop.
+  std::uint32_t spine_result_nexthop() const { return spine_group_nh_; }
+  std::uint32_t backup_spine_result_nexthop() const {
+    return backup_spine_group_nh_;
+  }
+
   // --- Failover (src/recovery/, docs/recovery.md) ------------------------
   /// Re-homes the aggregation tree's top level onto the standby spine:
   /// every leaf's spine route and its job record's egress nexthop are
@@ -119,6 +134,7 @@ class Cluster {
   std::unique_ptr<trioml::TrioMlApp> spine_app_;
   std::unique_ptr<trioml::TrioMlApp> backup_spine_app_;
   std::uint32_t spine_group_nh_ = 0;
+  std::uint32_t backup_spine_group_nh_ = 0;
   std::vector<std::uint32_t> to_spine_nh_;         // per rack
   std::vector<std::uint32_t> to_backup_spine_nh_;  // per rack
   bool on_backup_spine_ = false;

@@ -81,6 +81,10 @@ std::string describe(const FaultEvent& event) {
     default:
       break;
   }
+  if (event.tenant >= 0 && (event.kind == FaultKind::kHostCrash ||
+                            event.kind == FaultKind::kHostRestart)) {
+    out << " tenant=" << event.tenant;
+  }
   return out.str();
 }
 

@@ -68,6 +68,12 @@ struct FaultEvent {
   double probability = 0.0;       // kIidLoss / kCorrupt per-frame prob.
   net::GilbertElliott burst;      // kBurstLoss chain parameters
   std::uint8_t job_id = 1;        // kBucketDrop target job
+  /// Tenant qualifier (docs/jobs.md): scopes kHostCrash / kHostRestart to
+  /// the tenant's worker multiplexed on the target host (the injector's
+  /// tenant-worker resolver maps (tenant, host) to the worker), and is an
+  /// alias for job_id on kBucketDrop. -1 = untenanted: the host's primary
+  /// worker / the job_id field as written.
+  int tenant = -1;
   /// Loss/corruption stream seed; 0 derives one from (at, kind, target)
   /// so distinct events get decorrelated yet reproducible streams.
   std::uint64_t seed = 0;

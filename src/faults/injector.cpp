@@ -243,13 +243,28 @@ void FaultInjector::execute(const FaultEvent& event) {
     }
     case TargetKind::kWorker: {
       const auto apply = [&](int i) {
-        trioml::TrioMlWorker& w = *topo_.worker(i);
+        // A `tenant=` qualifier re-routes to that tenant's worker on the
+        // host via the resolver the jobs layer installed (docs/jobs.md);
+        // tenants without a worker there make the event a logged no-op.
+        trioml::TrioMlWorker* w = topo_.worker(i);
+        std::string label = "worker:" + std::to_string(i);
+        if (event.tenant >= 0) {
+          if (!tenant_resolver_) {
+            throw std::logic_error(
+                "FaultInjector: tenant-qualified fault without a "
+                "tenant-worker resolver (bind a JobManager)");
+          }
+          w = tenant_resolver_(event.tenant, i);
+          label += " tenant=" + std::to_string(event.tenant);
+        }
         if (event.kind == FaultKind::kHostCrash) {
-          w.crash();
-          record("crash worker:" + std::to_string(i), false);
+          if (w != nullptr) w->crash();
+          record("crash " + label + (w == nullptr ? " (no worker)" : ""),
+                 false);
         } else if (event.kind == FaultKind::kHostRestart) {
-          w.restart();
-          record("restart worker:" + std::to_string(i), true);
+          if (w != nullptr) w->restart();
+          record("restart " + label + (w == nullptr ? " (no worker)" : ""),
+                 true);
         } else {
           throw std::logic_error("FaultInjector: bad worker fault");
         }

@@ -54,6 +54,15 @@ class FaultInjector {
   /// unbound and std::out_of_range for a target the topology lacks.
   void arm(const FaultSchedule& schedule);
 
+  /// Installs the tenant-worker resolver (docs/jobs.md): maps a
+  /// `tenant=` qualified crash/restart to the tenant's worker on host
+  /// `host`. Wired up by jobs::JobManager; returning null makes the event
+  /// a logged no-op (tenant has no worker on that host).
+  void set_tenant_worker_resolver(
+      std::function<trioml::TrioMlWorker*(int tenant, int host)> resolver) {
+    tenant_resolver_ = std::move(resolver);
+  }
+
   struct LogEntry {
     sim::Time at;
     std::string what;
@@ -106,6 +115,7 @@ class FaultInjector {
   telemetry::Telemetry* telem_;
   Topology topo_;
   bool bound_ = false;
+  std::function<trioml::TrioMlWorker*(int tenant, int host)> tenant_resolver_;
 
   std::vector<LogEntry> log_;
   std::uint64_t faults_injected_ = 0;

@@ -213,19 +213,23 @@ FaultSchedule& FaultSchedule::revive(sim::Time at, Target router) {
   return add(e);
 }
 
-FaultSchedule& FaultSchedule::crash(sim::Time at, int worker_index) {
+FaultSchedule& FaultSchedule::crash(sim::Time at, int worker_index,
+                                    int tenant) {
   FaultEvent e;
   e.at = at;
   e.kind = FaultKind::kHostCrash;
   e.target = worker(worker_index);
+  e.tenant = tenant;
   return add(e);
 }
 
-FaultSchedule& FaultSchedule::restart(sim::Time at, int worker_index) {
+FaultSchedule& FaultSchedule::restart(sim::Time at, int worker_index,
+                                      int tenant) {
   FaultEvent e;
   e.at = at;
   e.kind = FaultKind::kHostRestart;
   e.target = worker(worker_index);
+  e.tenant = tenant;
   return add(e);
 }
 
@@ -313,6 +317,12 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
       else if (key == "loss_bad") e.burst.loss_bad = v;
       else if (key == "seed") e.seed = static_cast<std::uint64_t>(v);
       else if (key == "job") e.job_id = static_cast<std::uint8_t>(v);
+      else if (key == "tenant") {
+        if (v < 0 || v > 255) {
+          fail(line_no, line, "tenant out of range in `" + toks[pos] + "`");
+        }
+        e.tenant = static_cast<int>(v);
+      }
       else fail(line_no, line, "unknown parameter `" + key + "`");
       ++pos;
     }
@@ -352,6 +362,18 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
       e.kind = FaultKind::kBucketDrop;
     } else {
       fail(line_no, line, "unknown verb `" + verb + "`");
+    }
+
+    // `tenant=` scopes a crash/restart to one tenant's worker and aliases
+    // `job=` on drop-buckets (tenant id == job id, docs/jobs.md).
+    if (e.tenant >= 0) {
+      if (e.kind == FaultKind::kBucketDrop) {
+        e.job_id = static_cast<std::uint8_t>(e.tenant);
+      } else if (e.kind != FaultKind::kHostCrash &&
+                 e.kind != FaultKind::kHostRestart) {
+        fail(line_no, line,
+             "`tenant=` only applies to crash/restart/drop-buckets");
+      }
     }
 
     const bool link_verb =

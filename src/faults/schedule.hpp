@@ -47,8 +47,10 @@ class FaultSchedule {
   /// recovery control plane, not a matching `up`.
   FaultSchedule& kill(sim::Time at, Target router);
   FaultSchedule& revive(sim::Time at, Target router);
-  FaultSchedule& crash(sim::Time at, int worker);
-  FaultSchedule& restart(sim::Time at, int worker);
+  /// `tenant` >= 0 scopes the crash/restart to that tenant's worker
+  /// multiplexed on host `worker` (docs/jobs.md); -1 = primary worker.
+  FaultSchedule& crash(sim::Time at, int worker, int tenant = -1);
+  FaultSchedule& restart(sim::Time at, int worker, int tenant = -1);
   FaultSchedule& drop_buckets(sim::Time at, Target agg, std::uint8_t job_id);
   FaultSchedule& add(FaultEvent event);
 

@@ -1,0 +1,19 @@
+#include "jobs/host_mux.hpp"
+
+#include "trioml/wire_format.hpp"
+
+namespace jobs {
+
+void HostMux::receive(net::PacketPtr pkt, int port) {
+  (void)port;
+  const std::uint8_t tenant = trioml::tenant_of_frame(pkt->frame());
+  auto it = endpoints_.find(tenant);
+  if (it == endpoints_.end()) {
+    ++unclaimed_;
+    return;
+  }
+  ++delivered_;
+  it->second.node->receive(std::move(pkt), it->second.port);
+}
+
+}  // namespace jobs

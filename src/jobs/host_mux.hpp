@@ -1,0 +1,51 @@
+// HostMux: fans one host downlink out to per-tenant workers.
+//
+// A Cluster wires each host link's B→A direction straight into the host's
+// single TrioMlWorker. Under multi-tenancy several tenants share that
+// physical host, each with its own worker, so the JobManager re-targets
+// the downlink at a HostMux and registers one endpoint per tenant. Frames
+// are classified statelessly with trioml::tenant_of_frame (the job-id
+// byte for Trio-ML traffic, the best-effort source-port band otherwise)
+// and forwarded to the owning endpoint; frames for a tenant with no
+// endpoint on this host are counted, not delivered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace jobs {
+
+class HostMux : public net::Node {
+ public:
+  explicit HostMux(std::string name) : name_(std::move(name)) {}
+
+  /// Registers `node` as tenant `tenant`'s endpoint; arriving frames for
+  /// that tenant are delivered via node.receive(pkt, port). Re-registering
+  /// a tenant replaces its endpoint.
+  void add_endpoint(std::uint8_t tenant, net::Node& node, int port = 0) {
+    endpoints_[tenant] = {&node, port};
+  }
+
+  void receive(net::PacketPtr pkt, int port) override;
+  std::string name() const override { return name_; }
+
+  std::uint64_t delivered() const { return delivered_; }
+  /// Frames whose tenant has no endpoint on this host.
+  std::uint64_t unclaimed() const { return unclaimed_; }
+
+ private:
+  struct Endpoint {
+    net::Node* node = nullptr;
+    int port = 0;
+  };
+  std::string name_;
+  std::unordered_map<std::uint8_t, Endpoint> endpoints_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t unclaimed_ = 0;
+};
+
+}  // namespace jobs

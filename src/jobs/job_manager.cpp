@@ -1,0 +1,377 @@
+#include "jobs/job_manager.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "faults/injector.hpp"
+#include "trioml/addressing.hpp"
+
+namespace jobs {
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t TenantRun::digest() const {
+  std::uint64_t h = kFnvBasis;
+  for (const auto& res : results) {
+    const std::uint32_t n = std::uint32_t(res.grads.size());
+    fnv_bytes(h, &n, sizeof(n));
+    if (!res.grads.empty()) {
+      fnv_bytes(h, res.grads.data(), res.grads.size() * sizeof(float));
+    }
+  }
+  return h;
+}
+
+const TenantRun* MultiTenantRun::tenant(TenantId id) const {
+  for (const auto& t : tenants) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+JobManager::JobManager(cluster::Cluster& cluster)
+    : cluster_(cluster), sim_(cluster.simulator()) {
+  // Re-target every host downlink at a mux; the built-in worker keeps
+  // receiving the cluster's own job through it, additional tenants
+  // register their workers as they are admitted.
+  const int workers = cluster_.num_workers();
+  muxes_.reserve(std::size_t(workers));
+  for (int g = 0; g < workers; ++g) {
+    auto mux = std::make_unique<HostMux>("hostmux-" + std::to_string(g));
+    cluster_.link(g).b_to_a().connect(*mux, 0);
+    mux->add_endpoint(cluster_.spec().job_id, cluster_.worker(g), 0);
+    muxes_.push_back(std::move(mux));
+  }
+}
+
+std::vector<trio::SharedMemorySystem*> JobManager::aggregator_sms() {
+  std::vector<trio::SharedMemorySystem*> out;
+  for (int r = 0; r < cluster_.num_racks(); ++r) {
+    out.push_back(&cluster_.leaf(r).pfe(0).sms());
+  }
+  out.push_back(&cluster_.spine().pfe(0).sms());
+  if (cluster_.has_backup_spine()) {
+    out.push_back(&cluster_.backup_spine().pfe(0).sms());
+  }
+  return out;
+}
+
+std::vector<trio::Router*> JobManager::routers() {
+  std::vector<trio::Router*> out;
+  for (int r = 0; r < cluster_.num_racks(); ++r) {
+    out.push_back(&cluster_.leaf(r));
+  }
+  out.push_back(&cluster_.spine());
+  if (cluster_.has_backup_spine()) out.push_back(&cluster_.backup_spine());
+  return out;
+}
+
+trioml::TrioMlApp::JobSetup JobManager::leaf_setup(
+    const TenantSpec& spec, const cluster::RackNode& node) const {
+  trioml::TrioMlApp::JobSetup job;
+  job.job_id = spec.id;
+  job.src_ids = node.worker_src_ids;
+  job.block_grad_max = cluster_.spec().grads_per_packet;
+  job.block_cnt_max = spec.block_cnt_max;
+  job.block_exp_ms = cluster_.spec().block_exp_ms;
+  job.out_src = node.agg_ip;
+  job.out_dst = cluster_.tree().spine_ip;
+  job.out_nh = cluster_.on_backup_spine()
+                   ? cluster_.to_backup_spine_nexthop(node.rack)
+                   : cluster_.to_spine_nexthop(node.rack);
+  job.out_src_id = node.uplink_src_id;
+  return job;
+}
+
+trioml::TrioMlApp::JobSetup JobManager::spine_setup(const TenantSpec& spec,
+                                                    bool backup) const {
+  trioml::TrioMlApp::JobSetup job;
+  job.job_id = spec.id;
+  job.src_ids = cluster_.tree().spine_src_ids;
+  job.block_grad_max = cluster_.spec().grads_per_packet;
+  job.block_cnt_max = spec.block_cnt_max;
+  job.block_exp_ms = cluster_.spec().block_exp_ms;
+  job.out_src = cluster_.tree().spine_ip;
+  job.out_dst = cluster_.tree().result_group;
+  job.out_nh = backup ? cluster_.backup_spine_result_nexthop()
+                      : cluster_.spine_result_nexthop();
+  return job;
+}
+
+AdmissionResult JobManager::admit(const TenantSpec& spec) {
+  if (spec.id == 0) return {false, "tenant id 0 is the untenanted class"};
+  if (tenants_.count(spec.id)) {
+    return {false,
+            "tenant " + std::to_string(int(spec.id)) + " already admitted"};
+  }
+
+  Tenant tenant;
+  tenant.spec = spec;
+
+  if (spec.is_allreduce()) {
+    tenant.adopted_builtin = spec.id == cluster_.spec().job_id;
+
+    // --- Admission-time SMS quota check, all-or-nothing ------------------
+    // The worst case is charged on *every* aggregating PFE before any job
+    // record is written; a tenant that does not fit is rejected with the
+    // cluster untouched.
+    const std::uint64_t need = trioml::TrioMlApp::job_worst_case_bytes(
+        leaf_setup(spec, cluster_.tree().racks.front()));
+    auto sms = aggregator_sms();
+    for (auto* s : sms) {
+      if (spec.sms_quota_bytes > 0) {
+        s->set_tenant_quota(spec.id, spec.sms_quota_bytes);
+      }
+    }
+    for (std::size_t i = 0; i < sms.size(); ++i) {
+      if (!sms[i]->reserve_tenant_bytes(spec.id, need)) {
+        for (std::size_t j = 0; j < i; ++j) {
+          sms[j]->release_tenant_bytes(spec.id, need);
+        }
+        return {false, "tenant " + std::to_string(int(spec.id)) +
+                           ": worst-case footprint " + std::to_string(need) +
+                           " B exceeds SMS quota " +
+                           std::to_string(spec.sms_quota_bytes) + " B"};
+      }
+    }
+    tenant.reserved_bytes = need;
+
+    // --- Job records over the physical aggregation tree ------------------
+    if (!tenant.adopted_builtin) {
+      cluster_.spine_app().configure_job(spine_setup(spec, /*backup=*/false));
+      if (cluster_.has_backup_spine()) {
+        cluster_.backup_spine_app().configure_job(
+            spine_setup(spec, /*backup=*/true));
+      }
+      for (const auto& node : cluster_.tree().racks) {
+        cluster_.leaf_app(node.rack).configure_job(leaf_setup(spec, node));
+      }
+
+      // --- One worker per host, muxed onto the existing host links -------
+      const int wpr = cluster_.workers_per_rack();
+      for (const auto& node : cluster_.tree().racks) {
+        for (int i = 0; i < wpr; ++i) {
+          const int g = node.rack * wpr + i;
+          trioml::TrioMlWorker::Config wc;
+          wc.job_id = spec.id;
+          wc.src_id = node.worker_src_ids[std::size_t(i)];
+          wc.ip = trioml::worker_ip(node.rack, i);
+          wc.mac = trioml::worker_mac(node.rack, i);
+          wc.agg_ip = node.agg_ip;
+          wc.agg_mac = trioml::aggregator_mac(node.rack);
+          wc.udp_src_port = trioml::worker_udp_src_port(spec.id);
+          wc.window = spec.window;
+          wc.grads_per_packet = cluster_.spec().grads_per_packet;
+          wc.expected_sources = cluster_.tree().expected_sources;
+          auto worker = std::make_unique<trioml::TrioMlWorker>(
+              sim_, wc, cluster_.link(g).a_to_b());
+          muxes_[std::size_t(g)]->add_endpoint(spec.id, *worker, 0);
+          tenant.workers.push_back(std::move(worker));
+        }
+      }
+    }
+  } else {
+    // Best-effort: one paced source per host, addressed up the tree (the
+    // spine discards it) so it burns host-link and trunk bandwidth only.
+    const int wpr = cluster_.workers_per_rack();
+    for (const auto& node : cluster_.tree().racks) {
+      for (int i = 0; i < wpr; ++i) {
+        const int g = node.rack * wpr + i;
+        BestEffortSource::Config bc;
+        bc.tenant = spec.id;
+        bc.eth_src = trioml::worker_mac(node.rack, i);
+        bc.eth_dst = trioml::aggregator_mac(node.rack);
+        bc.ip_src = trioml::worker_ip(node.rack, i);
+        bc.ip_dst = cluster_.tree().spine_ip;
+        bc.load = spec.load;
+        tenant.sources.push_back(std::make_unique<BestEffortSource>(
+            sim_, cluster_.link(g).a_to_b(), bc));
+      }
+    }
+  }
+
+  tenants_.emplace(spec.id, std::move(tenant));
+  admission_order_.push_back(spec.id);
+  if (isolation_) apply_weight(spec.id, spec.weight);
+  return {true, ""};
+}
+
+AdmissionResult JobManager::admit_all(const JobsSpec& spec) {
+  for (const auto& tenant : spec.tenants) {
+    auto result = admit(tenant);
+    if (!result.admitted) return result;
+  }
+  return {true, ""};
+}
+
+void JobManager::apply_weight(TenantId id, std::uint32_t weight) {
+  for (auto* router : routers()) router->set_tenant_weight(id, weight);
+}
+
+void JobManager::enable_isolation(std::uint32_t partitions,
+                                  std::size_t queue_frames) {
+  if (isolation_) return;
+  isolation_ = true;
+  qos_queue_frames_ = queue_frames;
+  for (auto* router : routers()) {
+    router->pfe(0).hash_table().enable_key_partitions(partitions);
+    router->enable_tenant_qos(
+        [](const net::Packet& pkt) {
+          return trioml::tenant_of_frame(pkt.frame());
+        },
+        queue_frames);
+    // The untenanted class first, then every admitted tenant in admission
+    // order: WDRR visit order is registration order, so replays are
+    // deterministic.
+    router->set_tenant_weight(0, 1);
+  }
+  for (TenantId id : admission_order_) {
+    apply_weight(id, tenants_.at(id).spec.weight);
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> JobManager::tenant_gradients(
+    TenantId id, int workers, std::size_t grads_per_worker) {
+  std::vector<std::vector<std::uint32_t>> out(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    auto& g = out[std::size_t(w)];
+    g.resize(grads_per_worker);
+    for (std::size_t j = 0; j < grads_per_worker; ++j) {
+      // Depends only on (tenant, worker, j): a tenant's stream is the
+      // same whether it runs solo or beside neighbours (bit-identity).
+      g[j] = std::uint32_t(w * 37 + int(j % 11) + 1 + int(id) * 131);
+    }
+  }
+  return out;
+}
+
+trioml::TrioMlWorker* JobManager::tenant_worker(int tenant, int host) {
+  if (tenant < 0 || tenant > 255) return nullptr;
+  if (host < 0 || host >= cluster_.num_workers()) return nullptr;
+  auto it = tenants_.find(TenantId(tenant));
+  if (it == tenants_.end() || it->second.torn_down) return nullptr;
+  if (!it->second.spec.is_allreduce()) return nullptr;
+  if (it->second.adopted_builtin) return &cluster_.worker(host);
+  return it->second.workers[std::size_t(host)].get();
+}
+
+void JobManager::bind_fault_injector(faults::FaultInjector& injector) {
+  injector.set_tenant_worker_resolver(
+      [this](int tenant, int host) { return tenant_worker(tenant, host); });
+}
+
+MultiTenantRun JobManager::run(std::uint16_t gen_id, sim::Time deadline) {
+  MultiTenantRun run;
+  run.tenants.reserve(admission_order_.size());
+  const int workers = cluster_.num_workers();
+  int remaining = 0;
+
+  for (TenantId id : admission_order_) {
+    const Tenant& tenant = tenants_.at(id);
+    if (tenant.torn_down) continue;
+    TenantRun tr;
+    tr.id = id;
+    tr.kind = tenant.spec.kind;
+    tr.start = sim_.now();
+    tr.finish = sim_.now();
+    if (tenant.spec.is_allreduce()) {
+      tr.results.resize(std::size_t(workers));
+      remaining += workers;
+    }
+    run.tenants.push_back(std::move(tr));
+  }
+
+  // Start every allreduce after run.tenants is final (the completion
+  // callbacks hold references into it).
+  for (auto& tr : run.tenants) {
+    if (tr.kind != TenantKind::kAllreduce) continue;
+    const Tenant& tenant = tenants_.at(tr.id);
+    auto grads = tenant_gradients(tr.id, workers, tenant.spec.grads);
+    for (int w = 0; w < workers; ++w) {
+      trioml::TrioMlWorker* worker = tenant_worker(tr.id, w);
+      worker->start_allreduce(
+          std::move(grads[std::size_t(w)]), gen_id,
+          [this, &tr, &remaining, w](trioml::AllreduceResult res) {
+            tr.results[std::size_t(w)] = std::move(res);
+            ++tr.finished;
+            tr.finish = sim_.now();
+            --remaining;
+          });
+    }
+  }
+  for (TenantId id : admission_order_) {
+    for (auto& source : tenants_.at(id).sources) {
+      source->start(sim_.now(), deadline);
+    }
+  }
+
+  // Chunked run: best-effort sources keep the event queue non-empty, so
+  // poll the completion count instead of waiting for a drain.
+  const sim::Duration chunk = sim::Duration::millis(1);
+  while (remaining > 0 && sim_.now() < deadline) {
+    const sim::Time next =
+        sim_.now() + chunk < deadline ? sim_.now() + chunk : deadline;
+    sim_.run_until(next);
+  }
+  for (TenantId id : admission_order_) {
+    for (auto& source : tenants_.at(id).sources) source->stop();
+  }
+  for (auto& tr : run.tenants) {
+    if (tr.kind == TenantKind::kAllreduce && tr.finished < workers) {
+      tr.finish = sim_.now();
+    }
+  }
+  run.finish = sim_.now();
+  return run;
+}
+
+void JobManager::teardown(TenantId id) {
+  auto it = tenants_.find(id);
+  if (it == tenants_.end() || it->second.torn_down) return;
+  Tenant& tenant = it->second;
+  if (tenant.spec.is_allreduce()) {
+    for (int h = 0; h < cluster_.num_workers(); ++h) {
+      if (auto* w = tenant_worker(id, h)) w->crash();
+    }
+    for (auto* app : cluster_.apps()) {
+      app->drop_active_blocks(id);
+      if (!tenant.adopted_builtin && app->has_job(id)) app->remove_job(id);
+    }
+    for (auto* s : aggregator_sms()) {
+      s->release_tenant_bytes(id, tenant.reserved_bytes);
+    }
+  } else {
+    for (auto& source : tenant.sources) source->stop();
+  }
+  // The Tenant (and its workers) stays allocated: simulator callbacks may
+  // still reference the crashed workers. It is simply no longer runnable.
+  tenant.torn_down = true;
+}
+
+std::vector<TenantId> JobManager::admitted() const {
+  std::vector<TenantId> out;
+  for (TenantId id : admission_order_) {
+    if (!tenants_.at(id).torn_down) out.push_back(id);
+  }
+  return out;
+}
+
+const TenantSpec* JobManager::tenant_spec(TenantId id) const {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : &it->second.spec;
+}
+
+}  // namespace jobs

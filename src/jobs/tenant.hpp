@@ -1,0 +1,73 @@
+// Tenant declarations for the multi-tenant job subsystem (docs/jobs.md).
+//
+// A TenantSpec describes one tenant to be admitted onto a shared Cluster:
+// either a Trio-ML allreduce job (its TenantId doubles as the Trio-ML job
+// id) or a best-effort background traffic generator. A JobsSpec is an
+// ordered list of tenants, built programmatically or parsed from the
+// line-oriented spec consumed by `trio-run --jobs FILE`:
+//
+//   # victim, a second job, and an aggressor
+//   tenant 1 allreduce weight=4 grads=8192 window=64 blocks=256 sms=96M
+//   tenant 2 allreduce weight=2 grads=8192
+//   tenant 3 besteffort weight=1 load=0.9
+//
+// Parse errors carry the line *and column* of the offending token, in the
+// same style as the faults DSL ("jobs DSL line 2 col 20: ... in \"...\"").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jobs {
+
+/// Tenants are identified by the Trio-ML job id they own: one byte, the
+/// top byte of every hash-table key the tenant's blocks occupy.
+using TenantId = std::uint8_t;
+
+enum class TenantKind {
+  kAllreduce,   // a Trio-ML in-network allreduce job
+  kBestEffort,  // background traffic generator (no aggregation state)
+};
+
+struct TenantSpec {
+  TenantId id = 1;
+  TenantKind kind = TenantKind::kAllreduce;
+  /// Relative MQSS WDRR weight (>= 1) — `weight=N`.
+  std::uint32_t weight = 1;
+  /// Gradients per worker for one allreduce — `grads=N`.
+  std::size_t grads = 4096;
+  /// Streaming window (outstanding packets per worker) — `window=N`.
+  std::uint32_t window = 64;
+  /// Concurrent aggregation-block (bucket) quota per aggregator —
+  /// `blocks=N`. This is the hash-table/bucket half of the tenant's
+  /// admission quota; the datapath enforces it via the job's
+  /// active-block counter.
+  std::uint16_t block_cnt_max = 256;
+  /// SMS byte quota per PFE — `sms=N` (suffixes K/M/G). 0 = unlimited.
+  /// Admission reserves the job's worst-case footprint against it and
+  /// rejects tenants that do not fit — never a mid-run failure.
+  std::uint64_t sms_quota_bytes = 0;
+  /// Best-effort offered load as a fraction of each host link — `load=F`.
+  double load = 1.0;
+
+  bool is_allreduce() const { return kind == TenantKind::kAllreduce; }
+};
+
+struct JobsSpec {
+  std::vector<TenantSpec> tenants;
+
+  bool empty() const { return tenants.empty(); }
+  std::size_t size() const { return tenants.size(); }
+
+  /// Parses the tenant spec DSL above. Throws std::invalid_argument with
+  /// the offending line and column on any syntax error.
+  static JobsSpec parse(const std::string& text);
+  /// parse() over a file's contents; throws std::runtime_error when the
+  /// file cannot be read.
+  static JobsSpec load(const std::string& path);
+};
+
+const char* kind_name(TenantKind kind);
+
+}  // namespace jobs

@@ -12,8 +12,44 @@ HwHashTable::HwHashTable(sim::Simulator& simulator, const Calibration& cal,
   if (buckets == 0) throw std::invalid_argument("HwHashTable: 0 buckets");
 }
 
+std::size_t HwHashTable::bucket_index(std::uint64_t key) const {
+  if (partitions_ == 0) return mix64(key) % buckets_.size();
+  // Both block and job keys carry the job id in the top byte
+  // (trioml/records.hpp), so every record of a job lands in its slice.
+  const std::size_t span = buckets_.size() / partitions_;
+  const std::size_t slice = std::size_t(key >> 48) % partitions_;
+  return slice * span + mix64(key) % span;
+}
+
+std::pair<std::size_t, std::size_t> HwHashTable::partition_range(
+    std::uint8_t job) const {
+  if (partitions_ == 0) return {0, buckets_.size()};
+  const std::size_t span = buckets_.size() / partitions_;
+  const std::size_t slice = std::size_t(job) % partitions_;
+  return {slice * span, slice * span + span};
+}
+
+void HwHashTable::enable_key_partitions(std::uint32_t partitions) {
+  if (partitions > buckets_.size()) {
+    throw std::invalid_argument("HwHashTable: more partitions than buckets");
+  }
+  if (partitions == partitions_) return;
+  // Rehash in place: pull every record (live or stale, preserving flags
+  // and generations) and redistribute under the new placement.
+  std::vector<Record> records;
+  records.reserve(size_);
+  for (auto& bucket : buckets_) {
+    records.insert(records.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  partitions_ = partitions;
+  for (const Record& r : records) {
+    buckets_[bucket_index(r.key)].push_back(r);
+  }
+}
+
 std::vector<HwHashTable::Record>& HwHashTable::bucket_for(std::uint64_t key) {
-  return buckets_[mix64(key) % buckets_.size()];
+  return buckets_[bucket_index(key)];
 }
 
 void HwHashTable::drop_record(std::vector<Record>& bucket, std::size_t i) {
@@ -66,7 +102,7 @@ bool HwHashTable::erase(std::uint64_t key) {
 }
 
 bool HwHashTable::contains(std::uint64_t key) const {
-  const auto& b = buckets_[mix64(key) % buckets_.size()];
+  const auto& b = buckets_[bucket_index(key)];
   for (const auto& r : b) {
     if (r.key == key) return !stale(r);
   }

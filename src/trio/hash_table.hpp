@@ -79,6 +79,23 @@ class HwHashTable {
     return (buckets_.size() + parts - 1) / parts;
   }
 
+  // --- Per-job key partitions (multi-tenant isolation, docs/jobs.md) -----
+  /// Splits the bucket array into `partitions` equal slices and confines
+  /// every key of job j (the top key byte — trioml/records.hpp layout for
+  /// both block and job keys) to slice j % partitions. One tenant filling
+  /// its slice can lengthen only its own chains; other tenants' lookup
+  /// and aging costs are untouched. Existing records are rehashed into
+  /// the new placement, so this may be enabled on a table that already
+  /// holds control-plane records. `partitions` 0 restores the unsliced
+  /// whole-table hash.
+  void enable_key_partitions(std::uint32_t partitions);
+  std::uint32_t key_partitions() const { return partitions_; }
+  /// Bucket the key lives in under the current partitioning.
+  std::size_t bucket_index(std::uint64_t key) const;
+  /// [first, last) bucket range job `job` is confined to. The whole table
+  /// when partitioning is off.
+  std::pair<std::size_t, std::size_t> partition_range(std::uint8_t job) const;
+
   std::size_t size() const { return size_; }
   std::size_t bucket_count() const { return buckets_.size(); }
   std::uint64_t ops_processed() const { return ops_; }
@@ -102,6 +119,7 @@ class HwHashTable {
   Calibration cal_;
   std::vector<std::vector<Record>> buckets_;
   std::size_t size_ = 0;
+  std::uint32_t partitions_ = 0;  // 0 = whole-table hashing
   std::uint32_t generation_ = 0;
   std::uint64_t stale_reclaimed_ = 0;
   sim::Time engine_free_;

@@ -77,6 +77,123 @@ sim::Time Mqss::pmem_write(std::size_t len, XtxnCallback cb) {
 }
 
 // ---------------------------------------------------------------------------
+// MqssTenantScheduler
+
+MqssTenantScheduler::MqssTenantScheduler(sim::Simulator& simulator,
+                                         net::LinkEndpoint& tx, SendFn send,
+                                         std::size_t queue_frames)
+    : sim_(simulator),
+      tx_(tx),
+      send_(std::move(send)),
+      queue_frames_(queue_frames) {
+  if (queue_frames_ == 0) {
+    throw std::invalid_argument("MqssTenantScheduler: zero queue depth");
+  }
+}
+
+MqssTenantScheduler::TenantQueue& MqssTenantScheduler::queue_of(
+    std::uint8_t tenant) {
+  for (auto& q : queues_) {
+    if (q.tenant == tenant) return q;
+  }
+  queues_.push_back(TenantQueue{tenant, 1, 0, {}, 0, 0});
+  return queues_.back();
+}
+
+const MqssTenantScheduler::TenantQueue* MqssTenantScheduler::find_queue(
+    std::uint8_t tenant) const {
+  for (const auto& q : queues_) {
+    if (q.tenant == tenant) return &q;
+  }
+  return nullptr;
+}
+
+void MqssTenantScheduler::set_weight(std::uint8_t tenant,
+                                     std::uint32_t weight) {
+  if (weight == 0) {
+    throw std::invalid_argument("MqssTenantScheduler: zero weight");
+  }
+  queue_of(tenant).weight = weight;
+}
+
+std::uint32_t MqssTenantScheduler::weight(std::uint8_t tenant) const {
+  const TenantQueue* q = find_queue(tenant);
+  return q == nullptr ? 1 : q->weight;
+}
+
+std::uint64_t MqssTenantScheduler::drops(std::uint8_t tenant) const {
+  const TenantQueue* q = find_queue(tenant);
+  return q == nullptr ? 0 : q->drops;
+}
+
+std::uint64_t MqssTenantScheduler::sent(std::uint8_t tenant) const {
+  const TenantQueue* q = find_queue(tenant);
+  return q == nullptr ? 0 : q->sent;
+}
+
+bool MqssTenantScheduler::enqueue(std::uint8_t tenant, net::PacketPtr pkt) {
+  TenantQueue& q = queue_of(tenant);
+  if (q.fifo.size() >= queue_frames_) {
+    ++q.drops;
+    return false;
+  }
+  q.fifo.push_back(std::move(pkt));
+  ++backlog_;
+  if (!armed_) {
+    const sim::Time free = tx_.busy_until();
+    arm(free > sim_.now() ? free : sim_.now());
+  }
+  return true;
+}
+
+void MqssTenantScheduler::arm(sim::Time at) {
+  armed_ = true;
+  sim_.schedule_at(at, [this] {
+    armed_ = false;
+    drain();
+  });
+}
+
+void MqssTenantScheduler::drain() {
+  if (backlog_ == 0) return;
+  const sim::Time free = tx_.busy_until();
+  if (free > sim_.now()) {  // wire grabbed since this event was armed
+    arm(free);
+    return;
+  }
+  // Weighted deficit round robin, one frame per wire-free event: visit
+  // queues in fixed order, crediting weight*quantum per visit; the first
+  // queue whose head fits its deficit transmits.
+  while (true) {
+    TenantQueue& q = queues_[rr_];
+    if (q.fifo.empty()) {
+      q.deficit = 0;  // idle tenants bank no credit
+      rr_ = (rr_ + 1) % queues_.size();
+      continue;
+    }
+    const auto head_bytes =
+        static_cast<std::int64_t>(q.fifo.front()->frame().size());
+    if (q.deficit < head_bytes) {
+      q.deficit += static_cast<std::int64_t>(q.weight) * kQuantumBytes;
+      rr_ = (rr_ + 1) % queues_.size();
+      continue;
+    }
+    q.deficit -= head_bytes;
+    net::PacketPtr pkt = std::move(q.fifo.front());
+    q.fifo.pop_front();
+    ++q.sent;
+    --backlog_;
+    if (q.fifo.empty()) q.deficit = 0;
+    send_(std::move(pkt));  // advances tx_.busy_until() on success
+    break;
+  }
+  if (backlog_ > 0) {
+    const sim::Time free_next = tx_.busy_until();
+    arm(free_next > sim_.now() ? free_next : sim_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Pfe
 
 Pfe::Pfe(sim::Simulator& simulator, const Calibration& cal, Router& router,

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 
+#include "net/link.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -62,6 +63,73 @@ class Mqss {
   telemetry::Counter pmem_bytes_ctr_;
   telemetry::Tracer* tracer_ = nullptr;
   int trace_pid_ = 0;
+};
+
+/// Maps an egress frame to the tenant class it belongs to (0 = the
+/// default / untenanted class). Installed by the jobs layer
+/// (src/jobs/, docs/jobs.md).
+using TenantClassifier = std::function<std::uint8_t(const net::Packet&)>;
+
+/// MQSS per-tenant weighted egress scheduler (paper §2.2's shaped queues,
+/// put to work for multi-tenant isolation — docs/jobs.md).
+///
+/// One instance guards one front-panel port. Each tenant gets its own
+/// FIFO of bounded depth; the scheduler drains them with weighted deficit
+/// round robin, one frame per wire-free event, so a bursting tenant can
+/// delay a competitor by at most one frame plus its own weighted share.
+/// With the scheduler absent (the default), egress is the historical
+/// single FIFO of the attached link.
+class MqssTenantScheduler {
+ public:
+  using SendFn = std::function<void(net::PacketPtr)>;
+
+  /// `tx` is the port's wire (consulted for busy_until()); `send` performs
+  /// the actual transmit (the router's egress path, so kill semantics and
+  /// tx counters apply at true send time, not enqueue time).
+  MqssTenantScheduler(sim::Simulator& simulator, net::LinkEndpoint& tx,
+                      SendFn send, std::size_t queue_frames = 256);
+
+  /// Relative drain weight (>=1; default 1). Creates the tenant's queue,
+  /// fixing its round-robin position — register tenants in admission
+  /// order for deterministic schedules.
+  void set_weight(std::uint8_t tenant, std::uint32_t weight);
+  std::uint32_t weight(std::uint8_t tenant) const;
+
+  /// Queues a frame on `tenant`'s FIFO. False (frame dropped, counted
+  /// against the tenant) when that FIFO is full.
+  bool enqueue(std::uint8_t tenant, net::PacketPtr pkt);
+
+  std::uint64_t drops(std::uint8_t tenant) const;
+  std::uint64_t sent(std::uint8_t tenant) const;
+  std::size_t backlog() const { return backlog_; }
+
+ private:
+  struct TenantQueue {
+    std::uint8_t tenant;
+    std::uint32_t weight = 1;
+    std::int64_t deficit = 0;
+    std::deque<net::PacketPtr> fifo;
+    std::uint64_t drops = 0;
+    std::uint64_t sent = 0;
+  };
+
+  // One DRR quantum per weight unit: enough for a full-size frame so a
+  // weight-1 tenant still progresses one frame per round.
+  static constexpr std::int64_t kQuantumBytes = 2048;
+
+  TenantQueue& queue_of(std::uint8_t tenant);
+  const TenantQueue* find_queue(std::uint8_t tenant) const;
+  void arm(sim::Time at);
+  void drain();
+
+  sim::Simulator& sim_;
+  net::LinkEndpoint& tx_;
+  SendFn send_;
+  std::size_t queue_frames_;
+  std::vector<TenantQueue> queues_;  // round-robin order = creation order
+  std::size_t rr_ = 0;
+  std::size_t backlog_ = 0;
+  bool armed_ = false;
 };
 
 class Pfe {

@@ -247,7 +247,84 @@ void Router::egress_enqueue(int src_pfe, int global_port, net::PacketPtr pkt,
   }
 }
 
+void Router::enable_tenant_qos(TenantClassifier classifier,
+                               std::size_t queue_frames) {
+  if (!classifier) {
+    throw std::invalid_argument("Router::enable_tenant_qos: null classifier");
+  }
+  tenant_qos_ = true;
+  tenant_classifier_ = std::move(classifier);
+  qos_queue_frames_ = queue_frames;
+  port_scheds_.resize(static_cast<std::size_t>(num_ports()));
+}
+
+void Router::set_tenant_weight(std::uint8_t tenant, std::uint32_t weight) {
+  if (weight == 0) {
+    throw std::invalid_argument("Router::set_tenant_weight: zero weight");
+  }
+  bool found = false;
+  for (auto& [t, w] : tenant_weights_) {
+    if (t == tenant) {
+      w = weight;
+      found = true;
+      break;
+    }
+  }
+  if (!found) tenant_weights_.emplace_back(tenant, weight);
+  for (auto& sched : port_scheds_) {
+    if (sched) sched->set_weight(tenant, weight);
+  }
+}
+
+std::uint64_t Router::tenant_qos_drops(std::uint8_t tenant) const {
+  std::uint64_t n = 0;
+  for (const auto& sched : port_scheds_) {
+    if (sched) n += sched->drops(tenant);
+  }
+  return n;
+}
+
+std::uint64_t Router::tenant_qos_sent(std::uint8_t tenant) const {
+  std::uint64_t n = 0;
+  for (const auto& sched : port_scheds_) {
+    if (sched) n += sched->sent(tenant);
+  }
+  return n;
+}
+
+MqssTenantScheduler* Router::scheduler_for_port(int global_port) {
+  const auto p = static_cast<std::size_t>(global_port);
+  if (port_scheds_[p]) return port_scheds_[p].get();
+  auto* tx = port_tx_[p];
+  if (tx == nullptr) return nullptr;  // sinks are zero-time: no contention
+  port_scheds_[p] = std::make_unique<MqssTenantScheduler>(
+      sim_, *tx,
+      [this, global_port](net::PacketPtr pkt) {
+        port_out_now(global_port, std::move(pkt));
+      },
+      qos_queue_frames_);
+  for (const auto& [t, w] : tenant_weights_) {
+    port_scheds_[p]->set_weight(t, w);
+  }
+  return port_scheds_[p].get();
+}
+
 void Router::port_out(int global_port, net::PacketPtr pkt) {
+  if (tenant_qos_) {
+    MqssTenantScheduler* sched = scheduler_for_port(global_port);
+    if (sched != nullptr) {
+      const std::uint8_t tenant = tenant_classifier_(*pkt);
+      if (!sched->enqueue(tenant, std::move(pkt))) {
+        ++packets_discarded_;
+        discard_ctr_.inc();
+      }
+      return;
+    }
+  }
+  port_out_now(global_port, std::move(pkt));
+}
+
+void Router::port_out_now(int global_port, net::PacketPtr pkt) {
   if (killed_) {
     // In-flight work (fabric transits, PPE emits) racing the kill instant
     // is dropped at the egress point, like a pulled line card.

@@ -92,6 +92,23 @@ class Router : public net::Node {
   telemetry::Registry& metrics() { return telem_->metrics; }
   telemetry::Tracer& tracer() { return telem_->tracer; }
 
+  // --- Per-tenant egress QoS (MQSS WDRR, src/jobs/, docs/jobs.md) --------
+  /// Installs `classifier` and routes every front-panel egress frame
+  /// through a per-port MqssTenantScheduler (`queue_frames` deep per
+  /// tenant per port). Off by default: egress then stays the historical
+  /// single link FIFO.
+  void enable_tenant_qos(TenantClassifier classifier,
+                         std::size_t queue_frames = 256);
+  bool tenant_qos_enabled() const { return tenant_qos_; }
+  /// Relative WDRR weight for `tenant` on every port (present and
+  /// future). Requires >= 1; call in admission order for deterministic
+  /// round-robin placement.
+  void set_tenant_weight(std::uint8_t tenant, std::uint32_t weight);
+  /// Frames dropped (tenant FIFO full) / sent for `tenant`, summed over
+  /// all ports.
+  std::uint64_t tenant_qos_drops(std::uint8_t tenant) const;
+  std::uint64_t tenant_qos_sent(std::uint8_t tenant) const;
+
   // --- Fault hooks (src/faults/, docs/faults.md) -------------------------
   /// Stalls the whole forwarding plane until `t` (models a PFE
   /// stall-and-resume: microcode reload, control-plane pause). Packets
@@ -130,6 +147,9 @@ class Router : public net::Node {
   void egress_enqueue(int src_pfe, int global_port, net::PacketPtr pkt,
                       const net::MacAddr& dst_mac);
   void port_out(int global_port, net::PacketPtr pkt);
+  /// The pre-QoS egress tail: kill check, tx counters, wire/sink handoff.
+  void port_out_now(int global_port, net::PacketPtr pkt);
+  MqssTenantScheduler* scheduler_for_port(int global_port);
   void resume_from_stall();
 
   sim::Simulator& sim_;
@@ -146,6 +166,14 @@ class Router : public net::Node {
   std::vector<std::unique_ptr<Pfe>> pfes_;
   std::vector<net::LinkEndpoint*> port_tx_;
   std::vector<std::function<void(net::PacketPtr)>> port_sinks_;
+
+  bool tenant_qos_ = false;
+  TenantClassifier tenant_classifier_;
+  std::size_t qos_queue_frames_ = 256;
+  // Lazily created per attached port; weights in registration order so
+  // every scheduler builds the same round-robin sequence.
+  std::vector<std::unique_ptr<MqssTenantScheduler>> port_scheds_;
+  std::vector<std::pair<std::uint8_t, std::uint32_t>> tenant_weights_;
 
   sim::Time stalled_until_;
   struct StalledRx {

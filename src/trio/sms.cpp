@@ -158,6 +158,36 @@ std::uint64_t SharedMemorySystem::alloc_dram(std::size_t bytes,
   return addr;
 }
 
+void SharedMemorySystem::set_tenant_quota(std::uint8_t tenant,
+                                          std::uint64_t bytes) {
+  tenant_accounts_[tenant].quota = bytes;
+}
+
+bool SharedMemorySystem::reserve_tenant_bytes(std::uint8_t tenant,
+                                              std::uint64_t bytes) {
+  TenantAccount& acct = tenant_accounts_[tenant];
+  if (acct.used + bytes > acct.quota) return false;
+  acct.used += bytes;
+  return true;
+}
+
+void SharedMemorySystem::release_tenant_bytes(std::uint8_t tenant,
+                                              std::uint64_t bytes) {
+  TenantAccount& acct = tenant_accounts_[tenant];
+  acct.used = bytes > acct.used ? 0 : acct.used - bytes;
+}
+
+std::uint64_t SharedMemorySystem::tenant_bytes_used(
+    std::uint8_t tenant) const {
+  auto it = tenant_accounts_.find(tenant);
+  return it == tenant_accounts_.end() ? 0 : it->second.used;
+}
+
+std::uint64_t SharedMemorySystem::tenant_quota(std::uint8_t tenant) const {
+  auto it = tenant_accounts_.find(tenant);
+  return it == tenant_accounts_.end() ? ~0ull : it->second.quota;
+}
+
 sim::Duration SharedMemorySystem::tier_latency(std::uint64_t addr,
                                                std::size_t touched_bytes) {
   if (addr < cal_.sram_bytes) return cal_.sram_latency;

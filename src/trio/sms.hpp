@@ -69,6 +69,23 @@ class SharedMemorySystem {
   std::uint64_t sram_base() const { return 0; }
   std::uint64_t dram_base() const { return cal_.sram_bytes; }
 
+  // --- Per-tenant byte accounting (multi-tenant admission, docs/jobs.md) --
+  // The SMS is the scarce shared resource tenants compete for: every slab,
+  // job record and working buffer a tenant's aggregation state occupies is
+  // charged against its account. Quotas are enforced at *reservation* time
+  // (the JobManager reserves a tenant's worst-case footprint at admission),
+  // never mid-run, so an admitted job can always finish.
+  /// Sets tenant's byte quota (default: unlimited). Lowering a quota below
+  /// current usage only affects future reservations.
+  void set_tenant_quota(std::uint8_t tenant, std::uint64_t bytes);
+  /// Charges `bytes` to the tenant; false (and no charge) if it would
+  /// exceed the tenant's quota.
+  bool reserve_tenant_bytes(std::uint8_t tenant, std::uint64_t bytes);
+  /// Returns `bytes` to the tenant's account (clamped at zero).
+  void release_tenant_bytes(std::uint8_t tenant, std::uint64_t bytes);
+  std::uint64_t tenant_bytes_used(std::uint8_t tenant) const;
+  std::uint64_t tenant_quota(std::uint8_t tenant) const;
+
   // --- Introspection ------------------------------------------------------
   std::uint64_t ops_processed() const { return ops_; }
   std::uint64_t add32_ops() const { return add32_ops_; }
@@ -117,10 +134,16 @@ class SharedMemorySystem {
   std::vector<std::uint8_t>& page(std::uint64_t addr);
   const std::vector<std::uint8_t>* page_if_present(std::uint64_t addr) const;
 
+  struct TenantAccount {
+    std::uint64_t quota = ~0ull;  // unlimited until set
+    std::uint64_t used = 0;
+  };
+
   sim::Simulator& sim_;
   Calibration cal_;
   std::vector<Bank> banks_;
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+  std::unordered_map<std::uint8_t, TenantAccount> tenant_accounts_;
 
   // Direct-mapped model of the off-chip DRAM's on-chip cache: line address
   // -> tag, used only to pick between cache and DRAM latency.

@@ -66,4 +66,24 @@ inline net::Ipv4Addr result_group() {
   return net::Ipv4Addr::from_octets(239, 0, 0, 1);
 }
 
+// --- Multi-tenant port plan (src/jobs/, docs/jobs.md) ----------------------
+// All aggregation traffic shares UDP destination port 12000 and is told
+// apart by the Trio-ML header's job id; the *source* port plan below keys
+// the remaining tenant traffic so the egress classifier
+// (wire_format.hpp's tenant_of_frame) never needs per-flow state.
+
+/// UDP source port a tenant's aggregation workers send from: distinct per
+/// tenant so captures and per-flow counters separate cleanly.
+inline std::uint16_t worker_udp_src_port(std::uint8_t tenant) {
+  return static_cast<std::uint16_t>(20000 + tenant);
+}
+
+/// Base of the best-effort (non-aggregation) tenant port range:
+/// 30000 + t is tenant t's background traffic.
+constexpr std::uint16_t kBestEffortPortBase = 30000;
+
+inline std::uint16_t best_effort_src_port(std::uint8_t tenant) {
+  return static_cast<std::uint16_t>(kBestEffortPortBase + tenant);
+}
+
 }  // namespace trioml

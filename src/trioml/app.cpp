@@ -1,5 +1,6 @@
 #include "trioml/app.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "trio/router.hpp"
@@ -70,6 +71,21 @@ void TrioMlApp::configure_job(const JobSetup& setup) {
 void TrioMlApp::remove_job(std::uint8_t job_id) {
   pfe_.hash_table().erase(job_key(job_id));
   job_records_.erase(job_id);
+}
+
+std::vector<std::uint8_t> TrioMlApp::configured_jobs() const {
+  std::vector<std::uint8_t> jobs;
+  jobs.reserve(job_records_.size());
+  for (const auto& [job, addr] : job_records_) jobs.push_back(job);
+  std::sort(jobs.begin(), jobs.end());
+  return jobs;
+}
+
+std::uint64_t TrioMlApp::job_worst_case_bytes(const JobSetup& setup) {
+  const std::uint64_t control = JobRecord::kSize + 16 + 8;
+  const std::uint64_t per_block =
+      kBlockSlabBytes + std::uint64_t(kMaxGradsPerPacket) * 4;
+  return control + std::uint64_t(setup.block_cnt_max & 0xfff) * per_block;
 }
 
 std::size_t TrioMlApp::drop_active_blocks(std::uint8_t job_id) {

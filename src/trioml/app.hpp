@@ -51,6 +51,19 @@ class TrioMlApp {
   /// Removes the job (records of in-flight blocks are left to age out).
   void remove_job(std::uint8_t job_id);
 
+  /// Job ids currently configured on this app, ascending. The failover
+  /// path iterates this to re-home *every* tenant (docs/jobs.md).
+  std::vector<std::uint8_t> configured_jobs() const;
+  bool has_job(std::uint8_t job_id) const {
+    return job_records_.count(job_id) != 0;
+  }
+
+  /// Worst-case SMS bytes the job can occupy on one PFE: its control
+  /// records plus block_cnt_max full slabs. The JobManager charges this
+  /// against the tenant's SMS quota at admission, so an admitted job can
+  /// never be starved of memory mid-run (docs/jobs.md).
+  static std::uint64_t job_worst_case_bytes(const JobSetup& setup);
+
   /// Fault hook (src/faults/, docs/faults.md): models loss of the
   /// aggregation-bucket state — every active block record of `job_id` is
   /// dropped from the hash table, its slab freed (and the buffer zeroed,

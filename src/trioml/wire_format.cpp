@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "net/headers.hpp"
+#include "trioml/addressing.hpp"
+
 namespace trioml {
 
 void TrioMlHeader::write(net::Buffer& buf, std::size_t off) const {
@@ -77,6 +80,24 @@ std::int32_t quantize(float value, float scale) {
 
 float dequantize(std::int32_t value, float scale) {
   return static_cast<float>(value) / scale;
+}
+
+std::uint8_t tenant_of_frame(const net::Buffer& frame) {
+  if (frame.size() < net::UdpFrameLayout::kPayloadOff) return 0;
+  const auto eth = net::EthernetHeader::parse(frame, 0);
+  if (eth.ether_type != net::EthernetHeader::kEtherTypeIpv4) return 0;
+  const auto ip = net::Ipv4Header::parse(frame, net::UdpFrameLayout::kIpOff);
+  if (ip.protocol != net::Ipv4Header::kProtoUdp) return 0;
+  const auto udp = net::UdpHeader::parse(frame, net::UdpFrameLayout::kUdpOff);
+  if (udp.dst_port == kTrioMlUdpPort &&
+      frame.size() >= kTrioMlHdrOff + TrioMlHeader::kSize) {
+    return frame.u8(kTrioMlHdrOff);  // TrioMlHeader.job_id
+  }
+  if (udp.src_port >= kBestEffortPortBase &&
+      udp.src_port < kBestEffortPortBase + 256) {
+    return static_cast<std::uint8_t>(udp.src_port - kBestEffortPortBase);
+  }
+  return 0;
 }
 
 }  // namespace trioml

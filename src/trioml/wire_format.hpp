@@ -61,4 +61,11 @@ void write_gradient(net::Buffer& frame, std::size_t i, std::uint32_t v);
 std::int32_t quantize(float value, float scale = 1 << 16);
 float dequantize(std::int32_t value, float scale = 1 << 16);
 
+/// Stateless tenant classification for the MQSS egress scheduler
+/// (trio::TenantClassifier): the Trio-ML job id for aggregation frames
+/// (UDP dst port 12000), the port-plan tenant for best-effort frames
+/// (UDP src port 30000+t — addressing.hpp), 0 (default class) for
+/// everything else including non-IP and malformed frames.
+std::uint8_t tenant_of_frame(const net::Buffer& frame);
+
 }  // namespace trioml

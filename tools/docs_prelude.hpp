@@ -19,6 +19,8 @@
 #include "cluster/cluster.hpp"
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
+#include "jobs/job_manager.hpp"
+#include "jobs/tenant.hpp"
 #include "microcode/compiler.hpp"
 #include "microcode/interpreter.hpp"
 #include "recovery/recovery.hpp"

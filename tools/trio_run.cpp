@@ -5,6 +5,7 @@
 //            [--counter WORD_ADDR] ... [--metrics-out FILE]
 //            [--trace-out FILE]
 //   trio-run --cluster RxW [--blocks N] [--faults FILE] [--deadline DUR]
+//            [--jobs FILE] [--no-isolation]
 //            [--metrics-out FILE] [--trace-out FILE]
 //
 // Traffic mix tokens: "ip" (clean IPv4/UDP), "arp" (non-IP EtherType),
@@ -16,6 +17,14 @@
 // R-rack, W-workers-per-rack cluster (src/cluster/, docs/cluster.md),
 // runs one Trio-ML allreduce through its two-level aggregation tree and
 // reports per-tier statistics.
+//
+// --jobs FILE (cluster mode) loads a multi-tenant spec in the jobs DSL
+// (docs/jobs.md): each `tenant <id> <allreduce|besteffort> [key=value...]`
+// line becomes one tenant admitted by a jobs::JobManager, per-tenant
+// fabric isolation (hash-table key partitions + MQSS weighted queues) is
+// enabled unless --no-isolation is given, and every tenant runs
+// concurrently. Malformed specs are rejected with the offending line and
+// column, like --faults.
 //
 // --faults FILE (cluster mode) loads a chaos schedule in the faults DSL
 // (docs/faults.md), arms it on the cluster, hardens every worker's
@@ -29,6 +38,7 @@
 // one row per PPE thread plus the hardware blocks (docs/telemetry.md).
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,6 +47,8 @@
 #include "cluster/cluster.hpp"
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
+#include "jobs/job_manager.hpp"
+#include "jobs/tenant.hpp"
 #include "microcode/compiler.hpp"
 #include "microcode/error.hpp"
 #include "microcode/interpreter.hpp"
@@ -52,12 +64,14 @@ int usage() {
                "[--metrics-out FILE] [--trace-out FILE]\n"
                "       trio-run --cluster RxW [--blocks N] "
                "[--faults FILE] [--deadline DUR] "
+               "[--jobs FILE] [--no-isolation] "
                "[--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
 
 int run_cluster(const std::string& topo, int blocks,
                 const std::string& faults_path, const std::string& deadline_s,
+                const std::string& jobs_path, bool isolation,
                 const std::string& metrics_out, const std::string& trace_out) {
   const std::size_t x = topo.find('x');
   const int racks = x == std::string::npos ? 0 : std::atoi(topo.c_str());
@@ -79,6 +93,16 @@ int run_cluster(const std::string& topo, int blocks,
     return 1;
   }
 
+  jobs::JobsSpec jobs_spec;
+  if (!jobs_path.empty()) {
+    try {
+      jobs_spec = jobs::JobsSpec::load(jobs_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trio-run: %s\n", e.what());
+      return 1;
+    }
+  }
+
   faults::FaultSchedule schedule;
   if (!faults_path.empty()) {
     try {
@@ -96,14 +120,26 @@ int run_cluster(const std::string& topo, int blocks,
       std::fprintf(stderr, "trio-run: %s\n", e.what());
       return 1;
     }
-  } else if (!schedule.empty()) {
+  } else if (!schedule.empty() || !jobs_spec.empty()) {
     deadline = sim::Time() + sim::Duration::millis(200);
   }
 
   cluster::Cluster cl(spec);
+  std::unique_ptr<jobs::JobManager> mgr;
+  if (!jobs_spec.empty()) {
+    mgr = std::make_unique<jobs::JobManager>(cl);
+    if (isolation) mgr->enable_isolation();
+    const jobs::AdmissionResult adm = mgr->admit_all(jobs_spec);
+    if (!adm.admitted) {
+      std::fprintf(stderr, "trio-run: admission rejected: %s\n",
+                   adm.reason.c_str());
+      return 1;
+    }
+  }
   faults::FaultInjector injector(cl.simulator(), &telem);
   if (!schedule.empty()) {
     injector.bind(cl);
+    if (mgr) mgr->bind_fault_injector(injector);
     try {
       injector.arm(schedule);
     } catch (const std::exception& e) {
@@ -117,7 +153,79 @@ int run_cluster(const std::string& topo, int blocks,
                                               /*retry_budget=*/10,
                                               sim::Duration::millis(20));
     }
+    if (mgr) {
+      for (jobs::TenantId t : mgr->admitted()) {
+        for (int w = 0; w < spec.total_workers(); ++w) {
+          if (trioml::TrioMlWorker* worker = mgr->tenant_worker(t, w)) {
+            worker->enable_hardened_retransmit(sim::Duration::millis(5),
+                                               /*retry_budget=*/10,
+                                               sim::Duration::millis(20));
+          }
+        }
+      }
+    }
     cl.start_straggler_detection(/*threads=*/10, sim::Duration::millis(1));
+  }
+
+  if (mgr) {
+    cl.sample_trace_counters();
+    const jobs::MultiTenantRun run = mgr->run(/*gen_id=*/1, deadline);
+    if (!schedule.empty()) cl.stop_straggler_detection();
+    cl.sample_trace_counters();
+
+    std::printf("%d-rack x %d-worker cluster, %zu tenant(s), isolation %s\n",
+                racks, wpr, run.tenants.size(), isolation ? "on" : "off");
+    bool all_finished = true;
+    for (const jobs::TenantRun& tr : run.tenants) {
+      if (tr.kind == jobs::TenantKind::kAllreduce) {
+        int crashed = 0;
+        for (int w = 0; w < spec.total_workers(); ++w) {
+          const trioml::TrioMlWorker* worker = mgr->tenant_worker(tr.id, w);
+          if (worker != nullptr && worker->crashes() > 0) ++crashed;
+        }
+        std::printf(
+            "  tenant %u %s: %d/%d workers finished in %.2f us, "
+            "digest %016llx\n",
+            unsigned(tr.id), jobs::kind_name(tr.kind), tr.finished,
+            spec.total_workers(), tr.duration_us(),
+            static_cast<unsigned long long>(tr.digest()));
+        // Crashed workers are expected casualties, as in the faulted
+        // single-job path; every survivor must finish.
+        if (tr.finished < spec.total_workers() - crashed) all_finished = false;
+      } else {
+        const jobs::TenantSpec* ts = mgr->tenant_spec(tr.id);
+        std::printf("  tenant %u %s: load %.2f background traffic\n",
+                    unsigned(tr.id), jobs::kind_name(tr.kind),
+                    ts != nullptr ? ts->load : 0.0);
+      }
+    }
+    if (!schedule.empty()) {
+      std::printf("  faults: %llu injected, fault log digest %016llx\n",
+                  static_cast<unsigned long long>(injector.faults_injected()),
+                  static_cast<unsigned long long>(injector.digest()));
+      for (const auto& entry : injector.log()) {
+        std::printf("    [%s] %s\n", entry.at.to_string().c_str(),
+                    entry.what.c_str());
+      }
+    }
+    if (!metrics_out.empty()) {
+      if (!telem.metrics.write_json_file(metrics_out, cl.simulator().now())) {
+        std::fprintf(stderr, "trio-run: cannot write %s\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      std::printf("  metrics: %s (%zu metrics)\n", metrics_out.c_str(),
+                  telem.metrics.metric_count());
+    }
+    if (!trace_out.empty()) {
+      if (!telem.tracer.write_json_file(trace_out)) {
+        std::fprintf(stderr, "trio-run: cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      std::printf("  trace: %s (%zu events)\n", trace_out.c_str(),
+                  telem.tracer.event_count());
+    }
+    return all_finished ? 0 : 1;
   }
 
   const auto grads = cluster::patterned_gradients(
@@ -211,6 +319,8 @@ int main(int argc, char** argv) {
   std::string cluster_topo;
   std::string faults_path;
   std::string deadline_s;
+  std::string jobs_path;
+  bool isolation = true;
   int blocks = 8;
   int packets = 1000;
   std::vector<std::string> mix = {"ip", "arp", "opts"};
@@ -235,6 +345,12 @@ int main(int argc, char** argv) {
       deadline_s = argv[++i];
     } else if (arg.rfind("--deadline=", 0) == 0) {
       deadline_s = arg.substr(std::string("--deadline=").size());
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs_path = argv[++i];
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs_path = arg.substr(std::string("--jobs=").size());
+    } else if (arg == "--no-isolation") {
+      isolation = false;
     } else if (arg == "--mix" && i + 1 < argc) {
       mix.clear();
       std::stringstream ss(argv[++i]);
@@ -258,7 +374,7 @@ int main(int argc, char** argv) {
   }
   if (!cluster_topo.empty()) {
     return run_cluster(cluster_topo, blocks, faults_path, deadline_s,
-                       metrics_out, trace_out);
+                       jobs_path, isolation, metrics_out, trace_out);
   }
   if (path.empty() || packets <= 0 || mix.empty()) return usage();
 
