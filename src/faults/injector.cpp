@@ -249,6 +249,16 @@ void FaultInjector::execute(const FaultEvent& event) {
         trioml::TrioMlWorker* w = topo_.worker(i);
         std::string label = "worker:" + std::to_string(i);
         if (event.tenant >= 0) {
+          // Non-allreduce tenants (netrpc clients/servers) are tried
+          // first; a handled event skips the worker path entirely.
+          const bool restart = event.kind == FaultKind::kHostRestart;
+          if (tenant_host_handler_ &&
+              tenant_host_handler_(event.tenant, i, restart)) {
+            record((restart ? "restart " : "crash ") + label +
+                       " tenant=" + std::to_string(event.tenant),
+                   restart);
+            return;
+          }
           if (!tenant_resolver_) {
             throw std::logic_error(
                 "FaultInjector: tenant-qualified fault without a "
@@ -349,6 +359,20 @@ void FaultInjector::execute(const FaultEvent& event) {
       } else {
         for (int i = 0; i < topo_.leaf_aggs; ++i) {
           apply(*topo_.leaf_agg(i), "leaf:" + std::to_string(i));
+        }
+      }
+      // A netrpc tenant's "buckets" are its hot-key cache entries, which
+      // live on leaf 0's PFE only (docs/netrpc.md).
+      if (t.kind == TargetKind::kLeafAgg && cache_dropper_ &&
+          (t.index == Target::kAll || t.index == 0)) {
+        const std::size_t n = cache_dropper_(event.job_id);
+        if (n > 0) {
+          buckets_dropped_ += n;
+          buckets_ctr_.inc(n);
+          record("drop-cache leaf:0 tenant=" +
+                     std::to_string(int(event.job_id)) + " (" +
+                     std::to_string(n) + " entries)",
+                 false);
         }
       }
       break;

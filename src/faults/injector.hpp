@@ -63,6 +63,23 @@ class FaultInjector {
     tenant_resolver_ = std::move(resolver);
   }
 
+  /// Tried *before* the worker resolver for `tenant=` qualified
+  /// crash/restart: non-allreduce tenant endpoints on a host (netrpc
+  /// clients/servers, docs/netrpc.md). Return true when the event was
+  /// handled; false falls through to the worker resolver.
+  void set_tenant_host_handler(
+      std::function<bool(int tenant, int host, bool restart)> handler) {
+    tenant_host_handler_ = std::move(handler);
+  }
+
+  /// `bucketdrop` against leaf 0 with a netrpc tenant's job id destroys
+  /// that tenant's hot-key cache entries (its aggregation state); returns
+  /// the number of entries dropped, 0 for non-netrpc tenants.
+  void set_cache_dropper(
+      std::function<std::size_t(std::uint8_t tenant)> dropper) {
+    cache_dropper_ = std::move(dropper);
+  }
+
   struct LogEntry {
     sim::Time at;
     std::string what;
@@ -116,6 +133,8 @@ class FaultInjector {
   Topology topo_;
   bool bound_ = false;
   std::function<trioml::TrioMlWorker*(int tenant, int host)> tenant_resolver_;
+  std::function<bool(int tenant, int host, bool restart)> tenant_host_handler_;
+  std::function<std::size_t(std::uint8_t tenant)> cache_dropper_;
 
   std::vector<LogEntry> log_;
   std::uint64_t faults_injected_ = 0;

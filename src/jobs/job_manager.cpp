@@ -21,9 +21,32 @@ void fnv_bytes(std::uint64_t& h, const void* data, std::size_t len) {
   }
 }
 
+void fnv_values(std::uint64_t& h, const std::vector<std::uint32_t>& values) {
+  const std::uint32_t n = std::uint32_t(values.size());
+  fnv_bytes(h, &n, sizeof(n));
+  if (!values.empty()) {
+    fnv_bytes(h, values.data(), values.size() * sizeof(std::uint32_t));
+  }
+}
+
+/// Deterministic PUT payload: depends only on (tenant, key, sequence, i),
+/// so a solo and a co-tenant replay write — and later read back — the
+/// same bytes (bit-identity checks, mirroring tenant_gradients).
+std::vector<std::uint32_t> netrpc_put_values(TenantId id, std::uint64_t key,
+                                             std::uint32_t seq,
+                                             std::uint16_t words) {
+  std::vector<std::uint32_t> out(words);
+  for (std::uint16_t i = 0; i < words; ++i) {
+    out[i] = std::uint32_t(key) * 1000003u + seq * 131u + i * 17u +
+             std::uint32_t(id) * 7u + 1u;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t TenantRun::digest() const {
+  if (kind == TenantKind::kNetRpc) return netrpc.value_digest;
   std::uint64_t h = kFnvBasis;
   for (const auto& res : results) {
     const std::uint32_t n = std::uint32_t(res.grads.size());
@@ -178,11 +201,19 @@ AdmissionResult JobManager::admit(const TenantSpec& spec) {
           wc.expected_sources = cluster_.tree().expected_sources;
           auto worker = std::make_unique<trioml::TrioMlWorker>(
               sim_, wc, cluster_.link(g).a_to_b());
+          if (cluster_.spec().telemetry) {
+            worker->instrument(cluster_.spec().telemetry->metrics,
+                               tenant_scope(spec.id).metric_prefix +
+                                   "worker" + std::to_string(g) + ".");
+          }
           muxes_[std::size_t(g)]->add_endpoint(spec.id, *worker, 0);
           tenant.workers.push_back(std::move(worker));
         }
       }
     }
+  } else if (spec.is_netrpc()) {
+    auto result = admit_netrpc(spec, tenant);
+    if (!result.admitted) return result;
   } else {
     // Best-effort: one paced source per host, addressed up the tree (the
     // spine discards it) so it burns host-link and trunk bandwidth only.
@@ -206,6 +237,129 @@ AdmissionResult JobManager::admit(const TenantSpec& spec) {
   tenants_.emplace(spec.id, std::move(tenant));
   admission_order_.push_back(spec.id);
   if (isolation_) apply_weight(spec.id, spec.weight);
+  return {true, ""};
+}
+
+AdmissionResult JobManager::admit_netrpc(const TenantSpec& spec,
+                                         Tenant& tenant) {
+  // Placement: clients on the first hosts of rack 0, servers on the last —
+  // every request and every response then crosses leaf(0)'s PFE exactly
+  // once, which is where the service's datapath and SMS state live. (Leaf
+  // routers only hold /32 routes for their own rack's hosts, so a service
+  // spanning racks would need spine routes the tree does not install.)
+  const int wpr = cluster_.workers_per_rack();
+  const int hosts_needed = int(spec.rpc_clients) + int(spec.rpc_servers);
+  if (hosts_needed > wpr) {
+    return {false, "tenant " + std::to_string(int(spec.id)) + ": " +
+                       std::to_string(int(spec.rpc_clients)) + " clients + " +
+                       std::to_string(int(spec.rpc_servers)) +
+                       " servers exceed rack 0's " + std::to_string(wpr) +
+                       " hosts"};
+  }
+
+  netrpc::ServiceConfig cfg;
+  cfg.tenant = spec.id;
+  cfg.policy = spec.rpc_policy;
+  cfg.value_words = std::uint8_t(spec.rpc_value_words);
+  cfg.server_cnt = spec.rpc_servers;
+  cfg.client_cnt = spec.rpc_clients;
+  cfg.window = std::uint16_t(spec.rpc_window);
+
+  // Same admission discipline as allreduce: the worst case is reserved
+  // against the tenant's quota before any state is written — but only on
+  // leaf(0)'s SMS, the one PFE hosting the service.
+  trio::SharedMemorySystem& sms = cluster_.leaf(0).pfe(0).sms();
+  const std::uint64_t need = netrpc::NetRpcApp::worst_case_bytes(cfg);
+  if (spec.sms_quota_bytes > 0) {
+    sms.set_tenant_quota(spec.id, spec.sms_quota_bytes);
+  }
+  if (!sms.reserve_tenant_bytes(spec.id, need)) {
+    return {false, "tenant " + std::to_string(int(spec.id)) +
+                       ": worst-case footprint " + std::to_string(need) +
+                       " B exceeds SMS quota " +
+                       std::to_string(spec.sms_quota_bytes) + " B"};
+  }
+  tenant.reserved_bytes = need;
+
+  if (!netrpc_app_) {
+    netrpc_app_ = std::make_unique<netrpc::NetRpcApp>(cluster_.leaf(0).pfe(0));
+    netrpc_app_->install();
+    netrpc_app_->start_aging(netrpc_aging_);
+  }
+
+  const cluster::RackNode& node = cluster_.tree().racks.front();
+  trio::ForwardingTable& fwd = cluster_.leaf(0).forwarding();
+
+  netrpc::NetRpcApp::ServiceSetup setup;
+  setup.config = cfg;
+  setup.service_ip = node.agg_ip;
+  setup.service_mac = trioml::aggregator_mac(0);
+  for (int c = 0; c < int(spec.rpc_clients); ++c) {
+    setup.client_ips.push_back(trioml::worker_ip(0, c));
+    setup.client_nh.push_back(*fwd.lookup(trioml::worker_ip(0, c)));
+  }
+  std::vector<net::Ipv4Addr> server_ips;
+  std::vector<net::MacAddr> server_macs;
+  for (int s = 0; s < int(spec.rpc_servers); ++s) {
+    const int local = wpr - int(spec.rpc_servers) + s;
+    server_ips.push_back(trioml::worker_ip(0, local));
+    server_macs.push_back(trioml::worker_mac(0, local));
+    setup.server_nh.push_back(*fwd.lookup(server_ips.back()));
+  }
+  try {
+    netrpc_app_->configure_service(setup);
+  } catch (const std::exception& e) {
+    sms.release_tenant_bytes(spec.id, need);
+    tenant.reserved_bytes = 0;
+    return {false, "tenant " + std::to_string(int(spec.id)) + ": " + e.what()};
+  }
+
+  telemetry::Telemetry* telem = cluster_.spec().telemetry;
+  const std::string scope = tenant_scope(spec.id).metric_prefix;
+
+  for (int s = 0; s < int(spec.rpc_servers); ++s) {
+    const int g = wpr - int(spec.rpc_servers) + s;  // rack 0: local == global
+    netrpc::RpcServer::Config sc;
+    sc.tenant = spec.id;
+    sc.server_id = std::uint8_t(s);
+    sc.ip = server_ips[std::size_t(s)];
+    sc.mac = server_macs[std::size_t(s)];
+    sc.value_words = spec.rpc_value_words;
+    auto server = std::make_unique<netrpc::RpcServer>(
+        sim_, sc, cluster_.link(g).a_to_b());
+    // Seed the hot keys on every replica so first-touch GETs hit real
+    // values regardless of which replica is a key's home.
+    for (std::uint32_t k = 0; k < spec.rpc_hot_keys; ++k) {
+      server->preload(k, netrpc_put_values(spec.id, k, 0,
+                                           spec.rpc_value_words));
+    }
+    muxes_[std::size_t(g)]->add_endpoint(spec.id, *server, 0);
+    tenant.server_hosts.push_back(g);
+    tenant.rpc_servers.push_back(std::move(server));
+  }
+
+  for (int c = 0; c < int(spec.rpc_clients); ++c) {
+    netrpc::RpcClient::Config cc;
+    cc.tenant = spec.id;
+    cc.client_id = std::uint8_t(c);
+    cc.ip = trioml::worker_ip(0, c);
+    cc.mac = trioml::worker_mac(0, c);
+    cc.server_ips = server_ips;
+    cc.server_macs = server_macs;
+    cc.policy = spec.rpc_policy;
+    cc.value_words = spec.rpc_value_words;
+    cc.window = spec.rpc_window;
+    cc.retransmit = true;
+    auto client = std::make_unique<netrpc::RpcClient>(
+        sim_, cc, cluster_.link(c).a_to_b());
+    if (telem) {
+      client->instrument(telem->metrics,
+                         scope + "client" + std::to_string(c) + ".");
+    }
+    muxes_[std::size_t(c)]->add_endpoint(spec.id, *client, 0);
+    tenant.client_hosts.push_back(c);
+    tenant.rpc_clients.push_back(std::move(client));
+  }
   return {true, ""};
 }
 
@@ -268,9 +422,51 @@ trioml::TrioMlWorker* JobManager::tenant_worker(int tenant, int host) {
   return it->second.workers[std::size_t(host)].get();
 }
 
+netrpc::RpcServer* JobManager::tenant_rpc_server(int tenant, int host) {
+  if (tenant < 0 || tenant > 255) return nullptr;
+  auto it = tenants_.find(TenantId(tenant));
+  if (it == tenants_.end() || it->second.torn_down) return nullptr;
+  const Tenant& t = it->second;
+  for (std::size_t i = 0; i < t.server_hosts.size(); ++i) {
+    if (t.server_hosts[i] == host) return t.rpc_servers[i].get();
+  }
+  return nullptr;
+}
+
+netrpc::RpcClient* JobManager::tenant_rpc_client(int tenant, int host) {
+  if (tenant < 0 || tenant > 255) return nullptr;
+  auto it = tenants_.find(TenantId(tenant));
+  if (it == tenants_.end() || it->second.torn_down) return nullptr;
+  const Tenant& t = it->second;
+  for (std::size_t i = 0; i < t.client_hosts.size(); ++i) {
+    if (t.client_hosts[i] == host) return t.rpc_clients[i].get();
+  }
+  return nullptr;
+}
+
 void JobManager::bind_fault_injector(faults::FaultInjector& injector) {
   injector.set_tenant_worker_resolver(
       [this](int tenant, int host) { return tenant_worker(tenant, host); });
+  // NetRPC tenants share the same `tenant=` crash/restart syntax; their
+  // endpoints are tried first (a host carries at most one endpoint per
+  // tenant, so there is no ambiguity with allreduce workers).
+  injector.set_tenant_host_handler([this](int tenant, int host, bool restart) {
+    if (auto* c = tenant_rpc_client(tenant, host)) {
+      restart ? c->restart() : c->crash();
+      return true;
+    }
+    if (auto* s = tenant_rpc_server(tenant, host)) {
+      restart ? s->restart() : s->crash();
+      return true;
+    }
+    return false;
+  });
+  // kBucketDrop aimed at a netrpc tenant destroys its hot-key cache
+  // presence entries instead of (nonexistent) aggregation blocks.
+  injector.set_cache_dropper([this](std::uint8_t tenant) -> std::size_t {
+    if (!netrpc_app_ || !netrpc_app_->has_service(tenant)) return 0;
+    return netrpc_app_->drop_cache_entries(tenant);
+  });
 }
 
 MultiTenantRun JobManager::run(std::uint16_t gen_id, sim::Time deadline) {
@@ -290,13 +486,19 @@ MultiTenantRun JobManager::run(std::uint16_t gen_id, sim::Time deadline) {
     if (tenant.spec.is_allreduce()) {
       tr.results.resize(std::size_t(workers));
       remaining += workers;
+    } else if (tenant.spec.is_netrpc()) {
+      remaining += int(tenant.spec.rpc_clients);
     }
     run.tenants.push_back(std::move(tr));
   }
 
-  // Start every allreduce after run.tenants is final (the completion
+  // Start every tenant after run.tenants is final (the completion
   // callbacks hold references into it).
   for (auto& tr : run.tenants) {
+    if (tr.kind == TenantKind::kNetRpc) {
+      start_netrpc_tenant(tr, tenants_.at(tr.id), remaining);
+      continue;
+    }
     if (tr.kind != TenantKind::kAllreduce) continue;
     const Tenant& tenant = tenants_.at(tr.id);
     auto grads = tenant_gradients(tr.id, workers, tenant.spec.grads);
@@ -330,12 +532,94 @@ MultiTenantRun JobManager::run(std::uint16_t gen_id, sim::Time deadline) {
     for (auto& source : tenants_.at(id).sources) source->stop();
   }
   for (auto& tr : run.tenants) {
-    if (tr.kind == TenantKind::kAllreduce && tr.finished < workers) {
-      tr.finish = sim_.now();
-    }
+    const bool incomplete =
+        (tr.kind == TenantKind::kAllreduce && tr.finished < workers) ||
+        (tr.kind == TenantKind::kNetRpc &&
+         tr.finished < int(tenants_.at(tr.id).spec.rpc_clients));
+    if (incomplete) tr.finish = sim_.now();
   }
   run.finish = sim_.now();
   return run;
+}
+
+void JobManager::start_netrpc_tenant(TenantRun& tr, Tenant& tenant,
+                                     int& remaining) {
+  const TenantSpec& spec = tenant.spec;
+  // Closed-loop per client: PUTs (seed + cache invalidation), then GETs
+  // over the hot keys (the cache-hit phase), then `calls` windowed
+  // fan-out RPCs. Every completed op folds its returned values into the
+  // tenant's digest in completion order.
+  for (auto& client_ptr : tenant.rpc_clients) {
+    netrpc::RpcClient* client = client_ptr.get();
+    struct Drive {
+      std::uint32_t put_i = 0, get_i = 0, call_i = 0, inflight = 0;
+      std::function<void()> pump;  // cleared at finish (breaks the cycle)
+    };
+    auto d = std::make_shared<Drive>();
+    const std::uint32_t puts = spec.rpc_puts;
+    const std::uint32_t gets = spec.rpc_gets;
+    const std::uint32_t calls = spec.rpc_calls;
+    const std::uint32_t hot = spec.rpc_hot_keys;
+    const std::uint16_t words = spec.rpc_value_words;
+    const TenantId id = spec.id;
+    d->pump = [this, &tr, &remaining, client, d, puts, gets, calls, hot,
+               words, id] {
+      if (d->put_i < puts) {
+        const std::uint32_t seq = d->put_i++;
+        const std::uint64_t key = seq % hot;
+        client->put(key, netrpc_put_values(id, key, seq + 1, words),
+                    [this, &tr, d, key](netrpc::PutResult) {
+                      ++tr.netrpc.puts;
+                      fnv_bytes(tr.netrpc.value_digest, &key, sizeof(key));
+                      d->pump();
+                    });
+        return;
+      }
+      if (d->get_i < gets) {
+        const std::uint64_t key = d->get_i++ % hot;
+        client->get(key, [this, &tr, d](netrpc::GetResult res) {
+          ++tr.netrpc.gets;
+          if (res.cached) {
+            ++tr.netrpc.cached_gets;
+            tr.netrpc.get_hit_latency_us.add(res.latency.us());
+          } else {
+            tr.netrpc.get_miss_latency_us.add(res.latency.us());
+          }
+          fnv_values(tr.netrpc.value_digest, res.values);
+          d->pump();
+        });
+        return;
+      }
+      while (d->call_i < calls && client->can_call()) {
+        const std::uint32_t seq = d->call_i++;
+        ++d->inflight;
+        client->call(netrpc_put_values(id, 0x1000 + seq % 16, seq, words),
+                     [this, &tr, d](netrpc::CallResult res) {
+                       --d->inflight;
+                       ++tr.netrpc.calls;
+                       if (res.degraded) ++tr.netrpc.degraded;
+                       tr.netrpc.call_latency_us.add(res.latency.us());
+                       const std::uint8_t meta[2] = {
+                           res.server_cnt,
+                           std::uint8_t(res.degraded ? 1 : 0)};
+                       fnv_bytes(tr.netrpc.value_digest, meta, sizeof(meta));
+                       fnv_values(tr.netrpc.value_digest, res.values);
+                       d->pump();
+                     });
+      }
+      if (d->call_i >= calls && d->inflight == 0) {
+        ++tr.finished;
+        tr.finish = sim_.now();
+        --remaining;
+        // Move the closure out before destroying it: `pump` IS the
+        // currently-executing lambda, so it must stay alive to the end
+        // of this scope while the shared cycle is broken.
+        auto self = std::move(d->pump);
+        return;
+      }
+    };
+    d->pump();
+  }
 }
 
 void JobManager::teardown(TenantId id) {
@@ -353,6 +637,12 @@ void JobManager::teardown(TenantId id) {
     for (auto* s : aggregator_sms()) {
       s->release_tenant_bytes(id, tenant.reserved_bytes);
     }
+  } else if (tenant.spec.is_netrpc()) {
+    for (auto& c : tenant.rpc_clients) c->crash();
+    for (auto& s : tenant.rpc_servers) s->crash();
+    if (netrpc_app_) netrpc_app_->remove_service(id);
+    cluster_.leaf(0).pfe(0).sms().release_tenant_bytes(id,
+                                                      tenant.reserved_bytes);
   } else {
     for (auto& source : tenant.sources) source->stop();
   }

@@ -29,6 +29,8 @@
 #include "jobs/best_effort.hpp"
 #include "jobs/host_mux.hpp"
 #include "jobs/tenant.hpp"
+#include "netrpc/app.hpp"
+#include "netrpc/host.hpp"
 
 namespace faults {
 class FaultInjector;
@@ -41,21 +43,39 @@ struct AdmissionResult {
   std::string reason;  // populated on rejection
 };
 
+/// A NetRPC tenant's workload outcome (closed-loop driver per client).
+struct NetRpcRun {
+  std::uint64_t calls = 0;          // fan-out RPCs completed
+  std::uint64_t degraded = 0;       // completed partial by the aging scan
+  std::uint64_t gets = 0;
+  std::uint64_t cached_gets = 0;    // answered by the PFE's hot-key cache
+  std::uint64_t puts = 0;
+  /// FNV-1a over every completed op's merged/returned values in
+  /// completion order — the netrpc golden digest.
+  std::uint64_t value_digest = 14695981039346656037ull;
+  sim::Samples call_latency_us;
+  sim::Samples get_hit_latency_us;
+  sim::Samples get_miss_latency_us;
+};
+
 /// One tenant's outcome from JobManager::run().
 struct TenantRun {
   TenantId id = 0;
   TenantKind kind = TenantKind::kAllreduce;
   /// Per-worker results in rack-major global order; empty grads for
   /// workers that did not finish before the deadline. Empty for
-  /// best-effort tenants.
+  /// best-effort and netrpc tenants.
   std::vector<trioml::AllreduceResult> results;
+  /// Populated for netrpc tenants only.
+  NetRpcRun netrpc;
   int finished = 0;
   sim::Time start;
   sim::Time finish;  // last result arrival (or the deadline)
 
   double duration_us() const { return (finish - start).us(); }
-  /// FNV-1a fingerprint over every worker's result gradients, in order —
-  /// the per-tenant golden digest (equal across deterministic replays).
+  /// FNV-1a fingerprint: over every worker's result gradients in order
+  /// for allreduce tenants, over every op's values in completion order
+  /// for netrpc tenants (equal across deterministic replays).
   std::uint64_t digest() const;
 };
 
@@ -109,6 +129,19 @@ class JobManager {
   /// admitted.
   trioml::TrioMlWorker* tenant_worker(int tenant, int host);
 
+  // --- NetRPC tenants (src/netrpc/, docs/netrpc.md) ----------------------
+  /// The NetRpcApp on rack 0's leaf PFE — created by the first netrpc
+  /// admission (clients occupy the first hosts, so every request and
+  /// every response crosses that PFE exactly once). Null before then.
+  netrpc::NetRpcApp* netrpc_app() { return netrpc_app_.get(); }
+  /// Tenant `tenant`'s RPC server / client on host `host`; null when the
+  /// tenant has no such endpoint there.
+  netrpc::RpcServer* tenant_rpc_server(int tenant, int host);
+  netrpc::RpcClient* tenant_rpc_client(int tenant, int host);
+  /// Aging period of the netrpc pending/cache scans (applied when the
+  /// app is created; call before the first netrpc admission to change).
+  void set_netrpc_aging(sim::Duration period) { netrpc_aging_ = period; }
+
   /// Routes `tenant=` qualified crash/restart fault events to this
   /// manager's per-tenant workers (docs/faults.md).
   void bind_fault_injector(faults::FaultInjector& injector);
@@ -130,6 +163,12 @@ class JobManager {
     /// cluster's built-in workers or is best-effort).
     std::vector<std::unique_ptr<trioml::TrioMlWorker>> workers;
     std::vector<std::unique_ptr<BestEffortSource>> sources;
+    /// NetRPC endpoints: clients on the first hosts, servers on the
+    /// last (indexes in client_hosts/server_hosts).
+    std::vector<std::unique_ptr<netrpc::RpcClient>> rpc_clients;
+    std::vector<std::unique_ptr<netrpc::RpcServer>> rpc_servers;
+    std::vector<int> client_hosts;
+    std::vector<int> server_hosts;
     /// Bytes reserved per aggregating PFE at admission.
     std::uint64_t reserved_bytes = 0;
     bool adopted_builtin = false;
@@ -145,6 +184,8 @@ class JobManager {
   std::vector<trio::SharedMemorySystem*> aggregator_sms();
   std::vector<trio::Router*> routers();
   void apply_weight(TenantId id, std::uint32_t weight);
+  AdmissionResult admit_netrpc(const TenantSpec& spec, Tenant& tenant);
+  void start_netrpc_tenant(TenantRun& run, Tenant& tenant, int& remaining);
 
   cluster::Cluster& cluster_;
   sim::Simulator& sim_;
@@ -153,6 +194,8 @@ class JobManager {
   std::vector<TenantId> admission_order_;
   bool isolation_ = false;
   std::size_t qos_queue_frames_ = 256;
+  std::unique_ptr<netrpc::NetRpcApp> netrpc_app_;
+  sim::Duration netrpc_aging_ = sim::Duration::micros(200);
 };
 
 }  // namespace jobs

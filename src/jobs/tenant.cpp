@@ -1,6 +1,8 @@
 #include "jobs/tenant.hpp"
 
 #include <cctype>
+
+#include "netrpc/layout.hpp"
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -110,8 +112,17 @@ const char* kind_name(TenantKind kind) {
   switch (kind) {
     case TenantKind::kAllreduce: return "allreduce";
     case TenantKind::kBestEffort: return "besteffort";
+    case TenantKind::kNetRpc: return "netrpc";
   }
   return "?";
+}
+
+trio::TelemetryScope tenant_scope(TenantId id) {
+  trio::TelemetryScope scope;
+  scope.metric_prefix = "tenant." + std::to_string(int(id)) + ".";
+  scope.process_prefix = scope.metric_prefix;
+  scope.trace_pid_base = 900'000 + int(id) * 16;
+  return scope;
 }
 
 JobsSpec JobsSpec::parse(const std::string& text) {
@@ -155,10 +166,12 @@ JobsSpec JobsSpec::parse(const std::string& text) {
       tenant.kind = TenantKind::kAllreduce;
     } else if (tokens[2].text == "besteffort") {
       tenant.kind = TenantKind::kBestEffort;
+    } else if (tokens[2].text == "netrpc") {
+      tenant.kind = TenantKind::kNetRpc;
     } else {
       fail(line_no, tokens[2].col,
            "unknown tenant kind \"" + tokens[2].text +
-               "\" (expected allreduce or besteffort)",
+               "\" (expected allreduce, besteffort or netrpc)",
            line);
     }
 
@@ -193,6 +206,55 @@ JobsSpec JobsSpec::parse(const std::string& text) {
         tenant.sms_quota_bytes = parse_bytes(tok, line_no, line, off);
       } else if (key == "load") {
         tenant.load = parse_fraction(tok, line_no, line, off);
+      } else if (key == "policy") {
+        const std::string v = tok.text.substr(off);
+        if (v == "sum") {
+          tenant.rpc_policy = netrpc::MergePolicy::kSum;
+        } else if (v == "min") {
+          tenant.rpc_policy = netrpc::MergePolicy::kMin;
+        } else if (v == "majority") {
+          tenant.rpc_policy = netrpc::MergePolicy::kMajority;
+        } else {
+          fail(line_no, tok.col + off,
+               "policy must be sum, min or majority", line);
+        }
+      } else if (key == "values") {
+        const auto v = parse_u64(tok, line_no, line, off);
+        if (v < 1 || v > netrpc::kMaxValueWords) {
+          fail(line_no, tok.col + off, "values must be in 1..24", line);
+        }
+        tenant.rpc_value_words = static_cast<std::uint16_t>(v);
+      } else if (key == "servers") {
+        const auto v = parse_u64(tok, line_no, line, off);
+        if (v < 1 || v > 255) {
+          fail(line_no, tok.col + off, "servers must be in 1..255", line);
+        }
+        tenant.rpc_servers = static_cast<std::uint8_t>(v);
+      } else if (key == "clients") {
+        const auto v = parse_u64(tok, line_no, line, off);
+        if (v < 1 || v > 255) {
+          fail(line_no, tok.col + off, "clients must be in 1..255", line);
+        }
+        tenant.rpc_clients = static_cast<std::uint8_t>(v);
+      } else if (key == "rpcwindow") {
+        const auto v = parse_u64(tok, line_no, line, off);
+        if (v < 1 || v > netrpc::kPendingSlotsPerClient) {
+          fail(line_no, tok.col + off, "rpcwindow must be in 1..16", line);
+        }
+        tenant.rpc_window = static_cast<std::uint32_t>(v);
+      } else if (key == "calls") {
+        tenant.rpc_calls =
+            static_cast<std::uint32_t>(parse_u64(tok, line_no, line, off));
+      } else if (key == "gets") {
+        tenant.rpc_gets =
+            static_cast<std::uint32_t>(parse_u64(tok, line_no, line, off));
+      } else if (key == "puts") {
+        tenant.rpc_puts =
+            static_cast<std::uint32_t>(parse_u64(tok, line_no, line, off));
+      } else if (key == "hotkeys") {
+        const auto v = parse_u64(tok, line_no, line, off);
+        if (v < 1) fail(line_no, tok.col + off, "hotkeys must be >= 1", line);
+        tenant.rpc_hot_keys = static_cast<std::uint32_t>(v);
       } else {
         fail(line_no, tok.col, "unknown key \"" + key + "\"", line);
       }

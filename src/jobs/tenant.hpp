@@ -6,10 +6,11 @@
 // ordered list of tenants, built programmatically or parsed from the
 // line-oriented spec consumed by `trio-run --jobs FILE`:
 //
-//   # victim, a second job, and an aggressor
+//   # victim, a second job, an aggressor, and an RPC service
 //   tenant 1 allreduce weight=4 grads=8192 window=64 blocks=256 sms=96M
 //   tenant 2 allreduce weight=2 grads=8192
 //   tenant 3 besteffort weight=1 load=0.9
+//   tenant 4 netrpc policy=sum values=8 servers=3 calls=32 gets=64
 //
 // Parse errors carry the line *and column* of the offending token, in the
 // same style as the faults DSL ("jobs DSL line 2 col 20: ... in \"...\"").
@@ -18,6 +19,9 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "netrpc/wire_format.hpp"
+#include "trio/router.hpp"
 
 namespace jobs {
 
@@ -28,6 +32,7 @@ using TenantId = std::uint8_t;
 enum class TenantKind {
   kAllreduce,   // a Trio-ML in-network allreduce job
   kBestEffort,  // background traffic generator (no aggregation state)
+  kNetRpc,      // in-network RPC aggregation + hot-key cache (src/netrpc/)
 };
 
 struct TenantSpec {
@@ -51,7 +56,27 @@ struct TenantSpec {
   /// Best-effort offered load as a fraction of each host link — `load=F`.
   double load = 1.0;
 
+  // --- NetRPC tenants (src/netrpc/, docs/netrpc.md) ----------------------
+  /// Response merge policy — `policy=sum|min|majority`.
+  netrpc::MergePolicy rpc_policy = netrpc::MergePolicy::kSum;
+  /// 32-bit value words per RPC — `values=N` (1..24).
+  std::uint16_t rpc_value_words = 8;
+  /// Replica fan-out — `servers=N`; replicas occupy the last N hosts.
+  std::uint8_t rpc_servers = 3;
+  /// Client hosts — `clients=N`; clients occupy the first N hosts.
+  std::uint8_t rpc_clients = 1;
+  /// Outstanding fan-out calls per client — `rpcwindow=N` (1..16, the
+  /// PFE's pending-slot bound).
+  std::uint32_t rpc_window = 8;
+  /// Closed-loop workload per client — `calls=N` fan-out RPCs,
+  /// `gets=N` hot-key GETs, `puts=N` writes, over `hotkeys=N` keys.
+  std::uint32_t rpc_calls = 32;
+  std::uint32_t rpc_gets = 64;
+  std::uint32_t rpc_puts = 8;
+  std::uint32_t rpc_hot_keys = 4;
+
   bool is_allreduce() const { return kind == TenantKind::kAllreduce; }
+  bool is_netrpc() const { return kind == TenantKind::kNetRpc; }
 };
 
 struct JobsSpec {
@@ -69,5 +94,12 @@ struct JobsSpec {
 };
 
 const char* kind_name(TenantKind kind);
+
+/// Per-tenant telemetry scope (docs/telemetry.md): everything a tenant's
+/// hosts register carries the "tenant.<id>." metric prefix, so tenancy
+/// and netrpc-as-tenant runs expose per-tenant counters side by side
+/// ("tenant.4.retransmits", "tenant.4.cached_gets", ...). Trace pids for
+/// per-tenant rows sit in a band far above the router scopes.
+trio::TelemetryScope tenant_scope(TenantId id);
 
 }  // namespace jobs

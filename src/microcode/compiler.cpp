@@ -14,8 +14,19 @@ const IntrinsicInfo* intrinsic_info(const std::string& name) {
       {"SmsWrite64", {IntrinsicKind::kPosted, 2}},
       {"SmsRead64", {IntrinsicKind::kSync, 1}},
       {"FetchAdd32", {IntrinsicKind::kSync, 2}},
+      {"FetchOr64", {IntrinsicKind::kSync, 2}},
       {"HashLookup", {IntrinsicKind::kSync, 1}},
+      {"HashInsert", {IntrinsicKind::kSync, 2}},
+      {"HashDelete", {IntrinsicKind::kSync, 1}},
       {"PolicerCheck", {IntrinsicKind::kSync, 2}},
+      // Vector forms move (addr, lmem_off, len_bytes) between SMS and the
+      // thread's LMEM; the RMW variants merge in place (netrpc §merge).
+      {"SmsReadVec", {IntrinsicKind::kSync, 3}},
+      {"SmsWriteVec", {IntrinsicKind::kPosted, 3}},
+      {"SmsFill32", {IntrinsicKind::kPosted, 3}},
+      {"AddVec32", {IntrinsicKind::kPosted, 3}},
+      {"MinVec32", {IntrinsicKind::kPosted, 3}},
+      {"VoteVec32", {IntrinsicKind::kPosted, 3}},
       {"Forward", {IntrinsicKind::kAction, 1}},
       {"Drop", {IntrinsicKind::kAction, 0}},
       {"Exit", {IntrinsicKind::kAction, 0}},

@@ -163,7 +163,22 @@ void MicrocodeThread::assign(const Expr& target, std::uint64_t v,
 
 trio::XtxnRequest MicrocodeThread::build_request(
     const std::string& name, const std::vector<std::uint64_t>& args, int line,
-    int col) const {
+    int col, trio::ThreadContext& ctx) {
+  // (addr, lmem_off, len_bytes) vector forms: the payload is read out of
+  // the thread's LMEM at issue time, like the hardware's operand fetch.
+  const auto lmem_payload = [&](trio::XtxnRequest& r) {
+    const std::uint64_t off = args[1];
+    const std::uint64_t len = args[2];
+    if (off + len > ctx.lmem.size()) {
+      trap("vector intrinsic LMEM range [" + std::to_string(off) + ", " +
+               std::to_string(off + len) + ") exceeds LMEM size " +
+               std::to_string(ctx.lmem.size()),
+           line, col);
+    }
+    r.addr = args[0];
+    const auto src = ctx.lmem.view(off, len);
+    r.data.assign(src.begin(), src.end());
+  };
   trio::XtxnRequest req;
   if (name == "CounterIncPhys") {
     // Counter addresses are in 8-byte words (Fig 6: adjacent 16-byte
@@ -187,9 +202,49 @@ trio::XtxnRequest MicrocodeThread::build_request(
     req.op = trio::XtxnOp::kFetchAdd32;
     req.addr = args[0];
     req.arg0 = args[1];
+  } else if (name == "FetchOr64") {
+    req.op = trio::XtxnOp::kFetchOr64;
+    req.addr = args[0];
+    req.arg0 = args[1];
   } else if (name == "HashLookup") {
     req.op = trio::XtxnOp::kHashLookup;
     req.arg0 = args[0];
+  } else if (name == "HashInsert") {
+    req.op = trio::XtxnOp::kHashInsert;
+    req.arg0 = args[0];
+    req.arg1 = args[1];
+  } else if (name == "HashDelete") {
+    req.op = trio::XtxnOp::kHashDelete;
+    req.arg0 = args[0];
+  } else if (name == "SmsReadVec") {
+    req.op = trio::XtxnOp::kRead;
+    req.addr = args[0];
+    req.len = static_cast<std::uint32_t>(args[2]);
+    if (args[1] + args[2] > ctx.lmem.size()) {
+      trap("SmsReadVec LMEM range exceeds LMEM size", line, col);
+    }
+    pending_vec_off_ = static_cast<std::size_t>(args[1]);
+  } else if (name == "SmsWriteVec") {
+    req.op = trio::XtxnOp::kWrite;
+    lmem_payload(req);
+  } else if (name == "SmsFill32") {
+    // (addr, word32, len_bytes): write `word32` repeated — the datapath's
+    // buffer-reset primitive (0 for sum/majority, ~0 for min presets).
+    req.op = trio::XtxnOp::kWrite;
+    req.addr = args[0];
+    req.data.resize(args[2]);
+    for (std::size_t i = 0; i < req.data.size(); ++i) {
+      req.data[i] = static_cast<std::uint8_t>(args[1] >> (8 * (i % 4)));
+    }
+  } else if (name == "AddVec32") {
+    req.op = trio::XtxnOp::kAddVec32;
+    lmem_payload(req);
+  } else if (name == "MinVec32") {
+    req.op = trio::XtxnOp::kMinVec32;
+    lmem_payload(req);
+  } else if (name == "VoteVec32") {
+    req.op = trio::XtxnOp::kVoteVec32;
+    lmem_payload(req);
   } else if (name == "PolicerCheck") {
     req.op = trio::XtxnOp::kPolicerCheck;
     req.addr = args[0];
@@ -201,7 +256,7 @@ trio::XtxnRequest MicrocodeThread::build_request(
 }
 
 std::uint64_t MicrocodeThread::reply_value(
-    const trio::XtxnReply& reply) const {
+    const trio::XtxnReply& reply, trio::ThreadContext& ctx) const {
   if (pending_intrinsic_ == "SmsRead64") {
     std::uint64_t v = 0;
     for (int i = 7; i >= 0; --i) {
@@ -211,6 +266,16 @@ std::uint64_t MicrocodeThread::reply_value(
                : 0);
     }
     return v;
+  }
+  if (pending_intrinsic_ == "SmsReadVec") {
+    // Land the payload in LMEM at the offset captured at issue time; the
+    // assignment target receives the byte count moved.
+    ctx.lmem.write(pending_vec_off_, reply.data);
+    return reply.data.size();
+  }
+  if (pending_intrinsic_ == "HashInsert" ||
+      pending_intrinsic_ == "HashDelete") {
+    return reply.ok ? 1 : 0;
   }
   return reply.value;
 }
@@ -229,7 +294,7 @@ MicrocodeThread::Control MicrocodeThread::exec_stmt(
         Control c;
         c.kind = Control::Kind::kSync;
         c.sync_req =
-            build_request(value->name, args, value->line, value->col);
+            build_request(value->name, args, value->line, value->col, ctx);
         pending_intrinsic_ = value->name;
         if (s.kind == Stmt::Kind::kAssign) {
           pending_target_ = s.target.get();
@@ -304,7 +369,7 @@ MicrocodeThread::Control MicrocodeThread::exec_stmt(
         return {};
       }
       trio::ActAsyncXtxn ax;
-      ax.req = build_request(s.name, args, s.line, s.col);
+      ax.req = build_request(s.name, args, s.line, s.col, ctx);
       ax.instructions = 0;
       drained_.push_back(std::move(ax));
       return {};
@@ -345,7 +410,7 @@ trio::Action MicrocodeThread::step(trio::ThreadContext& ctx) {
     }
   }
   if (pending_target_ != nullptr || pending_local_ != nullptr) {
-    const std::uint64_t v = reply_value(ctx.reply);
+    const std::uint64_t v = reply_value(ctx.reply, ctx);
     if (pending_target_ != nullptr) {
       assign(*pending_target_, v, ctx);
       pending_target_ = nullptr;

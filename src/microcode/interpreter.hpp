@@ -49,8 +49,10 @@ class MicrocodeThread : public trio::PpeProgram {
   void assign(const Expr& target, std::uint64_t v, trio::ThreadContext& ctx);
   trio::XtxnRequest build_request(const std::string& name,
                                   const std::vector<std::uint64_t>& args,
-                                  int line, int col) const;
-  std::uint64_t reply_value(const trio::XtxnReply& reply) const;
+                                  int line, int col,
+                                  trio::ThreadContext& ctx);
+  std::uint64_t reply_value(const trio::XtxnReply& reply,
+                            trio::ThreadContext& ctx) const;
 
   std::shared_ptr<const CompiledProgram> prog_;
   std::size_t pc_ = 0;
@@ -63,6 +65,8 @@ class MicrocodeThread : public trio::PpeProgram {
   const Expr* pending_target_ = nullptr;
   const Stmt* pending_local_ = nullptr;
   std::string pending_intrinsic_;
+  // SmsReadVec continuation: LMEM offset the reply payload lands at.
+  std::size_t pending_vec_off_ = 0;
 
   // Posted XTXNs / emits produced by the current block, drained as
   // zero-instruction actions after the block's own instruction charge.

@@ -1,0 +1,177 @@
+#include "netrpc/baseline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netrpc {
+
+namespace {
+
+// PHV metadata slots used by the RPC merge program.
+enum Meta : std::size_t {
+  kMetaOp = 0,
+  kMetaSlot = 1,   // client_id * slots_per_client + (rpc_id & 15)
+  kMetaLast = 2,   // 1 when this response completed its fan-out
+  kMetaEgress = 3,
+  kMetaCount = 4,  // meta size
+};
+
+}  // namespace
+
+PisaRpcSwitch::PisaRpcSwitch(pisa::Switch& sw, PisaRpcConfig config,
+                             std::vector<int> client_ports,
+                             std::vector<int> server_ports)
+    : sw_(sw),
+      config_(config),
+      client_ports_(std::move(client_ports)),
+      server_ports_(std::move(server_ports)) {
+  if (config_.policy == MergePolicy::kMajority) {
+    throw std::invalid_argument(
+        "PisaRpcSwitch: majority merge needs two dependent stateful "
+        "accesses per word per packet — impossible in one PISA traversal "
+        "(requires recirculation); use the Trio datapath");
+  }
+  if (config_.value_words == 0 || config_.value_words > kMaxValueWords) {
+    throw std::invalid_argument("PisaRpcSwitch: value_words out of range");
+  }
+  if (client_ports_.size() != config_.client_cnt) {
+    throw std::invalid_argument("PisaRpcSwitch: client port table mismatch");
+  }
+  install();
+}
+
+void PisaRpcSwitch::install() {
+  pisa::Pipeline& pipe = sw_.pipeline(0);
+  const std::size_t cells =
+      std::size_t(config_.client_cnt) * config_.slots_per_client;
+
+  pipe.set_parser([this](pisa::Phv& phv) {
+    const net::Buffer& frame = phv.packet->frame();
+    if (!is_netrpc_frame(frame)) {
+      phv.drop = true;  // only RPC traffic is modelled on the baseline
+      return false;
+    }
+    const NetRpcHeader hdr = NetRpcHeader::parse(frame, kNetRpcHdrOff);
+    if (hdr.tenant != config_.tenant) {
+      phv.drop = true;
+      return false;
+    }
+    ++packets_;
+    phv.meta.assign(kMetaCount, 0);
+    phv.meta[kMetaOp] = static_cast<std::uint64_t>(hdr.op);
+    phv.meta[kMetaSlot] =
+        std::uint64_t(hdr.client_id) * config_.slots_per_client +
+        (hdr.rpc_id & (config_.slots_per_client - 1));
+    switch (hdr.op) {
+      case Op::kGetReq:
+      case Op::kPutReq:
+      case Op::kRpcReq:
+        phv.meta[kMetaEgress] =
+            std::uint64_t(server_ports_.at(hdr.server_id));
+        return true;
+      case Op::kGetResp:
+      case Op::kPutResp:
+      case Op::kMergedResp:
+        phv.meta[kMetaEgress] =
+            std::uint64_t(client_ports_.at(hdr.client_id));
+        return true;
+      case Op::kRpcResp:  // the merge path; egress decided at the deparser
+        phv.meta[kMetaEgress] =
+            std::uint64_t(client_ports_.at(hdr.client_id));
+        return true;
+    }
+    phv.drop = true;
+    return false;
+  });
+
+  // Stage 0: per-slot fan-in counter. The completing response reads the
+  // count and self-resets the cell (SwitchML's bitmap idiom).
+  pisa::Stage& st0 = pipe.stage(0);
+  count_array_ = st0.add_register_array(cells);
+  st0.set_logic([this](pisa::Phv& phv, pisa::Stage& st) {
+    if (phv.meta[kMetaOp] != std::uint64_t(Op::kRpcResp)) return;
+    const auto slot = static_cast<std::size_t>(phv.meta[kMetaSlot]);
+    const NetRpcHeader hdr =
+        NetRpcHeader::parse(phv.packet->frame(), kNetRpcHdrOff);
+    bool last = false;
+    st.stateful_rmw(count_array_, slot, [&](std::uint32_t old) {
+      if (old + 1 >= hdr.server_cnt) {
+        last = true;
+        return std::uint32_t{0};
+      }
+      return old + 1;
+    });
+    phv.meta[kMetaLast] = last ? 1 : 0;
+  });
+
+  // Value stages: word i lives in array (i % per_stage) of stage
+  // 1 + i / per_stage — each packet touches each array at most once.
+  const int wps = (config_.value_words + config_.value_stages - 1) /
+                  config_.value_stages;
+  value_arrays_.resize(static_cast<std::size_t>(config_.value_stages));
+  for (int s = 0; s < config_.value_stages; ++s) {
+    pisa::Stage& st = pipe.stage(1 + s);
+    auto& arrays = value_arrays_[static_cast<std::size_t>(s)];
+    for (int j = 0; j < wps; ++j) {
+      arrays.push_back(st.add_register_array(cells));
+    }
+    st.set_logic([this, s, wps](pisa::Phv& phv, pisa::Stage& stage) {
+      if (phv.drop || phv.meta[kMetaOp] != std::uint64_t(Op::kRpcResp)) {
+        return;
+      }
+      const auto slot = static_cast<std::size_t>(phv.meta[kMetaSlot]);
+      const bool last = phv.meta[kMetaLast] != 0;
+      net::Buffer& frame = phv.packet->frame();
+      for (int j = 0; j < wps; ++j) {
+        const int wi = s * wps + j;
+        if (wi >= config_.value_words) break;
+        const std::uint32_t v =
+            read_value(frame, static_cast<std::size_t>(wi));
+        std::uint32_t out = 0;
+        stage.stateful_rmw(
+            value_arrays_[static_cast<std::size_t>(s)]
+                         [static_cast<std::size_t>(j)],
+            slot, [&](std::uint32_t old) {
+              // The cell's rest state is 0; min folds the first arrival
+              // in via the count==implicit "is this the first" trick:
+              // old==0 on first touch only if values are nonzero, so
+              // min seeds with the arriving value when the cell is 0.
+              // (Documented limit: an all-zero min input is indistinct
+              // from an empty cell — the Trio datapath presets 0xff.)
+              std::uint32_t merged;
+              if (config_.policy == MergePolicy::kMin) {
+                merged = old == 0 ? v : std::min(old, v);
+              } else {
+                merged = old + v;
+              }
+              out = merged;
+              return last ? std::uint32_t{0} : merged;  // read-out + reset
+            });
+        if (last) {
+          write_value(frame, static_cast<std::size_t>(wi), out);
+        }
+      }
+    });
+  }
+
+  pipe.set_deparser([this](pisa::Phv&& phv) {
+    if (phv.drop) return;
+    if (phv.meta[kMetaOp] == std::uint64_t(Op::kRpcResp)) {
+      if (phv.meta[kMetaLast] == 0) {
+        // Absorbed into the registers; the client hears nothing until
+        // the fan-out completes — and never does if a replica is down.
+        ++absorbed_;
+        return;
+      }
+      net::Buffer& frame = phv.packet->frame();
+      NetRpcHeader hdr = NetRpcHeader::parse(frame, kNetRpcHdrOff);
+      hdr.op = Op::kMergedResp;
+      hdr.write(frame, kNetRpcHdrOff);
+      ++merges_completed_;
+    }
+    phv.egress_port = static_cast<int>(phv.meta[kMetaEgress]);
+    sw_.egress(std::move(phv));
+  });
+}
+
+}  // namespace netrpc

@@ -1,0 +1,70 @@
+// PISA baseline for in-network RPC merging (fig_netrpc's comparison
+// system): the same protocol on a Tofino-style pipeline.
+//
+// What the architecture can and cannot express is the point of the
+// baseline, so the limits are structural, not simulated:
+//   * response merging works — per-slot count in one stage, value words
+//     spread across the later stages' register arrays (one access per
+//     array per traversal, exactly like SwitchML's gradient spread);
+//   * NO data-plane timers — a fan-out with a crashed or straggling
+//     replica holds its slot forever and the client never hears back;
+//     Trio's aged degraded completion has no PISA equivalent, which is
+//     what the p99-under-stragglers comparison measures;
+//   * majority (Boyer-Moore) merge is REJECTED at install: the candidate
+//     update depends on the count read and vice versa, two dependent
+//     stateful accesses one traversal cannot make — on PISA that vote
+//     needs recirculation per response. configure() throws.
+//   * no hot-key cache: GETs traverse to the server and back at full
+//     RTT every time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netrpc/wire_format.hpp"
+#include "pisa/switch.hpp"
+
+namespace netrpc {
+
+struct PisaRpcConfig {
+  std::uint8_t tenant = 1;
+  std::uint16_t value_words = 8;
+  MergePolicy policy = MergePolicy::kSum;
+  std::uint8_t client_cnt = 1;
+  /// Pending fan-out slots per client (rpc_id & 15, like the Trio app).
+  std::uint32_t slots_per_client = 16;
+  int value_stages = 8;  // stages carrying value register arrays
+};
+
+/// Installs the RPC merge/forward program on pipeline 0 of `sw`. Clients
+/// and servers attach to the given ports (indexed by client_id /
+/// server_id); requests forward to their server port, responses merge in
+/// the register arrays and the completing response egresses to the
+/// client port rewritten as a MERGED_RESP.
+class PisaRpcSwitch {
+ public:
+  PisaRpcSwitch(pisa::Switch& sw, PisaRpcConfig config,
+                std::vector<int> client_ports, std::vector<int> server_ports);
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t merges_completed() const { return merges_completed_; }
+  /// Non-completing responses absorbed into the register state.
+  std::uint64_t absorbed() const { return absorbed_; }
+
+  const PisaRpcConfig& config() const { return config_; }
+
+ private:
+  void install();
+
+  pisa::Switch& sw_;
+  PisaRpcConfig config_;
+  std::vector<int> client_ports_;
+  std::vector<int> server_ports_;
+  int count_array_ = -1;
+  std::vector<std::vector<int>> value_arrays_;  // [stage][array]
+  std::uint64_t packets_ = 0;
+  std::uint64_t merges_completed_ = 0;
+  std::uint64_t absorbed_ = 0;
+};
+
+}  // namespace netrpc

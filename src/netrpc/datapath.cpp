@@ -1,0 +1,445 @@
+#include "netrpc/datapath.hpp"
+
+#include <sstream>
+
+namespace netrpc {
+
+std::string generate_datapath_source(const ServiceConfig& cfg,
+                                     const ServiceLayout& layout) {
+  std::ostringstream src;
+  const auto ctr_word = [&](CounterIdx idx) {
+    // CounterIncPhys addresses 8-byte words (Fig 6): adjacent 16-byte
+    // counters are two words apart.
+    return layout.counter_addr(idx) / 8;
+  };
+
+  src << "// NetRPC datapath — generated for tenant "
+      << int(cfg.tenant) << " (do not edit; see src/netrpc/datapath.cpp)\n"
+      << "struct ether_t {\n"
+         "  dmac : 48;\n"
+         "  smac : 48;\n"
+         "  etype : 16;\n"
+         "};\n"
+         "\n"
+         "struct ipv4_t {\n"
+         "  ver : 4;\n"
+         "  ihl : 4;\n"
+         "  tos : 8;\n"
+         "  len : 16;\n"
+         "  id : 16;\n"
+         "  frag : 16;\n"
+         "  ttl : 8;\n"
+         "  proto : 8;\n"
+         "  csum : 16;\n"
+         "  src : 32;\n"
+         "  dst : 32;\n"
+         "};\n"
+         "\n"
+         "struct udp_t {\n"
+         "  sport : 16;\n"
+         "  dport : 16;\n"
+         "  len : 16;\n"
+         "  csum : 16;\n"
+         "};\n"
+         "\n"
+         "struct netrpc_t {\n"
+         "  op : 8;\n"
+         "  tenant : 8;\n"
+         "  client_id : 8;\n"
+         "  server_id : 8;\n"
+         "  policy : 8;\n"
+         "  flags : 8;\n"
+         "  value_cnt : 8;\n"
+         "  server_cnt : 8;\n"
+         "  rpc_id : 32;\n"
+         "  key : 64;\n"
+         "};\n"
+         "\n";
+
+  // Service geometry as virtual constants — the "binary image" of this
+  // tenant's configuration.
+  const std::size_t val_bytes = std::size_t(cfg.value_words) * 4;
+  src << "virtual const TENANT = " << int(cfg.tenant) << ";\n"
+      << "virtual const POLICY = " << int(cfg.policy) << ";\n"
+      << "virtual const N_SERVERS = " << int(cfg.server_cnt) << ";\n"
+      << "virtual const N_CLIENTS = " << int(cfg.client_cnt) << ";\n"
+      << "virtual const VAL_WORDS = " << int(cfg.value_words) << ";\n"
+      << "virtual const VAL_BYTES = " << val_bytes << ";\n"
+      << "virtual const VAL2_BYTES = " << 2 * val_bytes << ";\n"
+      << "virtual const VAL_OFF = " << kValueOff << ";\n"
+      << "virtual const P_BASE = " << layout.pending_base << ";\n"
+      << "virtual const P_SLOT = " << kPendingSlotBytes << ";\n"
+      << "virtual const P_SLOTS = " << kPendingSlotsPerClient << ";\n"
+      << "virtual const P_MASK = " << kPendingSlotsPerClient - 1 << ";\n"
+      << "virtual const P_ARRIVED = " << kPendingArrivedOff << ";\n"
+      << "virtual const P_MERGE = " << kPendingMergeOff << ";\n"
+      << "virtual const C_BASE = " << layout.cache_base << ";\n"
+      << "virtual const C_SLOT = " << kCacheSlotBytes << ";\n"
+      << "virtual const C_MASK = " << kCacheSlots - 1 << ";\n"
+      << "virtual const C_VAL = " << kCacheValueOff << ";\n"
+      << "virtual const CLIENT_NH = " << layout.client_nh_base << ";\n"
+      << "virtual const SERVER_NH = " << layout.server_nh_base << ";\n"
+      << "virtual const REQ_PORT = " << kRequestUdpPort << ";\n"
+      << "virtual const RESP_PORT = " << kResponseUdpPort << ";\n"
+      << "virtual const MIN_PRESET = 4294967295;\n"
+      << "virtual const CTR_HIT = " << ctr_word(kCtrCacheHit) << ";\n"
+      << "virtual const CTR_MISS = " << ctr_word(kCtrCacheMiss) << ";\n"
+      << "virtual const CTR_FILL = " << ctr_word(kCtrCacheFill) << ";\n"
+      << "virtual const CTR_INVAL = " << ctr_word(kCtrInvalidate) << ";\n"
+      << "virtual const CTR_MERGED = " << ctr_word(kCtrMerged) << ";\n"
+      << "virtual const CTR_DONE = " << ctr_word(kCtrCompleted) << ";\n"
+      << "virtual const CTR_RELAY = " << ctr_word(kCtrRelayed) << ";\n"
+      << "virtual const CTR_TO_SRV = " << ctr_word(kCtrToServer) << ";\n"
+      << "virtual const CTR_BAD = " << ctr_word(kCtrBad) << ";\n"
+      << "\n"
+         "memory ether_t *eth_p = 0;\n"
+         "memory ipv4_t *ip_p = 14;\n"
+         "memory udp_t *udp_p = 34;\n"
+         "memory netrpc_t *rpc_p = 42;\n"
+         "bus swp_a;\n"
+         "bus swp_b;\n"
+         "\n";
+
+  // ---------------------------------------------------------------------
+  // Entry: tenant check, then the 8-way opcode classify (the full width
+  // of one instruction's multi-way branch).
+  src <<
+      "check_tenant:\n"
+      "begin\n"
+      "  if (rpc_p->tenant != TENANT) { goto bad_packet; }\n"
+      "  goto classify;\n"
+      "end\n"
+      "\n"
+      "classify:\n"
+      "begin\n"
+      "  switch (rpc_p->op) {\n"
+      "    case 1: { goto get_req; }\n"        // GET_REQ
+      "    case 2: { goto fill_check; }\n"     // GET_RESP: fill in transit
+      "    case 3: { goto put_req; }\n"        // PUT_REQ: invalidate
+      "    case 4: { goto relay_client; }\n"   // PUT_RESP
+      "    case 5: { goto to_server; }\n"      // RPC_REQ
+      "    case 6: { goto merge_check_hdr; }\n"// RPC_RESP: in-flight merge
+      "    case 7: { goto relay_client; }\n"   // MERGED_RESP (transit)
+      "    default: { goto bad_packet; }\n"
+      "  }\n"
+      "end\n"
+      "\n";
+
+  // ---------------------------------------------------------------------
+  // GET: hot-key cache. Hit -> answer from SMS, swapping the packet's own
+  // addresses; miss -> count and pass through to the home server.
+  src <<
+      "get_req:\n"
+      "begin\n"
+      "  if (rpc_p->client_id >= N_CLIENTS) { goto bad_packet; }\n"
+      "  if (rpc_p->key >> 48 != TENANT) { goto bad_packet; }\n"
+      "end\n"
+      "\n"
+      "get_lookup:\n"
+      "begin\n"
+      "  ir1 = HashLookup(rpc_p->key);\n"  // sets REF: the cache's LRU bit
+      "end\n"
+      "\n"
+      "get_decide:\n"
+      "begin\n"
+      "  if (ir1 == 0) { goto get_miss; }\n"
+      "  goto get_hit;\n"
+      "end\n"
+      "\n"
+      "get_hit:\n"
+      "begin\n"
+      "  CounterIncPhys(CTR_HIT, r_work.pkt_len);\n"
+      "  ir2 = SmsReadVec(ir1, VAL_OFF, VAL_BYTES);\n"  // value -> packet
+      "end\n"
+      "\n"
+      "get_hit_hdr:\n"
+      "begin\n"
+      "  rpc_p->op = 2;\n"     // GET_RESP
+      "  rpc_p->flags = 2;\n"  // from_cache
+      "  call swap_addrs;\n"
+      "end\n"
+      "\n"
+      "get_hit_nh:\n"
+      "begin\n"
+      "  ir3 = SmsRead64(CLIENT_NH + rpc_p->client_id * 8);\n"
+      "end\n"
+      "\n"
+      "get_hit_fwd:\n"
+      "begin\n"
+      "  Forward(ir3);\n"
+      "  Exit();\n"
+      "end\n"
+      "\n"
+      "get_miss:\n"
+      "begin\n"
+      "  CounterIncPhys(CTR_MISS, r_work.pkt_len);\n"
+      "  goto to_server;\n"
+      "end\n"
+      "\n";
+
+  // ---------------------------------------------------------------------
+  // PUT: explicit invalidation in transit, then on to the replica.
+  src <<
+      "put_req:\n"
+      "begin\n"
+      "  if (rpc_p->key >> 48 != TENANT) { goto bad_packet; }\n"
+      "end\n"
+      "\n"
+      "put_inval:\n"
+      "begin\n"
+      "  ir6 = HashDelete(rpc_p->key);\n"
+      "end\n"
+      "\n"
+      "put_count:\n"
+      "begin\n"
+      "  if (ir6 == 1) { CounterIncPhys(CTR_INVAL, r_work.pkt_len); }\n"
+      "  goto to_server;\n"
+      "end\n"
+      "\n";
+
+  // ---------------------------------------------------------------------
+  // Request egress (GET miss / PUT / RPC_REQ fan-out leg).
+  src <<
+      "to_server:\n"
+      "begin\n"
+      "  if (rpc_p->server_id >= N_SERVERS) { goto bad_packet; }\n"
+      "end\n"
+      "\n"
+      "to_server_nh:\n"
+      "begin\n"
+      "  ir3 = SmsRead64(SERVER_NH + rpc_p->server_id * 8);\n"
+      "end\n"
+      "\n"
+      "to_server_fwd:\n"
+      "begin\n"
+      "  CounterIncPhys(CTR_TO_SRV, r_work.pkt_len);\n"
+      "  Forward(ir3);\n"
+      "  Exit();\n"
+      "end\n"
+      "\n";
+
+  // ---------------------------------------------------------------------
+  // GET_RESP transit: absorb the value into the direct-mapped cache slot,
+  // evicting the previous occupant's presence entry if the slot is taken.
+  src <<
+      "fill_check:\n"
+      "begin\n"
+      "  if (rpc_p->value_cnt != VAL_WORDS) { goto bad_packet; }\n"
+      "  if (rpc_p->client_id >= N_CLIENTS) { goto bad_packet; }\n"
+      "end\n"
+      "\n"
+      "fill_keycheck:\n"
+      "begin\n"
+      "  if (rpc_p->key >> 48 != TENANT) { goto bad_packet; }\n"
+      "  ir0 = rpc_p->key;\n"
+      "end\n"
+      "\n"
+      "fill_slot:\n"
+      "begin\n"
+      "  ir4 = C_BASE + (ir0 & C_MASK) * C_SLOT;\n"
+      "end\n"
+      "\n"
+      "fill_owner:\n"
+      "begin\n"
+      "  ir5 = SmsRead64(ir4);\n"  // key currently owning the slot
+      "end\n"
+      "\n"
+      "fill_decide:\n"
+      "begin\n"
+      "  if (ir5 == ir0) { goto fill_refresh; }\n"
+      "  if (ir5 == 0) { goto fill_new; }\n"
+      "  goto fill_evict;\n"
+      "end\n"
+      "\n"
+      "fill_evict:\n"
+      "begin\n"
+      "  ir7 = HashDelete(ir5);\n"  // previous occupant loses presence
+      "end\n"
+      "\n"
+      "fill_new:\n"
+      "begin\n"
+      // Value lands before the presence entry appears (next block), so a
+      // concurrent GET can miss during a fill but never hit a torn value.
+      "  SmsWrite64(ir4, ir0);\n"
+      "  SmsWriteVec(ir4 + C_VAL, VAL_OFF, VAL_BYTES);\n"
+      "end\n"
+      "\n"
+      "fill_insert:\n"
+      "begin\n"
+      "  ir7 = HashInsert(ir0, ir4 + C_VAL);\n"
+      "end\n"
+      "\n"
+      "fill_count:\n"
+      "begin\n"
+      "  CounterIncPhys(CTR_FILL, r_work.pkt_len);\n"
+      "  goto relay_client;\n"
+      "end\n"
+      "\n"
+      "fill_refresh:\n"
+      "begin\n"
+      "  SmsWriteVec(ir4 + C_VAL, VAL_OFF, VAL_BYTES);\n"
+      "end\n"
+      "\n"
+      "fill_represent:\n"
+      "begin\n"
+      // A PUT's invalidation deletes the presence entry but leaves the
+      // slot owner in place, so owner == key does NOT imply presence:
+      // restore it (insert is a refused no-op while the entry lives).
+      "  ir7 = HashInsert(ir0, ir4 + C_VAL);\n"
+      "end\n"
+      "\n"
+      "fill_refresh_count:\n"
+      "begin\n"
+      "  CounterIncPhys(CTR_FILL, r_work.pkt_len);\n"
+      "  goto relay_client;\n"
+      "end\n"
+      "\n";
+
+  // ---------------------------------------------------------------------
+  // RPC_RESP: the in-flight merge. The RMW engine applies the policy's
+  // vector op into the pending slot's merge buffer *before* the arrival
+  // counter ticks (both resolve at SMS issue order), so the thread that
+  // sees old+1 == N can read a complete merge.
+  src <<
+      "merge_check_hdr:\n"
+      "begin\n"
+      "  if (rpc_p->client_id >= N_CLIENTS) { goto bad_packet; }\n"
+      "  if (rpc_p->value_cnt != VAL_WORDS) { goto bad_packet; }\n"
+      "end\n"
+      "\n"
+      "merge_check_policy:\n"
+      "begin\n"
+      "  if (rpc_p->policy != POLICY) { goto bad_packet; }\n"
+      "end\n"
+      "\n"
+      "merge_slot:\n"
+      "begin\n"
+      "  ir4 = P_BASE + (rpc_p->client_id * P_SLOTS\n"
+      "                  + (rpc_p->rpc_id & P_MASK)) * P_SLOT;\n"
+      "end\n"
+      "\n"
+      "merge_owner:\n"
+      "begin\n"
+      "  SmsWrite64(ir4, rpc_p->rpc_id);\n"  // aging scan reads this back
+      "end\n"
+      "\n"
+      "merge_do:\n"
+      "begin\n"
+      "  switch (rpc_p->policy) {\n"
+      "    case 0: { AddVec32(ir4 + P_MERGE, VAL_OFF, VAL_BYTES); }\n"
+      "    case 1: { MinVec32(ir4 + P_MERGE, VAL_OFF, VAL_BYTES); }\n"
+      "    case 2: { VoteVec32(ir4 + P_MERGE, VAL_OFF, VAL_BYTES); }\n"
+      "    default: { goto bad_packet; }\n"
+      "  }\n"
+      "  ir5 = FetchAdd32(ir4 + P_ARRIVED, 1);\n"
+      "end\n"
+      "\n"
+      "merge_count:\n"
+      "begin\n"
+      "  if (ir5 + 1 < N_SERVERS) { goto merge_partial; }\n"
+      "  goto merge_complete;\n"
+      "end\n"
+      "\n"
+      "merge_partial:\n"
+      "begin\n"
+      "  CounterIncPhys(CTR_MERGED, r_work.pkt_len);\n"
+      "  Drop();\n"  // response absorbed into the merge buffer
+      "end\n"
+      "\n"
+      "merge_complete:\n"
+      "begin\n"
+      // Candidates plane doubles as the result for all three policies
+      // (split-plane majority buffer).
+      "  ir2 = SmsReadVec(ir4 + P_MERGE, VAL_OFF, VAL_BYTES);\n"
+      "end\n"
+      "\n"
+      "merge_hdr:\n"
+      "begin\n"
+      "  rpc_p->op = 7;\n"  // MERGED_RESP
+      "  rpc_p->server_cnt = N_SERVERS;\n"
+      "end\n"
+      "\n"
+      "merge_reset_meta:\n"
+      "begin\n"
+      "  SmsWrite64(ir4, 0);\n"      // owner
+      "  SmsWrite64(ir4 + 8, 0);\n"  // arrived counter (+ padding)
+      "end\n"
+      "\n"
+      "merge_reset_buf:\n"
+      "begin\n"
+      "  switch (rpc_p->policy) {\n"
+      "    case 0: { SmsFill32(ir4 + P_MERGE, 0, VAL_BYTES); }\n"
+      "    case 1: { SmsFill32(ir4 + P_MERGE, MIN_PRESET, VAL_BYTES); }\n"
+      "    case 2: { SmsFill32(ir4 + P_MERGE, 0, VAL2_BYTES); }\n"
+      "    default: { }\n"
+      "  }\n"
+      "  CounterIncPhys(CTR_DONE, r_work.pkt_len);\n"
+      "  goto to_client;\n"
+      "end\n"
+      "\n";
+
+  // ---------------------------------------------------------------------
+  // Response egress toward the client.
+  src <<
+      "relay_client:\n"
+      "begin\n"
+      "  if (rpc_p->client_id >= N_CLIENTS) { goto bad_packet; }\n"
+      "  CounterIncPhys(CTR_RELAY, r_work.pkt_len);\n"
+      "end\n"
+      "\n"
+      "to_client:\n"
+      "begin\n"
+      "  ir3 = SmsRead64(CLIENT_NH + rpc_p->client_id * 8);\n"
+      "end\n"
+      "\n"
+      "to_client_fwd:\n"
+      "begin\n"
+      "  Forward(ir3);\n"
+      "  Exit();\n"
+      "end\n"
+      "\n"
+      "bad_packet:\n"
+      "begin\n"
+      "  CounterIncPhys(CTR_BAD, r_work.pkt_len);\n"
+      "  Drop();\n"
+      "end\n"
+      "\n";
+
+  // ---------------------------------------------------------------------
+  // swap_addrs: turn the request the thread holds into its own response
+  // (cache hit path). One swap per instruction — two LMEM reads and two
+  // writes is exactly one block's budget; the bus variables carry the
+  // values across the exchange without burning ports.
+  src <<
+      "swap_addrs:\n"
+      "begin\n"
+      "  swp_a = eth_p->dmac;\n"
+      "  swp_b = eth_p->smac;\n"
+      "  eth_p->dmac = swp_b;\n"
+      "  eth_p->smac = swp_a;\n"
+      "end\n"
+      "\n"
+      "swap_ip:\n"
+      "begin\n"
+      "  swp_a = ip_p->src;\n"
+      "  swp_b = ip_p->dst;\n"
+      "  ip_p->src = swp_b;\n"
+      "  ip_p->dst = swp_a;\n"
+      "end\n"
+      "\n"
+      "swap_udp:\n"
+      "begin\n"
+      "  udp_p->sport = REQ_PORT;\n"
+      "  udp_p->dport = RESP_PORT;\n"
+      "  return;\n"
+      "end\n";
+
+  return src.str();
+}
+
+std::shared_ptr<const microcode::CompiledProgram> compile_datapath(
+    const ServiceConfig& cfg, const ServiceLayout& layout) {
+  return microcode::compile(generate_datapath_source(cfg, layout));
+}
+
+}  // namespace netrpc

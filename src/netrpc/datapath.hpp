@@ -1,0 +1,31 @@
+// Generates the per-tenant NetRPC datapath Microcode program.
+//
+// This is the second application on the microcode substrate (after the
+// §3.2 filter example) and the first at production scale: ~44 VLIW
+// instruction blocks against the filter's five, covering an 8-way opcode
+// classify, the cache hit/miss/fill/invalidate paths, the three-policy
+// in-flight merge and an address-swap subroutine. The program is
+// *generated* rather than hand-written because every tenant gets its own
+// binary with the service geometry (slot bases, fan-out width, value
+// width, nexthop tables) folded into virtual constants — exactly how the
+// Trio Compiler turns per-deployment configuration into immediates.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "microcode/compiler.hpp"
+#include "netrpc/layout.hpp"
+
+namespace netrpc {
+
+/// Microcode source for one tenant's service (see docs/netrpc.md for the
+/// walk-through of the program's paths).
+std::string generate_datapath_source(const ServiceConfig& cfg,
+                                     const ServiceLayout& layout);
+
+/// Convenience: generate + compile.
+std::shared_ptr<const microcode::CompiledProgram> compile_datapath(
+    const ServiceConfig& cfg, const ServiceLayout& layout);
+
+}  // namespace netrpc

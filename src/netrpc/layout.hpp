@@ -1,0 +1,116 @@
+// Shared-memory layout of one tenant's NetRPC service state.
+//
+// Everything the datapath touches is *fixed geometry* decided at service
+// setup — direct-mapped tables the microcode indexes with shifts and
+// masks — because a PPE thread can address memory but cannot run an
+// allocator. Nothing is ever reclaimed by the datapath; slots are reused
+// in place (pending slots reset on completion, cache slots overwritten on
+// eviction), so the control plane's one-time allocation is the service's
+// worst case footprint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "netrpc/wire_format.hpp"
+
+namespace netrpc {
+
+// --- Pending-merge slots (one per outstanding fan-out RPC) ---------------
+// Slot for (client, rpc) = P_BASE + (client_id * kPendingSlotsPerClient +
+// rpc_id % kPendingSlotsPerClient) * kPendingSlotBytes. A client's send
+// window must stay <= kPendingSlotsPerClient so live RPCs never collide.
+constexpr std::size_t kPendingSlotsPerClient = 16;  // power of two
+constexpr std::size_t kPendingSlotBytes = 256;
+constexpr std::size_t kPendingOwnerOff = 0;    // u64: rpc_id of the occupant
+constexpr std::size_t kPendingArrivedOff = 8;  // u32: responses merged so far
+constexpr std::size_t kPendingMergeOff = 16;   // merge buffer (see below)
+
+// Merge buffer widths: sum and min need one value plane; majority needs
+// the split-plane Boyer-Moore buffer (candidates + counts).
+constexpr std::size_t merge_buffer_bytes(MergePolicy policy,
+                                         std::size_t value_words) {
+  return value_words * 4 * (policy == MergePolicy::kMajority ? 2 : 1);
+}
+
+// --- Hot-key cache slots (direct-mapped by key hash) ---------------------
+// Slot for key = C_BASE + (key % kCacheSlots) * kCacheSlotBytes. Presence
+// (and LRU reference bits) live in the hardware hash table: key -> value
+// address; the slot itself holds the owning key so fills can evict the
+// previous occupant's hash entry.
+constexpr std::size_t kCacheSlots = 64;  // power of two
+constexpr std::size_t kCacheSlotBytes = 128;
+constexpr std::size_t kCacheOwnerOff = 0;  // u64: key occupying the slot
+constexpr std::size_t kCacheValueOff = 8;  // value_words * 4 bytes
+
+static_assert(kCacheValueOff + kMaxValueWords * 4 <= kCacheSlotBytes);
+static_assert(kPendingMergeOff + 2 * kMaxValueWords * 4 <= kPendingSlotBytes);
+
+// --- Datapath Packet/Byte counters (16 B each; CounterIncPhys word
+// addressing — adjacent counters are 2 words apart) -----------------------
+enum CounterIdx : std::size_t {
+  kCtrCacheHit = 0,    // GETs answered from the SMS cache
+  kCtrCacheMiss = 1,   // GETs passed through to the home server
+  kCtrCacheFill = 2,   // GET responses absorbed into the cache in transit
+  kCtrInvalidate = 3,  // PUTs that actually removed a cache entry
+  kCtrMerged = 4,      // fan-out responses consumed by an in-flight merge
+  kCtrCompleted = 5,   // merges that reached full fan-in and emitted
+  kCtrRelayed = 6,     // responses relayed to clients unmodified
+  kCtrToServer = 7,    // requests forwarded toward a server
+  kCtrBad = 8,         // malformed / mis-tenanted packets dropped
+  kCtrDegraded = 9,    // aged merges emitted degraded (scan thread)
+  kCtrCacheAged = 10,  // cache entries aged out by the REF scan
+  kCounterCount = 11,
+};
+constexpr std::size_t kCounterBytes = 16;
+
+/// One tenant's RPC service, fixed at admission (like a trioml JobSetup):
+/// a single merge policy and value width per service keeps every SMS slot
+/// the same shape, which is what lets the aging scan and the datapath
+/// address state without per-request metadata.
+struct ServiceConfig {
+  std::uint8_t tenant = 1;
+  MergePolicy policy = MergePolicy::kSum;
+  std::uint8_t value_words = 8;  // <= kMaxValueWords
+  std::uint8_t server_cnt = 3;   // fan-out width N (merge completes at N)
+  std::uint8_t client_cnt = 1;
+  std::uint16_t window = 8;      // per-client outstanding cap
+};
+
+/// SMS addresses of one configured service (control-plane bookkeeping).
+struct ServiceLayout {
+  std::uint64_t pending_base = 0;  // client_cnt * 16 slots * 256 B
+  std::uint64_t cache_base = 0;    // kCacheSlots * kCacheSlotBytes
+  std::uint64_t client_nh_base = 0;  // client_cnt u64 nexthop ids
+  std::uint64_t server_nh_base = 0;  // server_cnt u64 nexthop ids
+  std::uint64_t counter_base = 0;    // kCounterCount 16-byte counters
+
+  std::uint64_t pending_slot(std::uint8_t client, std::uint32_t rpc_id) const {
+    return pending_base +
+           (std::uint64_t(client) * kPendingSlotsPerClient +
+            rpc_id % kPendingSlotsPerClient) *
+               kPendingSlotBytes;
+  }
+  std::uint64_t cache_slot(std::uint64_t key) const {
+    return cache_base + key % kCacheSlots * kCacheSlotBytes;
+  }
+  std::uint64_t counter_addr(CounterIdx idx) const {
+    return counter_base + idx * kCounterBytes;
+  }
+};
+
+constexpr std::uint64_t pending_bytes(const ServiceConfig& cfg) {
+  return std::uint64_t(cfg.client_cnt) * kPendingSlotsPerClient *
+         kPendingSlotBytes;
+}
+
+/// Worst-case SMS bytes the service occupies on the aggregation PFE —
+/// charged against the tenant's quota at admission (docs/jobs.md
+/// discipline: reserve up front, never starve mid-run).
+constexpr std::uint64_t service_worst_case_bytes(const ServiceConfig& cfg) {
+  return pending_bytes(cfg) + kCacheSlots * kCacheSlotBytes +
+         std::uint64_t(cfg.client_cnt + cfg.server_cnt) * 8 +
+         kCounterCount * kCounterBytes;
+}
+
+}  // namespace netrpc

@@ -1,0 +1,111 @@
+// NetRPC packet wire format (docs/netrpc.md).
+//
+// A NetRPC packet is Ethernet / IPv4 / UDP followed by the 20-byte NetRPC
+// header and a fixed-size value area of `value_words` 32-bit little-endian
+// words. Requests are sent *pre-sized* for their response (the value area
+// is present but zero on GETs), so the datapath can rewrite a request or
+// a response into the packet it already holds — the PPE never grows a
+// frame. Requests ride UDP dst port 12100 (toward servers), responses
+// ride 12101 (toward clients); both carry the tenant id in the header so
+// the egress classifier and HostMux stay stateless.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace netrpc {
+
+/// UDP destination port of client->server traffic (requests).
+constexpr std::uint16_t kRequestUdpPort = 12100;
+/// UDP destination port of server->client traffic (responses).
+constexpr std::uint16_t kResponseUdpPort = 12101;
+
+/// Value area ceiling: 24 words keeps the whole frame inside the 192-byte
+/// packet head the Dispatch module loads into thread LMEM, so the
+/// microcode datapath rewrites packets without MQSS tail reads.
+constexpr std::uint16_t kMaxValueWords = 24;
+
+/// Offset of the NetRPC header within a frame (after Eth/IP/UDP).
+constexpr std::size_t kNetRpcHdrOff = net::UdpFrameLayout::kPayloadOff;  // 42
+/// Offset of the first value word.
+constexpr std::size_t kValueOff = kNetRpcHdrOff + 20;
+
+enum class Op : std::uint8_t {
+  kGetReq = 1,     // client -> home server; answered from cache on a hit
+  kGetResp = 2,    // server -> client; fills the cache in transit
+  kPutReq = 3,     // client -> replica; invalidates the cache in transit
+  kPutResp = 4,    // replica -> client ack
+  kRpcReq = 5,     // client -> one replica of the fan-out
+  kRpcResp = 6,    // replica -> client; merged in-flight at the PFE
+  kMergedResp = 7, // the PFE's reduced response (or a degraded aged one)
+};
+
+enum class MergePolicy : std::uint8_t {
+  kSum = 0,       // element-wise 32-bit sum (kAddVec32)
+  kMin = 1,       // element-wise unsigned min (kMinVec32)
+  kMajority = 2,  // element-wise Boyer-Moore majority (kVoteVec32)
+};
+
+constexpr std::uint8_t kFlagDegraded = 0x01;  // merged before full fan-in
+constexpr std::uint8_t kFlagCached = 0x02;    // GET answered by the PFE
+
+/// Bit-exact 20-byte layout (fields MSB-first):
+///   op:8 tenant:8 client_id:8 server_id:8
+///   policy:8 flags:8 value_cnt:8 server_cnt:8
+///   rpc_id:32  key:64
+struct NetRpcHeader {
+  static constexpr std::size_t kSize = 20;
+
+  Op op = Op::kGetReq;
+  std::uint8_t tenant = 0;
+  std::uint8_t client_id = 0;
+  std::uint8_t server_id = 0;
+  MergePolicy policy = MergePolicy::kSum;
+  std::uint8_t flags = 0;
+  std::uint8_t value_cnt = 0;   // valid 32-bit words in the value area
+  std::uint8_t server_cnt = 0;  // fan-out width / responders contributing
+  std::uint32_t rpc_id = 0;
+  std::uint64_t key = 0;        // bits 48..55 MUST equal `tenant` (make_key)
+
+  void write(net::Buffer& buf, std::size_t off) const;
+  static NetRpcHeader parse(const net::Buffer& buf, std::size_t off);
+};
+
+/// Tenant-partitioned key: the tenant id lives at bits 48..55 — exactly
+/// where trioml/records.hpp puts the job id, because HwHashTable key
+/// partitions slice on `key >> 48` (trio/hash_table.cpp). User keys are
+/// 48-bit; the top byte stays zero so `key >> 48` IS the tenant id.
+constexpr std::uint64_t make_key(std::uint8_t tenant, std::uint64_t user_key) {
+  return std::uint64_t(tenant) << 48 | (user_key & 0x0000'ffff'ffff'ffffull);
+}
+
+/// The tenant a partitioned key belongs to (inverse of make_key).
+constexpr std::uint8_t tenant_of_key(std::uint64_t key) {
+  return static_cast<std::uint8_t>(key >> 48);
+}
+
+/// make_key's user-key half.
+constexpr std::uint64_t user_key_of(std::uint64_t key) {
+  return key & 0x0000'ffff'ffff'ffffull;
+}
+
+/// Builds a complete NetRPC frame: Eth/IP/UDP + header + `value_words`
+/// value slots (those beyond `values.size()` are zero).
+net::Buffer build_netrpc_frame(const net::MacAddr& eth_src,
+                               const net::MacAddr& eth_dst,
+                               net::Ipv4Addr ip_src, net::Ipv4Addr ip_dst,
+                               std::uint16_t udp_src, std::uint16_t udp_dst,
+                               const NetRpcHeader& hdr,
+                               std::span<const std::uint32_t> values,
+                               std::uint16_t value_words);
+
+std::uint32_t read_value(const net::Buffer& frame, std::size_t i);
+void write_value(net::Buffer& frame, std::size_t i, std::uint32_t v);
+
+/// True when the frame is NetRPC traffic (either UDP port).
+bool is_netrpc_frame(const net::Buffer& frame);
+
+}  // namespace netrpc

@@ -146,6 +146,10 @@ class Pfe {
   void set_program_factory(ProgramFactory factory) {
     program_factory_ = std::move(factory);
   }
+  /// The currently installed factory (empty before any install). Apps that
+  /// stack on one PFE capture this and fall through to it for packets they
+  /// don't claim (netrpc ahead of trioml ahead of plain forwarding).
+  const ProgramFactory& program_factory() const { return program_factory_; }
 
   /// Spawns an internal (timer / event) thread on any available PPE.
   /// When every thread is busy the launch is queued and served ahead of

@@ -227,6 +227,8 @@ int SharedMemorySystem::service_cycles(const XtxnRequest& req) const {
     case XtxnOp::kMaskedWrite64:
       return cal_.rmw_add_cycles;
     case XtxnOp::kAddVec32:
+    case XtxnOp::kMinVec32:
+    case XtxnOp::kVoteVec32:
       return cal_.rmw_add_cycles *
              static_cast<int>(req.data.size() / 4);
     default:
@@ -320,6 +322,47 @@ void SharedMemorySystem::apply(const XtxnRequest& req, XtxnReply& reply) {
         const std::uint32_t addend = static_cast<std::uint32_t>(
             load_le(req.data.data() + i * 4, 4));
         poke_u32(a, peek_u32(a) + addend);
+      }
+      add32_ops_ += n;
+      break;
+    }
+    case XtxnOp::kMinVec32: {
+      // Element-wise unsigned minimum of packed 32-bit integers — the
+      // second RMW merge mode, used by netrpc's `min` response policy.
+      check_addr(req.addr, req.data.size());
+      const std::size_t n = req.data.size() / 4;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t a = req.addr + i * 4;
+        const std::uint32_t incoming = static_cast<std::uint32_t>(
+            load_le(req.data.data() + i * 4, 4));
+        if (incoming < peek_u32(a)) poke_u32(a, incoming);
+      }
+      add32_ops_ += n;
+      break;
+    }
+    case XtxnOp::kVoteVec32: {
+      // Streaming Boyer-Moore majority per element. The merge buffer is
+      // split-plane: candidates live at addr[0 .. len), counts at
+      // addr[len .. 2*len), so the candidate plane is a plain packed
+      // u32 vector a single kRead can fetch as the merged result —
+      // netrpc's `majority` response policy.
+      check_addr(req.addr, req.data.size() * 2);
+      const std::size_t n = req.data.size() / 4;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t a = req.addr + i * 4;
+        const std::uint64_t c = req.addr + req.data.size() + i * 4;
+        const std::uint32_t incoming = static_cast<std::uint32_t>(
+            load_le(req.data.data() + i * 4, 4));
+        const std::uint32_t candidate = peek_u32(a);
+        const std::uint32_t count = peek_u32(c);
+        if (count == 0) {
+          poke_u32(a, incoming);
+          poke_u32(c, 1);
+        } else if (candidate == incoming) {
+          poke_u32(c, count + 1);
+        } else {
+          poke_u32(c, count - 1);
+        }
       }
       add32_ops_ += n;
       break;

@@ -25,6 +25,10 @@ enum class XtxnOp : std::uint8_t {
   kFetchSwap64,   // addr, arg0 = new    -> value: previous value
   kMaskedWrite64, // addr, arg0 = value, arg1 = mask
   kAddVec32,      // addr, data = packed 32-bit little-endian addends
+  kMinVec32,      // addr, data = packed 32-bit words; element-wise unsigned min
+  kVoteVec32,     // addr = split-plane majority buffer (candidates at
+                  // addr[0..len), counts at addr[len..2*len)), data = packed
+                  // 32-bit words; streaming Boyer-Moore majority per element
   // Hardware hash block (§5): 64-bit key -> 64-bit value records with a
   // 'Recently Referenced' flag.
   kHashLookup,    // arg0 = key -> ok, value
@@ -44,6 +48,8 @@ constexpr bool xtxn_is_posted(XtxnOp op) {
     case XtxnOp::kWrite:
     case XtxnOp::kCounterInc:
     case XtxnOp::kAddVec32:
+    case XtxnOp::kMinVec32:
+    case XtxnOp::kVoteVec32:
     case XtxnOp::kMaskedWrite64:
     case XtxnOp::kPmemWrite:
       return true;
@@ -67,6 +73,8 @@ constexpr const char* xtxn_op_name(XtxnOp op) {
     case XtxnOp::kFetchSwap64: return "fetch_swap64";
     case XtxnOp::kMaskedWrite64: return "masked_write64";
     case XtxnOp::kAddVec32: return "add_vec32";
+    case XtxnOp::kMinVec32: return "min_vec32";
+    case XtxnOp::kVoteVec32: return "vote_vec32";
     case XtxnOp::kHashLookup: return "hash_lookup";
     case XtxnOp::kHashInsert: return "hash_insert";
     case XtxnOp::kHashDelete: return "hash_delete";

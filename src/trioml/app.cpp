@@ -98,6 +98,12 @@ std::size_t TrioMlApp::drop_active_blocks(std::uint8_t job_id) {
     std::uint32_t block;
     split_key(key, j, gen, block);
     if (j != job_id) continue;
+    // Co-tenant apps share the hash table: a foreign key (e.g. a netrpc
+    // cache presence entry whose tenant id matches this job id) points at
+    // SMS state that is not a block record — leave it alone.
+    if (record_to_buffer_.find(record_addr) == record_to_buffer_.end()) {
+      continue;
+    }
     hash.erase(key);
     free_slab(Slab{record_addr, buffer_of_record(record_addr)});
     ++dropped;
@@ -125,6 +131,11 @@ std::size_t TrioMlApp::invalidate_active_blocks() {
         std::uint16_t gen;
         std::uint32_t block;
         split_key(key, j, gen, block);
+        // Swept foreign entries (a co-tenant app's keys — the kill took
+        // their state too) have no slab to free here.
+        if (record_to_buffer_.find(record_addr) == record_to_buffer_.end()) {
+          return;
+        }
         ++per_job[j];
         free_slab(Slab{record_addr, buffer_of_record(record_addr)});
       });

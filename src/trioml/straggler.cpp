@@ -33,7 +33,14 @@ trio::Action StragglerScanProgram::do_step(trio::ThreadContext& ctx) {
           for (int i = 7; i >= 0; --i) {
             k = k << 8 | ctx.reply.data[off + static_cast<std::size_t>(i)];
           }
-          if (!is_job_key(k)) aged_.push_back(k);
+          // Skip job records, and skip foreign keys entirely: with key
+          // partitions off, co-tenant apps on this PFE (netrpc's hot-key
+          // cache) share the hash table, and their aged keys must not be
+          // claimed as if they were aggregation blocks.
+          if (!is_job_key(k) &&
+              app_.has_job(static_cast<std::uint8_t>(k >> 48))) {
+            aged_.push_back(k);
+          }
         }
       }
       if (next_ >= aged_.size()) {

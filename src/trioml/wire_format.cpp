@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/headers.hpp"
+#include "netrpc/wire_format.hpp"
 #include "trioml/addressing.hpp"
 
 namespace trioml {
@@ -96,6 +97,13 @@ std::uint8_t tenant_of_frame(const net::Buffer& frame) {
   if (udp.src_port >= kBestEffortPortBase &&
       udp.src_port < kBestEffortPortBase + 256) {
     return static_cast<std::uint8_t>(udp.src_port - kBestEffortPortBase);
+  }
+  // NetRPC traffic (src/netrpc/wire_format.hpp): requests on dst 12100,
+  // responses on dst 12101, tenant id one byte into the NetRPC header.
+  if ((udp.dst_port == netrpc::kRequestUdpPort ||
+       udp.dst_port == netrpc::kResponseUdpPort) &&
+      frame.size() >= netrpc::kNetRpcHdrOff + netrpc::NetRpcHeader::kSize) {
+    return frame.u8(netrpc::kNetRpcHdrOff + 1);
   }
   return 0;
 }

@@ -64,8 +64,10 @@ float dequantize(std::int32_t value, float scale = 1 << 16);
 /// Stateless tenant classification for the MQSS egress scheduler
 /// (trio::TenantClassifier): the Trio-ML job id for aggregation frames
 /// (UDP dst port 12000), the port-plan tenant for best-effort frames
-/// (UDP src port 30000+t — addressing.hpp), 0 (default class) for
-/// everything else including non-IP and malformed frames.
+/// (UDP src port 30000+t — addressing.hpp), the NetRPC header's tenant
+/// byte for RPC frames (UDP dst port 12100/12101 —
+/// netrpc/wire_format.hpp), 0 (default class) for everything else
+/// including non-IP and malformed frames.
 std::uint8_t tenant_of_frame(const net::Buffer& frame);
 
 }  // namespace trioml

@@ -576,4 +576,203 @@ TEST_F(MicroRunner, CallDepthLimitTraps) {
                std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-way branch + vector/hash XTXN edge cases — the shapes the netrpc
+// datapath leans on (an order of magnitude more blocks than the §3.2
+// filter: dispatch fans out over op codes, undecided cases fall through).
+
+TEST_F(MicroRunner, MultiWayBranchFirstMatchingArmWins) {
+  // Two arms of the dispatch both match; the textually first one must
+  // take the branch (the datapath orders arms most-specific first).
+  run(R"(
+    dispatch:
+    begin
+      ir0 = 7;
+      if (ir0 == 7) { goto first; }
+      if (ir0 != 0) { goto second; }
+      goto second;
+    end
+    first:
+    begin
+      SmsWrite64(640, 1);
+      Exit();
+    end
+    second:
+    begin
+      SmsWrite64(640, 2);
+      Exit();
+    end
+  )");
+  EXPECT_EQ(router.pfe(0).sms().peek_u64(640), 1u);
+}
+
+TEST_F(MicroRunner, MultiWayBranchFallsThroughInLexicalOrder) {
+  // No arm matches: the block falls through to the next *lexical* block,
+  // and chained fallthroughs visit blocks strictly in order (fill_evict ->
+  // fill_new -> fill_insert in the netrpc cache path relies on this).
+  run(R"(
+    dispatch:
+    begin
+      ir0 = 5;
+      ir1 = 0;
+      if (ir0 == 1) { goto elsewhere; }
+      if (ir0 == 2) { goto elsewhere; }
+    end
+    step_a:
+    begin
+      ir1 = ir1 * 10 + 1;
+    end
+    step_b:
+    begin
+      ir1 = ir1 * 10 + 2;
+    end
+    step_c:
+    begin
+      SmsWrite64(648, ir1 * 10 + 3);
+      Exit();
+    end
+    elsewhere:
+    begin
+      SmsWrite64(648, 999);
+      Exit();
+    end
+  )");
+  EXPECT_EQ(router.pfe(0).sms().peek_u64(648), 123u);
+}
+
+TEST_F(MicroRunner, SyncXtxnInsideCalledBlockResumesCaller) {
+  // A synchronous XTXN suspends the thread mid-subroutine; the reply must
+  // resume inside `sub` and the return must still land after the call.
+  run(R"(
+    main:
+    begin
+      SmsWrite64(704, 40);
+      call sub;
+    end
+    after:
+    begin
+      SmsWrite64(712, ir0 + 2);
+      Exit();
+    end
+    sub:
+    begin
+      ir0 = SmsRead64(704);
+      return;
+    end
+  )");
+  EXPECT_EQ(router.pfe(0).sms().peek_u64(712), 42u);
+}
+
+TEST_F(MicroRunner, VectorXtxnLmemRangeTrapsInsideCall) {
+  // The operand fetch of a vector XTXN is bounds-checked against the
+  // thread's LMEM at issue time; an out-of-range request aborts the
+  // thread (trap) even when issued from a nested subroutine.
+  EXPECT_THROW(run(R"(
+    main:
+    begin
+      call sub;
+    end
+    after:
+    begin
+      Exit();
+    end
+    sub:
+    begin
+      ir0 = SmsReadVec(0, 100000, 64);
+      return;
+    end
+  )"),
+               std::runtime_error);
+}
+
+TEST_F(MicroRunner, MinVec32FoldsAgainstPreset) {
+  // MinVec32 merges LMEM words into a 0xffffffff-preset buffer (the min
+  // policy's rest state). Byte-symmetric values keep the check
+  // endianness-neutral.
+  run(R"(
+    struct words_t { w0 : 32; w1 : 32; };
+    memory words_t *v = 48;
+    a:
+    begin
+      SmsFill32(768, 0xffffffff, 8);
+      v->w0 = 0x07070707;
+      v->w1 = 0x03030303;
+      MinVec32(768, 48, 8);
+      goto b;
+    end
+    b:
+    begin
+      v->w0 = 0x05050505;
+      v->w1 = 0x09090909;
+      MinVec32(768, 48, 8);
+      Exit();
+    end
+  )");
+  EXPECT_EQ(router.pfe(0).sms().peek_u32(768), 0x05050505u);
+  EXPECT_EQ(router.pfe(0).sms().peek_u32(772), 0x03030303u);
+}
+
+TEST_F(MicroRunner, VoteVec32StreamsBoyerMooreMajority) {
+  // Split-plane majority: candidates at addr, counts at addr+len. Three
+  // votes, two for 0x05050505 — the candidate plane must settle on it.
+  run(R"(
+    struct words_t { w0 : 32; };
+    memory words_t *v = 48;
+    a:
+    begin
+      v->w0 = 0x05050505;
+      VoteVec32(832, 48, 4);
+      goto b;
+    end
+    b:
+    begin
+      v->w0 = 0x0a0a0a0a;
+      VoteVec32(832, 48, 4);
+      goto c;
+    end
+    c:
+    begin
+      v->w0 = 0x05050505;
+      VoteVec32(832, 48, 4);
+      Exit();
+    end
+  )");
+  EXPECT_EQ(router.pfe(0).sms().peek_u32(832), 0x05050505u);
+  EXPECT_EQ(router.pfe(0).sms().peek_u32(836), 1u);  // count plane
+}
+
+TEST_F(MicroRunner, HashInsertRefusesDuplicateDeleteReports) {
+  // HashInsert is a refused no-op while a fresh entry lives (the cache
+  // fill path calls it unconditionally); HashDelete reports whether it
+  // removed anything (the PUT invalidation counter gates on it).
+  run(R"(
+    a:
+    begin
+      ir0 = HashInsert(777, 4096);
+      goto b;
+    end
+    b:
+    begin
+      ir1 = HashInsert(777, 8192);
+      goto c;
+    end
+    c:
+    begin
+      ir2 = HashDelete(777);
+      goto d;
+    end
+    d:
+    begin
+      ir3 = HashDelete(777);
+      goto e;
+    end
+    e:
+    begin
+      SmsWrite64(896, ir0 * 1000 + ir1 * 100 + ir2 * 10 + ir3);
+      Exit();
+    end
+  )");
+  EXPECT_EQ(router.pfe(0).sms().peek_u64(896), 1010u);
+}
+
 }  // namespace

@@ -5,7 +5,7 @@
 //            [--counter WORD_ADDR] ... [--metrics-out FILE]
 //            [--trace-out FILE]
 //   trio-run --cluster RxW [--blocks N] [--faults FILE] [--deadline DUR]
-//            [--jobs FILE] [--no-isolation]
+//            [--jobs FILE] [--netrpc] [--no-isolation]
 //            [--metrics-out FILE] [--trace-out FILE]
 //
 // Traffic mix tokens: "ip" (clean IPv4/UDP), "arp" (non-IP EtherType),
@@ -25,6 +25,14 @@
 // enabled unless --no-isolation is given, and every tenant runs
 // concurrently. Malformed specs are rejected with the offending line and
 // column, like --faults.
+//
+// --netrpc (cluster mode) admits one canned NetRPC tenant (id 4: sum
+// policy, 3 replicas, hot-key cache — docs/netrpc.md) on top of whatever
+// --jobs declared, so `trio-run --cluster 2x4 --netrpc` demos the
+// in-network RPC path with zero spec files. NetRPC tenants — canned or
+// from --jobs — get a per-tenant report: calls merged in-network,
+// degraded completions, cache hit rate, PFE counter readbacks and the
+// value digest.
 //
 // --faults FILE (cluster mode) loads a chaos schedule in the faults DSL
 // (docs/faults.md), arms it on the cluster, hardens every worker's
@@ -64,14 +72,14 @@ int usage() {
                "[--metrics-out FILE] [--trace-out FILE]\n"
                "       trio-run --cluster RxW [--blocks N] "
                "[--faults FILE] [--deadline DUR] "
-               "[--jobs FILE] [--no-isolation] "
+               "[--jobs FILE] [--netrpc] [--no-isolation] "
                "[--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
 
 int run_cluster(const std::string& topo, int blocks,
                 const std::string& faults_path, const std::string& deadline_s,
-                const std::string& jobs_path, bool isolation,
+                const std::string& jobs_path, bool netrpc_demo, bool isolation,
                 const std::string& metrics_out, const std::string& trace_out) {
   const std::size_t x = topo.find('x');
   const int racks = x == std::string::npos ? 0 : std::atoi(topo.c_str());
@@ -100,6 +108,26 @@ int run_cluster(const std::string& topo, int blocks,
     } catch (const std::exception& e) {
       std::fprintf(stderr, "trio-run: %s\n", e.what());
       return 1;
+    }
+  }
+  if (netrpc_demo) {
+    bool have_netrpc = false;
+    for (const jobs::TenantSpec& t : jobs_spec.tenants) {
+      if (t.is_netrpc()) have_netrpc = true;
+    }
+    if (!have_netrpc) {
+      jobs::TenantSpec rpc;
+      rpc.id = 4;
+      rpc.kind = jobs::TenantKind::kNetRpc;
+      for (const jobs::TenantSpec& t : jobs_spec.tenants) {
+        if (t.id == rpc.id) {
+          std::fprintf(stderr,
+                       "trio-run: --netrpc wants tenant id 4 but --jobs "
+                       "already declares it\n");
+          return 1;
+        }
+      }
+      jobs_spec.tenants.push_back(rpc);
     }
   }
 
@@ -192,6 +220,68 @@ int run_cluster(const std::string& topo, int blocks,
         // Crashed workers are expected casualties, as in the faulted
         // single-job path; every survivor must finish.
         if (tr.finished < spec.total_workers() - crashed) all_finished = false;
+      } else if (tr.kind == jobs::TenantKind::kNetRpc) {
+        const jobs::TenantSpec* ts = mgr->tenant_spec(tr.id);
+        const jobs::NetRpcRun& nr = tr.netrpc;
+        std::printf(
+            "  tenant %u %s: %d/%d clients finished in %.2f us, "
+            "digest %016llx\n",
+            unsigned(tr.id), jobs::kind_name(tr.kind), tr.finished,
+            ts != nullptr ? int(ts->rpc_clients) : tr.finished,
+            tr.duration_us(),
+            static_cast<unsigned long long>(tr.digest()));
+        std::printf(
+            "    calls %llu (%llu degraded), gets %llu (%llu cached, "
+            "%.0f%% hit), puts %llu\n",
+            static_cast<unsigned long long>(nr.calls),
+            static_cast<unsigned long long>(nr.degraded),
+            static_cast<unsigned long long>(nr.gets),
+            static_cast<unsigned long long>(nr.cached_gets),
+            nr.gets > 0 ? 100.0 * double(nr.cached_gets) / double(nr.gets)
+                        : 0.0,
+            static_cast<unsigned long long>(nr.puts));
+        if (nr.call_latency_us.count() > 0) {
+          sim::Samples lat = nr.call_latency_us;  // percentile() sorts
+          std::printf("    call latency: p50 %.2f us, p99 %.2f us\n",
+                      lat.percentile(50), lat.percentile(99));
+        }
+        if (nr.get_hit_latency_us.count() > 0 &&
+            nr.get_miss_latency_us.count() > 0) {
+          std::printf("    GET latency: cache hit %.2f us vs miss %.2f us\n",
+                      nr.get_hit_latency_us.mean(),
+                      nr.get_miss_latency_us.mean());
+        }
+        if (netrpc::NetRpcApp* app = mgr->netrpc_app()) {
+          std::printf(
+              "    PFE counters: merged %llu, completed %llu, hit %llu, "
+              "miss %llu, fill %llu, invalidate %llu, degraded %llu\n",
+              static_cast<unsigned long long>(
+                  app->counter_packets(tr.id, netrpc::kCtrMerged)),
+              static_cast<unsigned long long>(
+                  app->counter_packets(tr.id, netrpc::kCtrCompleted)),
+              static_cast<unsigned long long>(
+                  app->counter_packets(tr.id, netrpc::kCtrCacheHit)),
+              static_cast<unsigned long long>(
+                  app->counter_packets(tr.id, netrpc::kCtrCacheMiss)),
+              static_cast<unsigned long long>(
+                  app->counter_packets(tr.id, netrpc::kCtrCacheFill)),
+              static_cast<unsigned long long>(
+                  app->counter_packets(tr.id, netrpc::kCtrInvalidate)),
+              static_cast<unsigned long long>(
+                  app->counter_packets(tr.id, netrpc::kCtrDegraded)));
+        }
+        if (ts != nullptr && tr.finished < int(ts->rpc_clients)) {
+          // A crashed client is an expected casualty under --faults, like
+          // a crashed allreduce worker.
+          int crashed = 0;
+          for (int w = 0; w < spec.total_workers(); ++w) {
+            const netrpc::RpcClient* c = mgr->tenant_rpc_client(tr.id, w);
+            if (c != nullptr && c->crashed()) ++crashed;
+          }
+          if (tr.finished < int(ts->rpc_clients) - crashed) {
+            all_finished = false;
+          }
+        }
       } else {
         const jobs::TenantSpec* ts = mgr->tenant_spec(tr.id);
         std::printf("  tenant %u %s: load %.2f background traffic\n",
@@ -320,6 +410,7 @@ int main(int argc, char** argv) {
   std::string faults_path;
   std::string deadline_s;
   std::string jobs_path;
+  bool netrpc_demo = false;
   bool isolation = true;
   int blocks = 8;
   int packets = 1000;
@@ -349,6 +440,8 @@ int main(int argc, char** argv) {
       jobs_path = argv[++i];
     } else if (arg.rfind("--jobs=", 0) == 0) {
       jobs_path = arg.substr(std::string("--jobs=").size());
+    } else if (arg == "--netrpc") {
+      netrpc_demo = true;
     } else if (arg == "--no-isolation") {
       isolation = false;
     } else if (arg == "--mix" && i + 1 < argc) {
@@ -374,7 +467,8 @@ int main(int argc, char** argv) {
   }
   if (!cluster_topo.empty()) {
     return run_cluster(cluster_topo, blocks, faults_path, deadline_s,
-                       jobs_path, isolation, metrics_out, trace_out);
+                       jobs_path, netrpc_demo, isolation, metrics_out,
+                       trace_out);
   }
   if (path.empty() || packets <= 0 || mix.empty()) return usage();
 
