@@ -15,6 +15,7 @@ const IntrinsicInfo* intrinsic_info(const std::string& name) {
       {"SmsRead64", {IntrinsicKind::kSync, 1}},
       {"FetchAdd32", {IntrinsicKind::kSync, 2}},
       {"FetchOr64", {IntrinsicKind::kSync, 2}},
+      {"FetchSwap64", {IntrinsicKind::kSync, 2}},
       {"HashLookup", {IntrinsicKind::kSync, 1}},
       {"HashInsert", {IntrinsicKind::kSync, 2}},
       {"HashDelete", {IntrinsicKind::kSync, 1}},

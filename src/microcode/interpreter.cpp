@@ -206,6 +206,10 @@ trio::XtxnRequest MicrocodeThread::build_request(
     req.op = trio::XtxnOp::kFetchOr64;
     req.addr = args[0];
     req.arg0 = args[1];
+  } else if (name == "FetchSwap64") {
+    req.op = trio::XtxnOp::kFetchSwap64;
+    req.addr = args[0];
+    req.arg0 = args[1];
   } else if (name == "HashLookup") {
     req.op = trio::XtxnOp::kHashLookup;
     req.arg0 = args[0];

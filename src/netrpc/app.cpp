@@ -117,11 +117,19 @@ class PendingScanProgram : public trio::PpeProgram {
 
       case State::kMeta: {
         NetRpcApp::Service* svc = app_.service_mut(tenants_[ti_]);
+        if (svc == nullptr) {  // torn down while the slot read was in flight
+          ++ti_;
+          slot_ = 0;
+          state_ = State::kNextSlot;
+          return trio::ActContinue{1};
+        }
         owner_ = le64(ctx.reply.data, 0);
         arrived_ = le32(ctx.reply.data, 8);
         std::uint32_t& snap = svc->arrived_snapshot[slot_];
         state_ = State::kNextSlot;
-        if (arrived_ == 0) {
+        if (arrived_ == 0 || (owner_ & 1) != 0) {
+          // Idle, or a done-marked slot mid-reset (the completing
+          // thread's posted writes race this read): nothing to age.
           snap = 0;
           ++slot_;
           return trio::ActContinue{1};
@@ -154,6 +162,12 @@ class PendingScanProgram : public trio::PpeProgram {
 
       case State::kMerge: {
         NetRpcApp::Service* svc = app_.service_mut(tenants_[ti_]);
+        if (svc == nullptr) {  // torn down between the meta and merge reads
+          ++ti_;
+          slot_ = 0;
+          state_ = State::kNextSlot;
+          return trio::ActContinue{1};
+        }
         const ServiceConfig& cfg = svc->config;
         const auto client =
             static_cast<std::uint8_t>(slot_ / kPendingSlotsPerClient);
@@ -169,7 +183,7 @@ class PendingScanProgram : public trio::PpeProgram {
         hdr.policy = cfg.policy;
         hdr.flags = kFlagDegraded;
         hdr.server_cnt = static_cast<std::uint8_t>(arrived_);
-        hdr.rpc_id = static_cast<std::uint32_t>(owner_);
+        hdr.rpc_id = static_cast<std::uint32_t>(owner_ >> 1);
         net::MacAddr dst_mac = svc->service_mac;
         dst_mac[5] = static_cast<std::uint8_t>(client + 1);
         net::Buffer frame = build_netrpc_frame(
@@ -204,13 +218,21 @@ class PendingScanProgram : public trio::PpeProgram {
   }
 
   /// Posted writes restoring the slot to its preset (identity) state.
+  /// The owner word keeps the call id and gains the done marker, so the
+  /// call's stragglers — which stall_for delays but never drops — read
+  /// their own id as completed and drop instead of re-claiming the slot.
   void queue_reset(const NetRpcApp::Service& svc) {
     const std::uint64_t slot_addr =
         svc.layout.pending_base + slot_ * kPendingSlotBytes;
     trio::ActAsyncXtxn meta;
     meta.req.op = trio::XtxnOp::kWrite;
     meta.req.addr = slot_addr;
-    meta.req.data.assign(16, 0);  // owner + arrived
+    meta.req.data.assign(16, 0);  // owner (done-marked) + arrived
+    const std::uint64_t done = owner_ | 1;
+    for (int i = 0; i < 8; ++i) {
+      meta.req.data[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(done >> (8 * i));
+    }
     meta.instructions = 1;
     pending_.push_back(meta);
 

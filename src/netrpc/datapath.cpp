@@ -91,6 +91,7 @@ std::string generate_datapath_source(const ServiceConfig& cfg,
       << "virtual const CTR_RELAY = " << ctr_word(kCtrRelayed) << ";\n"
       << "virtual const CTR_TO_SRV = " << ctr_word(kCtrToServer) << ";\n"
       << "virtual const CTR_BAD = " << ctr_word(kCtrBad) << ";\n"
+      << "virtual const CTR_STALE = " << ctr_word(kCtrStale) << ";\n"
       << "\n"
          "memory ether_t *eth_p = 0;\n"
          "memory ipv4_t *ip_p = 14;\n"
@@ -300,6 +301,21 @@ std::string generate_datapath_source(const ServiceConfig& cfg,
   // vector op into the pending slot's merge buffer *before* the arrival
   // counter ticks (both resolve at SMS issue order), so the thread that
   // sees old+1 == N can read a complete merge.
+  //
+  // Ownership: the slot's owner word is (rpc_id << 1) | done. Per-client
+  // call ids are monotone and never congruent mod P_SLOTS while live
+  // (RpcClient enforces both), so the owner classifies a response:
+  // exactly our id with done clear -> the live call, merge; our id with
+  // done set -> our call already completed (the aging scan gave up on
+  // us), drop; a larger id -> the slot moved on to a newer call, drop;
+  // a smaller id -> that call is finished, claim the slot by overwriting
+  // the owner. Stale responses never write, and every done transition
+  // (full fan-in below, degraded completion in the scan) restores the
+  // preset arrived/merge state — so a claim needs no reset, and
+  // concurrent claims by responses of one call write identical owner
+  // words. Without the done marker, a straggler arriving after its call
+  // was degraded re-pollutes the reset slot and the next call on the
+  // slot completes one response early with the stale value folded in.
   src <<
       "merge_check_hdr:\n"
       "begin\n"
@@ -310,17 +326,35 @@ std::string generate_datapath_source(const ServiceConfig& cfg,
       "merge_check_policy:\n"
       "begin\n"
       "  if (rpc_p->policy != POLICY) { goto bad_packet; }\n"
+      "  ir6 = rpc_p->rpc_id;\n"
       "end\n"
       "\n"
       "merge_slot:\n"
       "begin\n"
       "  ir4 = P_BASE + (rpc_p->client_id * P_SLOTS\n"
-      "                  + (rpc_p->rpc_id & P_MASK)) * P_SLOT;\n"
+      "                  + (ir6 & P_MASK)) * P_SLOT;\n"
       "end\n"
       "\n"
-      "merge_owner:\n"
+      "merge_owner_rd:\n"
       "begin\n"
-      "  SmsWrite64(ir4, rpc_p->rpc_id);\n"  // aging scan reads this back
+      "  ir5 = SmsRead64(ir4);\n"
+      "end\n"
+      "\n"
+      "merge_owner_decide:\n"
+      "begin\n"
+      "  if (ir5 == (ir6 << 1)) { goto merge_do; }\n"  // live occupant
+      "  goto merge_owner_order;\n"
+      "end\n"
+      "\n"
+      "merge_owner_order:\n"
+      "begin\n"
+      "  if ((ir5 >> 1) < ir6) { goto merge_claim; }\n"  // finished: take it
+      "  goto merge_stale;\n"  // our call completed, or a newer call owns
+      "end\n"
+      "\n"
+      "merge_claim:\n"
+      "begin\n"
+      "  SmsWrite64(ir4, ir6 << 1);\n"  // aging scan reads this back
       "end\n"
       "\n"
       "merge_do:\n"
@@ -361,8 +395,8 @@ std::string generate_datapath_source(const ServiceConfig& cfg,
       "\n"
       "merge_reset_meta:\n"
       "begin\n"
-      "  SmsWrite64(ir4, 0);\n"      // owner
-      "  SmsWrite64(ir4 + 8, 0);\n"  // arrived counter (+ padding)
+      "  SmsWrite64(ir4, (ir6 << 1) | 1);\n"  // owner: done, id kept
+      "  SmsWrite64(ir4 + 8, 0);\n"           // arrived counter (+ padding)
       "end\n"
       "\n"
       "merge_reset_buf:\n"
@@ -375,6 +409,12 @@ std::string generate_datapath_source(const ServiceConfig& cfg,
       "  }\n"
       "  CounterIncPhys(CTR_DONE, r_work.pkt_len);\n"
       "  goto to_client;\n"
+      "end\n"
+      "\n"
+      "merge_stale:\n"
+      "begin\n"
+      "  CounterIncPhys(CTR_STALE, r_work.pkt_len);\n"
+      "  Drop();\n"  // displaced straggler: absorbed without a trace
       "end\n"
       "\n";
 

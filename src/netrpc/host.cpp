@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "netrpc/layout.hpp"
+
 namespace netrpc {
 
 // ---------------------------------------------------------------------------
@@ -44,11 +46,32 @@ void RpcClient::send_request(Op op, std::uint8_t server_id,
   tx_.send(net::Packet::make(std::move(frame)));
 }
 
+std::uint32_t RpcClient::alloc_call_id() {
+  // With window <= kPendingSlotsPerClient, at most window-1 slots are
+  // held when a call is admitted, so a free slot exists within the next
+  // kPendingSlotsPerClient consecutive ids. Skipped ids are simply never
+  // used; the sequence stays monotone (the datapath's stale-owner test
+  // relies on that).
+  for (std::size_t tries = 0; tries < kPendingSlotsPerClient; ++tries) {
+    const std::uint32_t id = next_call_id_++;
+    const std::uint32_t slot = id % kPendingSlotsPerClient;
+    bool busy = false;
+    for (const auto& [live_id, call] : calls_) {
+      if (live_id % kPendingSlotsPerClient == slot) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy) return id;
+  }
+  throw std::logic_error("RpcClient: no free pending slot");  // unreachable
+}
+
 void RpcClient::call(const std::vector<std::uint32_t>& args,
                      std::function<void(CallResult)> done) {
   if (crashed_) throw std::logic_error("RpcClient: crashed");
   if (!can_call()) throw std::logic_error("RpcClient: call window full");
-  const std::uint32_t rpc_id = next_rpc_id_++;
+  const std::uint32_t rpc_id = alloc_call_id();
   PendingCall& call = calls_[rpc_id];
   call.start = sim_.now();
   call.done = std::move(done);
@@ -61,7 +84,7 @@ void RpcClient::call(const std::vector<std::uint32_t>& args,
 void RpcClient::get(std::uint64_t user_key,
                     std::function<void(GetResult)> done) {
   if (crashed_) throw std::logic_error("RpcClient: crashed");
-  const std::uint32_t rpc_id = next_rpc_id_++;
+  const std::uint32_t rpc_id = next_key_id_++;
   PendingKeyOp& op = key_ops_[rpc_id];
   op.start = sim_.now();
   op.user_key = user_key;
@@ -75,7 +98,7 @@ void RpcClient::put(std::uint64_t user_key,
                     const std::vector<std::uint32_t>& values,
                     std::function<void(PutResult)> done) {
   if (crashed_) throw std::logic_error("RpcClient: crashed");
-  const std::uint32_t rpc_id = next_rpc_id_++;
+  const std::uint32_t rpc_id = next_key_id_++;
   PendingKeyOp& op = key_ops_[rpc_id];
   op.start = sim_.now();
   op.user_key = user_key;

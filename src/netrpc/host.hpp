@@ -62,8 +62,9 @@ class RpcClient : public net::Node {
     MergePolicy policy = MergePolicy::kSum;
     std::uint16_t value_words = 8;
     /// Outstanding fan-out calls; must stay within the PFE's per-client
-    /// pending slots (rpc_id & 15 indexes the slot — two live calls on
-    /// the same slot would merge into each other).
+    /// pending slots (rpc_id & 15 indexes the slot — the client skips
+    /// call ids whose slot is still held by a live call, so two live
+    /// calls never merge into each other).
     std::uint32_t window = 8;
     std::uint16_t udp_src_port = 12100;
     /// GET/PUT loss recovery (fan-out calls are never retransmitted —
@@ -142,6 +143,10 @@ class RpcClient : public net::Node {
 
   void send_request(Op op, std::uint8_t server_id, std::uint32_t rpc_id,
                     std::uint64_t key, const std::vector<std::uint32_t>& vals);
+  /// Next fan-out call id: monotone, and never congruent mod the PFE's
+  /// pending slots with any live call (the slot the id hashes to must be
+  /// free, or the aggregating PFE would merge two calls into each other).
+  std::uint32_t alloc_call_id();
   void arm_retransmit(std::uint32_t rpc_id);
   void host_merge(PendingCall& call, const NetRpcHeader& hdr,
                   const net::Buffer& frame);
@@ -152,7 +157,13 @@ class RpcClient : public net::Node {
   sim::Simulator& sim_;
   Config config_;
   net::LinkEndpoint& tx_;
-  std::uint32_t next_rpc_id_ = 1;
+  // Fan-out calls and GET/PUT key ops draw from separate id sequences:
+  // only call ids index the PFE's pending-merge slots (mod 16), so a
+  // burst of key ops between two call()s must not advance the call ids
+  // onto an occupied slot. Responses demux by opcode, so overlap between
+  // the two sequences is harmless.
+  std::uint32_t next_call_id_ = 1;
+  std::uint32_t next_key_id_ = 1;
   std::unordered_map<std::uint32_t, PendingCall> calls_;
   std::unordered_map<std::uint32_t, PendingKeyOp> key_ops_;
   bool crashed_ = false;

@@ -18,11 +18,18 @@ namespace netrpc {
 
 // --- Pending-merge slots (one per outstanding fan-out RPC) ---------------
 // Slot for (client, rpc) = P_BASE + (client_id * kPendingSlotsPerClient +
-// rpc_id % kPendingSlotsPerClient) * kPendingSlotBytes. A client's send
-// window must stay <= kPendingSlotsPerClient so live RPCs never collide.
+// rpc_id % kPendingSlotsPerClient) * kPendingSlotBytes. The owner word is
+// (rpc_id << 1) | done. The client never has two live calls congruent mod
+// kPendingSlotsPerClient (RpcClient's id allocator skips occupied slots),
+// and call ids are monotone per client, so the datapath classifies every
+// RPC_RESP against the owner: the live call merges, a response for a
+// completed call (done set, or a larger id owning the slot) drops without
+// writing, and a newer call claims a finished slot by overwriting the
+// owner alone — every done transition restores the preset arrived/merge
+// state, so claims need no reset and cannot race.
 constexpr std::size_t kPendingSlotsPerClient = 16;  // power of two
 constexpr std::size_t kPendingSlotBytes = 256;
-constexpr std::size_t kPendingOwnerOff = 0;    // u64: rpc_id of the occupant
+constexpr std::size_t kPendingOwnerOff = 0;    // u64: (rpc_id << 1) | done
 constexpr std::size_t kPendingArrivedOff = 8;  // u32: responses merged so far
 constexpr std::size_t kPendingMergeOff = 16;   // merge buffer (see below)
 
@@ -60,7 +67,10 @@ enum CounterIdx : std::size_t {
   kCtrBad = 8,         // malformed / mis-tenanted packets dropped
   kCtrDegraded = 9,    // aged merges emitted degraded (scan thread)
   kCtrCacheAged = 10,  // cache entries aged out by the REF scan
-  kCounterCount = 11,
+  kCtrStale = 11,      // responses that lost the pending-slot ownership
+                       // race (displaced stragglers dropped, residue
+                       // reclaimed by a newer call)
+  kCounterCount = 12,
 };
 constexpr std::size_t kCounterBytes = 16;
 

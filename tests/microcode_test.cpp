@@ -526,6 +526,39 @@ TEST_F(MicroRunner, FetchAddReturnsOldValue) {
   EXPECT_EQ(router.pfe(0).sms().peek_u32(512), 10u);
 }
 
+TEST_F(MicroRunner, FetchSwapReturnsPreviousValueAndStoresNew) {
+  run(R"(
+    seed:
+    begin
+      SmsWrite64(512, 41);
+      goto a;
+    end
+    a:
+    begin
+      ir0 = FetchSwap64(512, 99);
+      goto b;
+    end
+    b:
+    begin
+      SmsWrite64(1024, ir0);
+      goto c;
+    end
+    c:
+    begin
+      ir1 = FetchSwap64(512, 7);
+      goto d;
+    end
+    d:
+    begin
+      SmsWrite64(1032, ir1);
+      Exit();
+    end
+  )");
+  EXPECT_EQ(router.pfe(0).sms().peek_u64(1024), 41u);  // first swap: seed out
+  EXPECT_EQ(router.pfe(0).sms().peek_u64(1032), 99u);  // second: first's new
+  EXPECT_EQ(router.pfe(0).sms().peek_u64(512), 7u);    // final stored value
+}
+
 TEST_F(MicroRunner, HashLookupMissGivesZero) {
   run(R"(
     a:

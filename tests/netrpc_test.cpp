@@ -263,6 +263,118 @@ TEST(NetRpc, CrashedReplicaCompletesDegradedViaAging) {
   EXPECT_TRUE(logged);
 }
 
+// The expected in-network sum merge for one fan-out call: every replica
+// contributes RpcServer::compute() = arg + i + rpc_id % 97 + server_id * 13.
+std::vector<std::uint32_t> expected_sum(const std::vector<std::uint32_t>& args,
+                                        std::uint32_t rpc_id,
+                                        std::uint8_t servers) {
+  std::vector<std::uint32_t> out(args.size());
+  std::uint32_t id_term = 0;
+  for (std::uint8_t s = 0; s < servers; ++s) id_term += s * 13u;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    out[i] = servers * (args[i] + std::uint32_t(i) + rpc_id % 97) + id_term;
+  }
+  return out;
+}
+
+TEST(NetRpc, StragglerCannotPolluteAReusedPendingSlot) {
+  // The REVIEW.md high-severity scenario: a stalled replica's late
+  // RPC_RESP arrives *after* the aging scan completed its call degraded
+  // and reset the pending slot. The late response re-claims the empty
+  // slot; a later call that maps to the same slot (ids 16 apart) must
+  // not fold that stale contribution in — the datapath's FetchSwap64
+  // ownership test reclaims the residue instead.
+  Cluster cl(netrpc_spec());
+  jobs::JobManager mgr(cl);
+  mgr.set_netrpc_aging(sim::Duration::micros(100));
+  jobs::TenantSpec spec = netrpc_tenant(4);
+  spec.rpc_window = 16;
+  ASSERT_TRUE(mgr.admit(spec).admitted);
+  netrpc::RpcClient* client = mgr.tenant_rpc_client(4, 0);
+  ASSERT_NE(client, nullptr);
+  auto& sim = cl.simulator();
+  const std::vector<std::uint32_t> args{5, 6, 7, 8, 9, 10, 11, 12};
+
+  // Replica 2 (host 3) straggles past the aging patience: call #1
+  // completes degraded at ~2 aging periods with 2 contributors.
+  mgr.tenant_rpc_server(4, 3)->stall_for(sim::Duration::millis(1));
+  std::vector<netrpc::CallResult> results;
+  client->call(args, [&](netrpc::CallResult r) { results.push_back(r); });
+  sim.run_until(at_us(950));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].degraded);
+  EXPECT_EQ(results[0].server_cnt, 2);
+
+  // Burn the other 15 pending slots so the next call reuses slot 1.
+  for (int i = 0; i < 15; ++i) {
+    client->call(args, [&](netrpc::CallResult r) { results.push_back(r); });
+  }
+  // The stall lifts at 1ms: the fillers finish and call #1's straggler
+  // response reaches the PFE, where it re-claims the (reset) slot.
+  sim.run_until(at_us(1050));
+  ASSERT_EQ(results.size(), 16u);
+
+  // The call that reuses slot 1 must merge exactly its own 3 responses.
+  client->call(args, [&](netrpc::CallResult r) { results.push_back(r); });
+  sim.run_until(at_us(1300));
+  ASSERT_EQ(results.size(), 17u);
+  const netrpc::CallResult& reused = results.back();
+  EXPECT_FALSE(reused.degraded);
+  EXPECT_EQ(reused.server_cnt, 3);
+  EXPECT_EQ(reused.values, expected_sum(args, reused.rpc_id, 3));
+  // The stale residue was detected and reclaimed, not merged.
+  EXPECT_GE(mgr.netrpc_app()->counter_packets(4, netrpc::kCtrStale), 1u);
+  EXPECT_EQ(client->degraded_calls(), 1u);
+}
+
+TEST(NetRpc, KeyOpsBetweenCallsNeverCollideLiveCallsOnASlot) {
+  // REVIEW.md medium: get()/put() used to share the call id sequence, so
+  // 15 key ops between two call()s put both live calls on the same
+  // pending slot and the PFE merged them into each other. Key ops now
+  // draw from their own sequence and the call allocator skips held
+  // slots.
+  Cluster cl(netrpc_spec());
+  jobs::JobManager mgr(cl);
+  // Aging far beyond the straggle keeps call A live the whole time.
+  mgr.set_netrpc_aging(sim::Duration::millis(10));
+  ASSERT_TRUE(mgr.admit(netrpc_tenant(4)).admitted);
+  netrpc::RpcClient* client = mgr.tenant_rpc_client(4, 0);
+  ASSERT_NE(client, nullptr);
+  auto& sim = cl.simulator();
+  const std::vector<std::uint32_t> args{1, 2, 3, 4, 5, 6, 7, 8};
+
+  // Call A stays live while 15 key ops advance the shared counter the
+  // old code used for everything.
+  mgr.tenant_rpc_server(4, 3)->stall_for(sim::Duration::millis(2));
+  std::vector<netrpc::CallResult> results;
+  client->call(args, [&](netrpc::CallResult r) { results.push_back(r); });
+  for (std::uint64_t k = 0; k < 15; ++k) {
+    client->put(k, args, [](netrpc::PutResult) {});
+  }
+  sim.run_until(at_us(500));
+  ASSERT_TRUE(results.empty());  // A still pending on the straggler
+
+  // Call B must land on its own slot. With the old shared id sequence B
+  // took A's slot: B's fast responses completed on top of A's partial
+  // merge (wrong values, one response early) and A never completed.
+  client->call(args, [&](netrpc::CallResult r) { results.push_back(r); });
+  sim.run_until(at_us(1000));
+  ASSERT_TRUE(results.empty());  // B waits on the straggler too — no
+                                 // cross-call completion possible
+
+  // The stall lifts at 2ms: both calls complete at full fan-in, each
+  // merging exactly its own 3 responses.
+  sim.run_until(at_us(2500));
+  ASSERT_EQ(results.size(), 2u);
+  for (const netrpc::CallResult& r : results) {
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.server_cnt, 3);
+    EXPECT_EQ(r.values, expected_sum(args, r.rpc_id, 3));
+  }
+  EXPECT_NE(results[0].rpc_id, results[1].rpc_id);
+  EXPECT_EQ(mgr.netrpc_app()->counter_packets(4, netrpc::kCtrStale), 0u);
+}
+
 TEST(NetRpc, CacheDropFaultForcesRefill) {
   Cluster cl(netrpc_spec());
   jobs::JobManager mgr(cl);
