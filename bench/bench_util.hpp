@@ -2,6 +2,7 @@
 // figure-reproduction benches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -94,6 +95,17 @@ class JsonSeries {
   std::vector<std::string> fields_;
   std::vector<std::string> rows_;
 };
+
+/// Appends the standard host-performance triple — wall-clock milliseconds,
+/// simulation events executed (the engine's monotonic events_executed()),
+/// and events per wall-clock second — to the JSON row being built.
+inline JsonSeries& perf_fields(JsonSeries& series, double wall_ms,
+                               std::uint64_t sim_events) {
+  const double per_sec = wall_ms > 0.0 ? double(sim_events) / (wall_ms / 1e3) : 0.0;
+  return series.number("wall_ms", wall_ms)
+      .number("sim_events", sim_events)
+      .number("events_per_sec", per_sec);
+}
 
 /// Parses `--json-out=<file>` (or `--json-out <file>`); empty = not given.
 inline std::string parse_json_out_flag(int argc, char** argv) {

@@ -6,10 +6,18 @@
 // the same worker gradients — the tree changes where addition happens,
 // never what it produces.
 //
+// A second sweep holds the largest topology fixed and varies --shards:
+// the parallel discrete-event engine (sim/shard.hpp) runs the same 8x8
+// allreduce on 1, 2, 4 and 8 OS threads. The result digest must be
+// bit-identical at every shard count (hard failure otherwise — that is
+// the engine's determinism contract, docs/performance.md), and the JSON
+// records the wall-clock speedup curve for multi-core CI.
+//
 //   fig17_scaleout [--json-out=<file>] [--metrics-out=<json>]
 //                  [--trace-out=<json>]
 //
 // Telemetry flags apply to the largest topology in the sweep.
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -28,6 +36,48 @@ struct Topology {
 constexpr std::size_t kBlocks = 32;
 constexpr std::uint16_t kGradsPerPacket = 1024;
 
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count() * 1e3;
+}
+
+/// FNV-1a over every worker's result gradients plus the completion count
+/// and final simulated clock — the fingerprint the shard sweep compares.
+std::uint64_t results_digest(const cluster::AllreduceRun& run,
+                             sim::Time final_now) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto eat = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  eat(std::uint64_t(run.finished));
+  eat(std::uint64_t(run.finish.ns()));
+  eat(std::uint64_t(final_now.ns()));
+  for (const trioml::AllreduceResult& r : run.results) {
+    eat(r.grads.size());
+    for (float g : r.grads) {
+      std::uint32_t bits;
+      __builtin_memcpy(&bits, &g, sizeof bits);
+      eat(bits);
+    }
+  }
+  return h;
+}
+
+cluster::ClusterSpec make_spec(const Topology& topo, int shards) {
+  cluster::ClusterSpec spec;
+  spec.racks = topo.racks;
+  spec.workers_per_rack = topo.workers_per_rack;
+  spec.grads_per_packet = kGradsPerPacket;
+  spec.fabric_link.gbps = 400;  // spine trunks are faster than host links
+  spec.fabric_link.latency = sim::Duration::micros(2);
+  spec.shards = shards;
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,7 +93,8 @@ int main(int argc, char** argv) {
   };
 
   benchutil::row({"racks", "wkr/rack", "workers", "time_us", "agg_gbps",
-                  "per_wkr_gbps", "identical"});
+                  "per_wkr_gbps", "wall_ms", "Mev/s", "identical"},
+                 /*width=*/12);
   benchutil::JsonSeries series;
   telemetry::Telemetry telem(telem_opts.metrics_enabled(),
                              telem_opts.trace_enabled());
@@ -52,12 +103,7 @@ int main(int argc, char** argv) {
     const Topology& topo = sweep[t];
     const bool last = t + 1 == sweep.size();
 
-    cluster::ClusterSpec spec;
-    spec.racks = topo.racks;
-    spec.workers_per_rack = topo.workers_per_rack;
-    spec.grads_per_packet = kGradsPerPacket;
-    spec.fabric_link.gbps = 400;  // spine trunks are faster than host links
-    spec.fabric_link.latency = sim::Duration::micros(2);
+    cluster::ClusterSpec spec = make_spec(topo, /*shards=*/1);
     if (last && telem_opts.any()) spec.telemetry = &telem;
 
     const auto grads = cluster::patterned_gradients(
@@ -65,8 +111,13 @@ int main(int argc, char** argv) {
 
     cluster::Cluster cl(spec);
     cl.sample_trace_counters();
+    const auto wall_start = Clock::now();
     const cluster::AllreduceRun run = cluster::run_allreduce(cl, grads);
+    const double wall_ms = ms_since(wall_start);
     cl.sample_trace_counters();
+    const std::uint64_t events = cl.engine().events_executed();
+    const double events_per_sec =
+        wall_ms <= 0 ? 0 : double(events) / (wall_ms / 1e3);
 
     const bool identical =
         run.finished == spec.total_workers() &&
@@ -88,7 +139,10 @@ int main(int argc, char** argv) {
                     benchutil::fmt(run.duration_us()),
                     benchutil::fmt(run.goodput_gbps()),
                     benchutil::fmt(per_worker_gbps),
-                    identical ? "yes" : "NO"});
+                    benchutil::fmt(wall_ms, 1),
+                    benchutil::fmt(events_per_sec / 1e6, 2),
+                    identical ? "yes" : "NO"},
+                   /*width=*/12);
 
     series.number("racks", std::uint64_t(topo.racks))
         .number("workers_per_rack", std::uint64_t(topo.workers_per_rack))
@@ -96,7 +150,8 @@ int main(int argc, char** argv) {
         .number("grads_per_worker", std::uint64_t(grads[0].size()))
         .number("duration_us", run.duration_us())
         .number("agg_goodput_gbps", run.goodput_gbps())
-        .number("per_worker_goodput_gbps", per_worker_gbps)
+        .number("per_worker_goodput_gbps", per_worker_gbps);
+    benchutil::perf_fields(series, wall_ms, events)
         .number("spine_blocks_completed",
                 cl.spine_app().stats().blocks_completed)
         .number("uplink_frames", uplink_frames)
@@ -115,9 +170,66 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Shard sweep: same 8x8 job, 1..8 OS threads -------------------------
+  std::printf("\n8x8 topology under the parallel engine (--shards sweep):\n");
+  benchutil::row({"shards", "time_us", "wall_ms", "Mev/s", "speedup",
+                  "rounds", "digest_ok"},
+                 /*width=*/12);
+
+  const Topology big{8, 8};
+  const auto big_grads = cluster::patterned_gradients(
+      big.racks * big.workers_per_rack, kBlocks * kGradsPerPacket);
+  double wall_1 = 0;
+  std::uint64_t digest_1 = 0;
+  bool digests_ok = true;
+  for (const int shards : {1, 2, 4, 8}) {
+    cluster::Cluster cl(make_spec(big, shards));
+    const auto wall_start = Clock::now();
+    const cluster::AllreduceRun run = cluster::run_allreduce(cl, big_grads);
+    const double wall_ms = ms_since(wall_start);
+    const std::uint64_t events = cl.engine().events_executed();
+    const std::uint64_t digest = results_digest(run, cl.engine().now());
+    if (shards == 1) {
+      wall_1 = wall_ms;
+      digest_1 = digest;
+    }
+    const bool digest_ok = digest == digest_1;
+    digests_ok = digests_ok && digest_ok;
+    const double speedup = wall_ms <= 0 ? 0 : wall_1 / wall_ms;
+    const double events_per_sec =
+        wall_ms <= 0 ? 0 : double(events) / (wall_ms / 1e3);
+
+    benchutil::row({std::to_string(cl.num_shards()),
+                    benchutil::fmt(run.duration_us()),
+                    benchutil::fmt(wall_ms, 1),
+                    benchutil::fmt(events_per_sec / 1e6, 2),
+                    benchutil::fmt(speedup, 2),
+                    std::to_string(cl.engine().rounds()),
+                    digest_ok ? "yes" : "NO"},
+                   /*width=*/12);
+
+    series.string("metric", "shard_sweep_8x8")
+        .number("shards_requested", std::uint64_t(shards))
+        .number("shards_effective", std::uint64_t(cl.num_shards()))
+        .number("duration_us", run.duration_us());
+    benchutil::perf_fields(series, wall_ms, events)
+        .number("speedup_vs_1", speedup)
+        .number("sync_rounds", cl.engine().rounds())
+        .boolean("digest_matches_shards_1", digest_ok)
+        .end_row();
+  }
+  if (!digests_ok) {
+    // The determinism contract is absolute: any shard count must produce
+    // the same gradients, completion count and final clock. Wall-clock
+    // speedup depends on the host's core count and is recorded, not gated.
+    std::fprintf(stderr,
+                 "FAILED: 8x8 result digest differs across shard counts\n");
+    return 1;
+  }
+
   if (!json_out.empty()) {
     if (series.write_file(json_out)) {
-      std::printf("\nwrote %zu topologies to %s\n", series.row_count(),
+      std::printf("\nwrote %zu rows to %s\n", series.row_count(),
                   json_out.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", json_out.c_str());

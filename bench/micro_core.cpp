@@ -10,6 +10,9 @@
 //                       frames and packet cells through the pools
 //   fig15_e2e           end-to-end fig15-style aggregation run: wall
 //                       clock, simulated events, and host events/sec
+//   cluster_pps         4x8 cluster allreduce at --shards 1 and at the
+//                       hardware shard count: packets per wall-clock
+//                       second, the headline the parallel engine moves
 //
 // Emits BENCH_core.json via --json-out=<file> so the perf trajectory of
 // the event core is recorded per PR (the CI bench smoke job uploads it).
@@ -18,9 +21,12 @@
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "cluster/allreduce.hpp"
+#include "cluster/cluster.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "trioml/testbed.hpp"
@@ -161,6 +167,58 @@ E2eResult bench_fig15_e2e(int blocks) {
   return r;
 }
 
+struct ClusterPpsResult {
+  double wall_ms = 0;
+  double packets_per_sec = 0;
+  double events_per_sec = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t events = 0;
+  int shards = 1;
+};
+
+ClusterPpsResult bench_cluster_pps(int blocks, int shards) {
+  // A 4x8 cluster allreduce — the packets-per-wall-clock-second headline
+  // for the parallel engine. `packets` counts every frame the simulation
+  // pushed through a link (host uplinks/downlinks + fabric trunks), so
+  // the metric survives event-granularity refactors.
+  cluster::ClusterSpec spec;
+  spec.racks = 4;
+  spec.workers_per_rack = 8;
+  spec.grads_per_packet = 1024;
+  spec.fabric_link.gbps = 400;
+  spec.fabric_link.latency = sim::Duration::micros(2);
+  spec.shards = shards;
+  cluster::Cluster cl(spec);
+  const auto grads = cluster::patterned_gradients(
+      spec.total_workers(), std::size_t(blocks) * spec.grads_per_packet);
+
+  ClusterPpsResult r;
+  r.shards = cl.num_shards();
+  const auto start = Clock::now();
+  const cluster::AllreduceRun run = cluster::run_allreduce(cl, grads);
+  const double secs = seconds_since(start);
+  if (run.finished != spec.total_workers()) {
+    std::printf("  WARNING: %d/%d workers finished\n", run.finished,
+                spec.total_workers());
+  }
+  for (int r2 = 0; r2 < spec.racks; ++r2) {
+    r.packets += cl.fabric_link(r2).a_to_b().frames_sent() +
+                 cl.fabric_link(r2).b_to_a().frames_sent();
+  }
+  for (int w = 0; w < spec.total_workers(); ++w) {
+    r.packets += cl.link(w).a_to_b().frames_sent() +
+                 cl.link(w).b_to_a().frames_sent();
+  }
+  r.events = cl.engine().events_executed();
+  r.wall_ms = secs * 1e3;
+  r.packets_per_sec = secs <= 0 ? 0 : double(r.packets) / secs;
+  r.events_per_sec = secs <= 0 ? 0 : double(r.events) / secs;
+  benchutil::row({"cluster_pps(s=" + std::to_string(r.shards) + ")",
+                  benchutil::fmt(r.packets_per_sec / 1e6, 2),
+                  benchutil::fmt(r.wall_ms, 1)});
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +237,11 @@ int main(int argc, char** argv) {
   const double cancel = bench_cancel(n);
   const double packet = bench_packet_churn(quick ? 200'000 : 2'000'000);
   const E2eResult e2e = bench_fig15_e2e(quick ? 100 : 500);
+  const int cluster_blocks = quick ? 8 : 32;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const ClusterPpsResult pps1 = bench_cluster_pps(cluster_blocks, 1);
+  const ClusterPpsResult ppsN =
+      bench_cluster_pps(cluster_blocks, hw > 0 ? int(hw) : 1);
 
   if (!json_out.empty()) {
     benchutil::JsonSeries series;
@@ -191,11 +254,16 @@ int main(int argc, char** argv) {
     series.string("metric", "core_packet_churn")
         .number("items_per_sec", packet)
         .end_row();
-    series.string("metric", "fig15_e2e")
-        .number("wall_ms", e2e.wall_ms)
-        .number("sim_events", e2e.events)
-        .number("events_per_sec", e2e.events_per_sec)
-        .end_row();
+    series.string("metric", "fig15_e2e");
+    benchutil::perf_fields(series, e2e.wall_ms, e2e.events).end_row();
+    for (const ClusterPpsResult* r : {&pps1, &ppsN}) {
+      series.string("metric", "cluster_pps")
+          .number("shards", std::uint64_t(r->shards));
+      benchutil::perf_fields(series, r->wall_ms, r->events)
+          .number("packets", r->packets)
+          .number("packets_per_sec", r->packets_per_sec)
+          .end_row();
+    }
     if (series.write_file(json_out)) {
       std::printf("\nwrote %s\n", json_out.c_str());
     } else {

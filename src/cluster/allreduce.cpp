@@ -20,10 +20,13 @@ AllreduceRun run_allreduce(Cluster& cluster,
   run.finish = run.start;
   for (int w = 0; w < n; ++w) {
     run.gradient_bytes += std::uint64_t(grads[std::size_t(w)].size()) * 4;
+    // The completion callback runs on worker w's shard thread; it touches
+    // only its own results element (disjoint writes, published by the
+    // engine's end-of-run synchronisation). The rollups happen below,
+    // after run() returns.
     cluster.worker(w).start_allreduce(
         grads[std::size_t(w)], gen_id, [&run, w](trioml::AllreduceResult r) {
           run.results[std::size_t(w)] = std::move(r);
-          ++run.finished;
         });
   }
   if (deadline == sim::Time::max()) {
@@ -32,6 +35,7 @@ AllreduceRun run_allreduce(Cluster& cluster,
     cluster.simulator().run_until(deadline);
   }
   for (const auto& r : run.results) {
+    if (!r.grads.empty()) ++run.finished;
     if (r.finish > run.finish) run.finish = r.finish;
   }
   return run;

@@ -13,24 +13,42 @@ std::string rack_name(int r) { return "rack" + std::to_string(r); }
 
 }  // namespace
 
+std::uint32_t Cluster::effective_shards(const ClusterSpec& spec) {
+  int s = spec.shards;
+  if (s < 1) s = 1;
+  const int domains = int(num_domains(spec));
+  if (s > domains) s = domains;
+  // The conservative window protocol needs positive lookahead, and the
+  // Chrome tracer is single-threaded — both degrade gracefully to the
+  // serial engine (same event order, so same digests).
+  if (spec.fabric_link.latency <= sim::Duration::zero()) s = 1;
+  if (spec.telemetry != nullptr && spec.telemetry->tracer.enabled()) s = 1;
+  return std::uint32_t(s);
+}
+
 Cluster::Cluster(ClusterSpec spec)
-    : spec_(std::move(spec)), tree_(build_aggregation_tree(spec_)) {
+    : spec_(std::move(spec)),
+      tree_(build_aggregation_tree(spec_)),
+      engine_(num_domains(spec_), effective_shards(spec_),
+              spec_.fabric_link.latency) {
   const int racks = spec_.racks;
   const int wpr = spec_.workers_per_rack;
 
   // --- Routers --------------------------------------------------------------
   // One PFE per router; each leaf has a front-panel port per worker plus
-  // the trunk (port `wpr`), the spine one trunk port per rack.
+  // the trunk (port `wpr`), the spine one trunk port per rack. The pid
+  // slot doubles as the router's simulation-domain id.
   auto make_router = [&](int pid_router, const std::string& name,
                          int ports) -> std::unique_ptr<trio::Router> {
+    sim::Simulator& rsim = dsim(std::uint32_t(pid_router));
     if (spec_.telemetry == nullptr) {
-      return std::make_unique<trio::Router>(sim_, spec_.cal, 1, ports, name);
+      return std::make_unique<trio::Router>(rsim, spec_.cal, 1, ports, name);
     }
     trio::TelemetryScope scope;
     scope.trace_pid_base = pid_router * kPidStride;
     scope.metric_prefix = name + ".";
     scope.process_prefix = name + ".";
-    return std::make_unique<trio::Router>(sim_, spec_.cal, 1, ports,
+    return std::make_unique<trio::Router>(rsim, spec_.cal, 1, ports,
                                           *spec_.telemetry, scope, name);
   };
   spine_ = make_router(racks, "spine", std::max(1, racks));
@@ -127,10 +145,15 @@ void Cluster::build_rack(const RackNode& node) {
   auto& fwd = leaf.forwarding();
 
   // Trunk to the spine: partial Results ride ordinary IP forwarding up
-  // (paper §4), the final multicast comes back down the same link.
-  auto trunk = std::make_unique<net::Link>(sim_, spec_.fabric_link.gbps,
-                                           spec_.fabric_link.latency,
-                                           spec_.fabric_link.queue_frames);
+  // (paper §4), the final multicast comes back down the same link. The
+  // trunk spans two simulation domains, so each direction's transmit
+  // machinery runs on its sender's shard and the receive crosses through
+  // the engine's delivery band — bound unconditionally (also at 1 shard)
+  // so event order is a property of the topology, not the shard count.
+  auto trunk = std::make_unique<net::Link>(
+      dsim(std::uint32_t(r)), dsim(spine_domain()), spec_.fabric_link.gbps,
+      spec_.fabric_link.latency, spec_.fabric_link.queue_frames);
+  trunk->bind_boundary(engine_, std::uint32_t(r), spine_domain());
   trunk->attach(leaf, trunk_port(), *spine_, r);
   leaf.attach_port(trunk_port(), trunk->a_to_b());
   spine_->attach_port(r, trunk->b_to_a());
@@ -156,8 +179,11 @@ void Cluster::build_rack(const RackNode& node) {
   // fail_over_to_backup() rewrites the spine route onto it.
   if (spec_.backup_spine) {
     auto backup_trunk = std::make_unique<net::Link>(
-        sim_, spec_.fabric_link.gbps, spec_.fabric_link.latency,
+        dsim(std::uint32_t(r)), dsim(backup_spine_domain()),
+        spec_.fabric_link.gbps, spec_.fabric_link.latency,
         spec_.fabric_link.queue_frames);
+    backup_trunk->bind_boundary(engine_, std::uint32_t(r),
+                                backup_spine_domain());
     backup_trunk->attach(leaf, backup_trunk_port(), *backup_spine_, r);
     leaf.attach_port(backup_trunk_port(), backup_trunk->a_to_b());
     backup_spine_->attach_port(r, backup_trunk->b_to_a());
@@ -204,7 +230,11 @@ void Cluster::build_rack(const RackNode& node) {
     fwd.join_group(tree_.result_group, member);
     fwd.add_route(trioml::worker_ip(r, i), 32, member);
 
-    auto link = std::make_unique<net::Link>(sim_, spec_.host_link.gbps,
+    // Worker and host link live in the leaf's domain: intra-domain
+    // traffic never crosses shards, so the host tier keeps the cheap
+    // single-simulator path.
+    auto link = std::make_unique<net::Link>(dsim(std::uint32_t(r)),
+                                            spec_.host_link.gbps,
                                             spec_.host_link.latency,
                                             spec_.host_link.queue_frames);
     trioml::TrioMlWorker::Config wc;
@@ -217,8 +247,8 @@ void Cluster::build_rack(const RackNode& node) {
     wc.window = spec_.window;
     wc.grads_per_packet = spec_.grads_per_packet;
     wc.expected_sources = tree_.expected_sources;
-    auto worker =
-        std::make_unique<trioml::TrioMlWorker>(sim_, wc, link->a_to_b());
+    auto worker = std::make_unique<trioml::TrioMlWorker>(
+        dsim(std::uint32_t(r)), wc, link->a_to_b());
     link->attach(*worker, 0, leaf, i);
     leaf.attach_port(i, link->b_to_a());
     if (spec_.host_link.loss > 0) {
@@ -294,7 +324,7 @@ void Cluster::stop_straggler_detection() {
 void Cluster::sample_trace_counters() {
   if (spec_.telemetry == nullptr || !spec_.telemetry->tracer.enabled()) return;
   auto& tracer = spec_.telemetry->tracer;
-  const sim::Time now = sim_.now();
+  const sim::Time now = simulator().now();
   for (int r = 0; r < spec_.racks; ++r) {
     const int pid = kSummaryPidBase + r;
     auto& up = fabric_links_[std::size_t(r)]->a_to_b();
@@ -314,7 +344,7 @@ void Cluster::start_trace_sampling(sim::Duration period) {
   trace_sampling_ = true;
   trace_period_ = period;
   sample_trace_counters();
-  trace_event_ = sim_.schedule_in(period, [this] {
+  trace_event_ = simulator().schedule_in(period, [this] {
     if (!trace_sampling_) return;
     trace_sampling_ = false;
     start_trace_sampling(trace_period_);
@@ -324,7 +354,7 @@ void Cluster::start_trace_sampling(sim::Duration period) {
 void Cluster::stop_trace_sampling() {
   if (!trace_sampling_) return;
   trace_sampling_ = false;
-  sim_.cancel(trace_event_);
+  simulator().cancel(trace_event_);
   sample_trace_counters();  // closing sample so the tracks reach the end
 }
 

@@ -12,6 +12,7 @@
 
 #include "cluster/spec.hpp"
 #include "cluster/tree.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "trio/router.hpp"
 #include "trioml/app.hpp"
@@ -23,7 +24,17 @@ class Cluster {
  public:
   explicit Cluster(ClusterSpec spec);
 
-  sim::Simulator& simulator() { return sim_; }
+  /// Shard 0's simulator. run()/run_until() on it drive the whole engine
+  /// (all shards), so single-simulator call sites work unmodified.
+  sim::Simulator& simulator() { return engine_.shard(0); }
+  /// The parallel discrete-event engine executing this cluster
+  /// (docs/performance.md). One simulation domain per router: leaf r is
+  /// domain r, the spine is domain `racks`, the standby spine (when
+  /// built) domain `racks + 1`; workers and host links live in their
+  /// leaf's domain.
+  sim::ShardedSimulator& engine() { return engine_; }
+  /// Shards actually running (after clamping spec.shards).
+  int num_shards() const { return int(engine_.num_shards()); }
   const ClusterSpec& spec() const { return spec_; }
   const AggregationTree& tree() const { return tree_; }
 
@@ -120,9 +131,20 @@ class Cluster {
   int trunk_port() const { return spec_.workers_per_rack; }
   int backup_trunk_port() const { return spec_.workers_per_rack + 1; }
 
+  std::uint32_t spine_domain() const { return std::uint32_t(spec_.racks); }
+  std::uint32_t backup_spine_domain() const {
+    return std::uint32_t(spec_.racks + 1);
+  }
+  /// The simulator executing domain `d`'s events.
+  sim::Simulator& dsim(std::uint32_t d) { return engine_.domain_sim(d); }
+  static std::uint32_t num_domains(const ClusterSpec& spec) {
+    return std::uint32_t(spec.racks + 1 + (spec.backup_spine ? 1 : 0));
+  }
+  static std::uint32_t effective_shards(const ClusterSpec& spec);
+
   ClusterSpec spec_;
   AggregationTree tree_;
-  sim::Simulator sim_;
+  sim::ShardedSimulator engine_;
   std::unique_ptr<trio::Router> spine_;
   std::unique_ptr<trio::Router> backup_spine_;
   std::vector<std::unique_ptr<trio::Router>> leaves_;

@@ -53,6 +53,16 @@ struct ClusterSpec {
   /// docs/recovery.md.
   bool backup_spine = false;
 
+  /// Number of parallel simulation shards (docs/performance.md "Parallel
+  /// discrete-event core"). Each router and its hosts form one simulation
+  /// domain; domains are packed round-robin onto this many OS threads,
+  /// synchronised conservatively with the fabric-link latency as
+  /// lookahead. Results and digests are bit-identical at any value.
+  /// Clamped to [1, number of routers]; forced to 1 when the fabric
+  /// latency is zero or Chrome tracing is enabled (the tracer is
+  /// single-threaded).
+  int shards = 1;
+
   /// When set, every router is built observed by this bundle (which must
   /// outlive the Cluster) under a per-router trio::TelemetryScope
   /// ("rackN.*" / "spine.*"), and the links register per-tier counters

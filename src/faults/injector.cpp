@@ -43,6 +43,7 @@ FaultInjector::FaultInjector(sim::Simulator& simulator,
 
 void FaultInjector::bind(cluster::Cluster& cluster) {
   topo_ = Topology{};
+  engine_ = &cluster.engine();
   topo_.host_links = cluster.num_workers();
   topo_.fabric_links = cluster.num_racks();
   topo_.workers = cluster.num_workers();
@@ -67,6 +68,7 @@ void FaultInjector::bind(cluster::Cluster& cluster) {
 
 void FaultInjector::bind(trioml::Testbed& testbed) {
   topo_ = Topology{};
+  engine_ = nullptr;
   topo_.host_links = testbed.num_workers();
   topo_.fabric_links = 0;
   topo_.workers = testbed.num_workers();
@@ -115,7 +117,26 @@ void FaultInjector::arm(const FaultSchedule& schedule) {
       throw std::out_of_range("FaultInjector: target out of range (" +
                               describe(event) + ")");
     }
-    sim_.schedule_at(event.at, [this, event] { execute(event); });
+    if (engine_ != nullptr) {
+      // Cluster topologies execute faults as engine global actions: the
+      // whole cluster is quiesced at event.at, so a fault that touches
+      // links or routers on several shards applies atomically and in the
+      // same total order at any shard count.
+      engine_->schedule_global(event.at, [this, event] { execute(event); });
+    } else {
+      sim_.schedule_at(event.at, [this, event] { execute(event); });
+    }
+  }
+}
+
+void FaultInjector::schedule_after(sim::Duration delay,
+                                   sim::EventQueue::Callback fn) {
+  // In engine mode this runs inside a global action, so sim_.now() (shard
+  // 0's clock) reads the action's quiesce time.
+  if (engine_ != nullptr) {
+    engine_->schedule_global(sim_.now() + delay, std::move(fn));
+  } else {
+    sim_.schedule_in(delay, std::move(fn));
   }
 }
 
@@ -165,7 +186,7 @@ void FaultInjector::apply_to_link(const FaultEvent& event, net::Link& link,
     case FaultKind::kLinkFlap: {
       each_dir([](net::LinkEndpoint& ep, int) { ep.set_down(true); });
       record("flap " + name + " down", false);
-      sim_.schedule_in(event.duration, [this, &link, event, name] {
+      schedule_after(event.duration, [this, &link, event, name] {
         const auto dir = event.target.dir;
         if (dir != LinkDir::kDown) link.a_to_b().set_down(false);
         if (dir != LinkDir::kUp) link.b_to_a().set_down(false);
@@ -180,7 +201,7 @@ void FaultInjector::apply_to_link(const FaultEvent& event, net::Link& link,
       });
       record("burst " + name + " on", false);
       if (event.duration.ns() != 0) {
-        sim_.schedule_in(event.duration, [this, &link, event, name] {
+        schedule_after(event.duration, [this, &link, event, name] {
           const auto dir = event.target.dir;
           if (dir != LinkDir::kDown) link.a_to_b().clear_burst_loss();
           if (dir != LinkDir::kUp) link.b_to_a().clear_burst_loss();
@@ -196,7 +217,7 @@ void FaultInjector::apply_to_link(const FaultEvent& event, net::Link& link,
       });
       record("loss " + name + " on", false);
       if (event.duration.ns() != 0) {
-        sim_.schedule_in(event.duration, [this, &link, event, name] {
+        schedule_after(event.duration, [this, &link, event, name] {
           const auto dir = event.target.dir;
           if (dir != LinkDir::kDown) link.a_to_b().set_loss(0.0);
           if (dir != LinkDir::kUp) link.b_to_a().set_loss(0.0);
@@ -212,7 +233,7 @@ void FaultInjector::apply_to_link(const FaultEvent& event, net::Link& link,
       });
       record("corrupt " + name + " on", false);
       if (event.duration.ns() != 0) {
-        sim_.schedule_in(event.duration, [this, &link, event, name] {
+        schedule_after(event.duration, [this, &link, event, name] {
           const auto dir = event.target.dir;
           if (dir != LinkDir::kDown) link.a_to_b().set_corruption(0.0);
           if (dir != LinkDir::kUp) link.b_to_a().set_corruption(0.0);
@@ -297,7 +318,7 @@ void FaultInjector::execute(const FaultEvent& event) {
           case FaultKind::kRouterStall:
             r.stall_for(event.duration);
             record("stall " + name, false);
-            sim_.schedule_in(event.duration, [this, name] {
+            schedule_after(event.duration, [this, name] {
               record("resume " + name, true);
             });
             break;

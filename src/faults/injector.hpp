@@ -27,6 +27,9 @@
 namespace cluster {
 class Cluster;
 }
+namespace sim {
+class ShardedSimulator;
+}
 namespace trioml {
 class Testbed;
 class TrioMlApp;
@@ -46,6 +49,13 @@ class FaultInjector {
 
   /// Binds the injector to a topology. Call exactly one bind() before
   /// arm(); the topology must outlive the injector.
+  ///
+  /// A Cluster bind also attaches the injector to the cluster's sharded
+  /// engine: every fault executes as a *global action* — on the engine's
+  /// window-planning thread, with all shards parked, all events before
+  /// the fault time executed and every shard clock reading it. That makes
+  /// chaos runs shard-count invariant (one log, one total order) without
+  /// per-shard fault plumbing.
   void bind(cluster::Cluster& cluster);
   void bind(trioml::Testbed& testbed);
 
@@ -127,8 +137,12 @@ class FaultInjector {
   void apply_to_link(const FaultEvent& event, net::Link& link, int instance);
   void record(const std::string& what, bool recovery);
   std::uint64_t derive_seed(const FaultEvent& event, int instance) const;
+  /// Schedules the recovery half of a windowed fault (flap up, loss-model
+  /// off): a global action in engine mode, a plain event otherwise.
+  void schedule_after(sim::Duration delay, sim::EventQueue::Callback fn);
 
   sim::Simulator& sim_;
+  sim::ShardedSimulator* engine_ = nullptr;
   telemetry::Telemetry* telem_;
   Topology topo_;
   bool bound_ = false;

@@ -1,6 +1,9 @@
 #include "net/link.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "sim/shard.hpp"
 
 namespace net {
 
@@ -101,12 +104,26 @@ bool LinkEndpoint::send(PacketPtr pkt) {
 
   Node* peer = peer_;
   const int port = peer_port_;
-  sim_.schedule_at(tx_end + propagation_,
-                   [this, peer, port, pkt = std::move(pkt)]() mutable {
-                     --in_flight_;
-                     rx_frames_ctr_.inc();
-                     peer->receive(std::move(pkt), port);
-                   });
+  const sim::Time arrive = tx_end + propagation_;
+  if (engine_ != nullptr) {
+    // Domain boundary: the wire bookkeeping stays on the sender's shard;
+    // the receive crosses via the engine's delivery band, which totals
+    // orders it by (arrival, source domain, sequence) at any shard count.
+    sim_.schedule_at(arrive, [this] {
+      --in_flight_;
+      rx_frames_ctr_.inc();
+    });
+    engine_->post(src_domain_, dst_domain_, arrive,
+                  [peer, port, pkt = std::move(pkt)]() mutable {
+                    peer->receive(std::move(pkt), port);
+                  });
+    return true;
+  }
+  sim_.schedule_at(arrive, [this, peer, port, pkt = std::move(pkt)]() mutable {
+    --in_flight_;
+    rx_frames_ctr_.inc();
+    peer->receive(std::move(pkt), port);
+  });
   return true;
 }
 

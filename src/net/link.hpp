@@ -15,6 +15,10 @@
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
 
+namespace sim {
+class ShardedSimulator;
+}
+
 namespace net {
 
 /// Anything that can accept a packet on a numbered port: hosts, routers,
@@ -48,6 +52,20 @@ class LinkEndpoint {
   /// Attaches the receiving side. `port` is the port number presented to
   /// the peer node's receive().
   void connect(Node& peer, int port);
+
+  /// Marks this direction as a simulation-domain boundary (sim/shard.hpp):
+  /// the receive side executes on `dst_domain`'s shard via the engine's
+  /// deterministic delivery band; sender-side bookkeeping stays local.
+  /// The propagation delay must be >= the engine lookahead. Boundary
+  /// binding is a property of the topology, not of the shard count — a
+  /// cross-domain link is bound even at 1 shard, so digests match at any
+  /// shard count.
+  void bind_boundary(sim::ShardedSimulator& engine, std::uint32_t src_domain,
+                     std::uint32_t dst_domain) {
+    engine_ = &engine;
+    src_domain_ = src_domain;
+    dst_domain_ = dst_domain;
+  }
 
   /// Queues a frame for transmission. Returns false (and counts a drop)
   /// when the transmit queue is full or the frame is lost to injected
@@ -115,6 +133,9 @@ class LinkEndpoint {
   std::size_t queue_frames_;
   Node* peer_ = nullptr;
   int peer_port_ = -1;
+  sim::ShardedSimulator* engine_ = nullptr;
+  std::uint32_t src_domain_ = 0;
+  std::uint32_t dst_domain_ = 0;
   sim::Time busy_until_;
   std::size_t in_flight_ = 0;
   std::uint64_t frames_sent_ = 0;
@@ -146,8 +167,15 @@ class Link {
  public:
   Link(sim::Simulator& simulator, double gbps, sim::Duration propagation,
        std::size_t queue_frames = 4096)
-      : a_to_b_(simulator, gbps, propagation, queue_frames),
-        b_to_a_(simulator, gbps, propagation, queue_frames) {}
+      : Link(simulator, simulator, gbps, propagation, queue_frames) {}
+
+  /// A link whose two ends live in different simulation domains: each
+  /// direction's transmit machinery runs on its sender's simulator. Pair
+  /// with bind_boundary() so receives cross via the engine.
+  Link(sim::Simulator& sim_a, sim::Simulator& sim_b, double gbps,
+       sim::Duration propagation, std::size_t queue_frames = 4096)
+      : a_to_b_(sim_a, gbps, propagation, queue_frames),
+        b_to_a_(sim_b, gbps, propagation, queue_frames) {}
 
   /// Wires node a's view: frames sent via a_to_b() arrive at `b` as `port_b`.
   void attach(Node& a, int port_a, Node& b, int port_b) {
@@ -157,6 +185,14 @@ class Link {
 
   LinkEndpoint& a_to_b() { return a_to_b_; }
   LinkEndpoint& b_to_a() { return b_to_a_; }
+
+  /// Binds both directions as a domain boundary (a lives in `domain_a`,
+  /// b in `domain_b`).
+  void bind_boundary(sim::ShardedSimulator& engine, std::uint32_t domain_a,
+                     std::uint32_t domain_b) {
+    a_to_b_.bind_boundary(engine, domain_a, domain_b);
+    b_to_a_.bind_boundary(engine, domain_b, domain_a);
+  }
 
   /// Injects i.i.d. random loss on both directions (decorrelated seeds).
   void set_loss(double probability, std::uint64_t seed = 1) {

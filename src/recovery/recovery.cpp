@@ -1,5 +1,7 @@
 #include "recovery/recovery.hpp"
 
+#include <stdexcept>
+
 namespace recovery {
 
 RecoveryManager::RecoveryManager(cluster::Cluster& cluster,
@@ -26,7 +28,19 @@ RecoveryManager::RecoveryManager(cluster::Cluster& cluster,
       [this](int idx, bool dead) { on_transition(idx, dead); });
 }
 
-void RecoveryManager::start() { monitor_.start(); }
+void RecoveryManager::start() {
+  // The heartbeat programs report from every watched router's shard into
+  // the one monitor, and the phi check reads their estimators from shard
+  // 0 — an inherently cross-shard dataflow. Liveness detection therefore
+  // requires the serial engine (docs/performance.md "when --shards 1 is
+  // required"); scripted failover via FaultInjector global actions works
+  // at any shard count.
+  if (cluster_.num_shards() > 1) {
+    throw std::logic_error(
+        "RecoveryManager: heartbeat liveness detection requires --shards 1");
+  }
+  monitor_.start();
+}
 void RecoveryManager::stop() { monitor_.stop(); }
 
 void RecoveryManager::on_transition(int idx, bool dead) {

@@ -31,9 +31,17 @@ bool EventQueue::cancel(EventId id) {
   // A live slot's generation matches the handle; fired/cancelled slots
   // were bumped on release, so stale handles fail here.
   if (s.gen != id.gen_) return false;
-  const std::size_t pos = s.heap_pos;
+  const std::uint32_t pos = s.heap_pos;
   release_slot(id.slot_);
-  remove_at(pos);
+  if (pos & kCohortFlag) {
+    // The event left the heap into the running cohort but has not fired
+    // yet: destroy its callback in place and mark the entry skipped.
+    CohortEntry& e = cohort_[pos & ~kCohortFlag];
+    e.cb = Callback{};
+    e.slot = EventId::kInvalidSlot;
+  } else {
+    remove_at(pos);
+  }
   return true;
 }
 
@@ -51,6 +59,41 @@ Time EventQueue::pop_and_run() {
   // run loops in tests).
   cb();
   return top.at;
+}
+
+std::size_t EventQueue::pop_cohort_and_run() {
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::pop_cohort_and_run: queue is empty");
+  }
+  const Time t = heap_.front().at;
+  // Extract the whole batch before dispatching anything. Members stay
+  // addressable for cancel() through the kCohortFlag position encoding.
+  cohort_.clear();
+  while (!heap_.empty() && heap_.front().at == t) {
+    const std::uint32_t slot = heap_.front().slot;
+    remove_at(0);
+    slots_[slot].heap_pos =
+        kCohortFlag | static_cast<std::uint32_t>(cohort_.size());
+    cohort_.push_back(CohortEntry{std::move(slots_[slot].cb), slot});
+  }
+  last_popped_ = t;
+  std::size_t ran = 0;
+  for (std::size_t i = 0; i < cohort_.size(); ++i) {
+    if (cohort_[i].slot == EventId::kInvalidSlot) continue;  // cancelled
+    Callback cb = std::move(cohort_[i].cb);
+    release_slot(cohort_[i].slot);
+    cohort_[i].slot = EventId::kInvalidSlot;
+    cb();
+    ++ran;
+  }
+  cohort_.clear();
+  // Same-instant follow-ups scheduled by the batch carry later sequence
+  // numbers; draining them now reproduces the serial pop order exactly.
+  while (!heap_.empty() && heap_.front().at == t) {
+    pop_and_run();
+    ++ran;
+  }
+  return ran;
 }
 
 void EventQueue::sift_up(std::size_t pos) {

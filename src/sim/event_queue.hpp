@@ -69,6 +69,20 @@ class EventQueue {
   /// !empty().
   Time pop_and_run();
 
+  /// Pops every event queued for the earliest pending timestamp and runs
+  /// them as one batch (a *cohort*): the entries are extracted from the
+  /// heap in one pass and their callbacks dispatched back-to-back, so the
+  /// per-event heap traffic of a same-instant burst is paid once up
+  /// front. Same-instant events a cohort member schedules carry later
+  /// sequence numbers and are drained afterwards in FIFO order, and a
+  /// member may cancel() a not-yet-run sibling (the sibling's callback is
+  /// destroyed and skipped) — the observable execution order is exactly
+  /// the serial pop_and_run() loop's. Returns the number of events run.
+  /// Precondition: !empty(). Not reentrant: callbacks must not call
+  /// pop_and_run()/pop_cohort_and_run() on this queue, and size()/empty()
+  /// exclude still-buffered cohort members while the batch runs.
+  std::size_t pop_cohort_and_run();
+
   Time last_popped() const { return last_popped_; }
 
  private:
@@ -82,7 +96,18 @@ class EventQueue {
     std::uint32_t gen = 0;
     std::uint32_t heap_pos = 0;
   };
+  /// A member of the cohort currently being dispatched. The callback has
+  /// been moved out of the slot table; `slot` goes kInvalidSlot once the
+  /// member runs or a sibling cancels it.
+  struct CohortEntry {
+    Callback cb;
+    std::uint32_t slot;
+  };
   static constexpr std::size_t kArity = 4;
+  /// heap_pos values at or above this flag address the cohort buffer
+  /// (index = heap_pos & ~kCohortFlag) instead of the heap, so cancel()
+  /// reaches members that left the heap but have not run yet.
+  static constexpr std::uint32_t kCohortFlag = 0x80000000u;
 
   static bool before(const HeapEntry& a, const HeapEntry& b) {
     if (a.at != b.at) return a.at < b.at;
@@ -105,6 +130,7 @@ class EventQueue {
 
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;
+  std::vector<CohortEntry> cohort_;  // reused batch buffer (zero-alloc)
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 1;
   Time last_popped_ = Time::zero();

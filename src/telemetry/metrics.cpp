@@ -72,48 +72,61 @@ std::int64_t HistogramData::percentile(double p) const {
 
 Counter Registry::counter(const std::string& name) {
   if (!enabled_) return Counter{};
+  std::lock_guard<std::mutex> lk(mu_);
   auto& cell = counters_[name];
-  if (!cell) cell = std::make_unique<std::uint64_t>(0);
+  if (!cell) cell = std::make_unique<std::atomic<std::uint64_t>>(0);
   return Counter{cell.get()};
 }
 
 Gauge Registry::gauge(const std::string& name) {
   if (!enabled_) return Gauge{};
+  std::lock_guard<std::mutex> lk(mu_);
   auto& cell = gauges_[name];
-  if (!cell) cell = std::make_unique<std::int64_t>(0);
+  if (!cell) cell = std::make_unique<std::atomic<std::int64_t>>(0);
   return Gauge{cell.get()};
 }
 
 Histogram Registry::histogram(const std::string& name) {
   if (!enabled_) return Histogram{};
+  std::lock_guard<std::mutex> lk(mu_);
   auto& cell = histograms_[name];
   if (!cell) cell = std::make_unique<HistogramData>();
   return Histogram{cell.get()};
 }
 
 std::uint64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = counters_.find(name);
-  return it != counters_.end() ? *it->second : 0;
+  return it != counters_.end() ? it->second->load(std::memory_order_relaxed)
+                               : 0;
 }
 
 std::int64_t Registry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = gauges_.find(name);
-  return it != gauges_.end() ? *it->second : 0;
+  return it != gauges_.end() ? it->second->load(std::memory_order_relaxed)
+                             : 0;
 }
 
 const HistogramData* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = histograms_.find(name);
   return it != histograms_.end() ? it->second.get() : nullptr;
 }
 
 void Registry::take_snapshot(sim::Time now) {
   if (!enabled_) return;
+  std::lock_guard<std::mutex> lk(mu_);
   Snapshot snap;
   snap.t_ns = now.ns();
   snap.counters.reserve(counters_.size());
-  for (const auto& [name, cell] : counters_) snap.counters.emplace_back(name, *cell);
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.emplace_back(name, cell->load(std::memory_order_relaxed));
+  }
   snap.gauges.reserve(gauges_.size());
-  for (const auto& [name, cell] : gauges_) snap.gauges.emplace_back(name, *cell);
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.emplace_back(name, cell->load(std::memory_order_relaxed));
+  }
   snapshots_.push_back(std::move(snap));
 }
 
@@ -139,6 +152,7 @@ void Registry::stop_snapshots() {
 }
 
 void Registry::write_json(std::ostream& os, sim::Time now) const {
+  std::lock_guard<std::mutex> lk(mu_);
   os << "{\n  \"sim_time_ns\": " << now.ns() << ",\n";
   os << "  \"enabled\": " << (enabled_ ? "true" : "false") << ",\n";
 
@@ -148,7 +162,7 @@ void Registry::write_json(std::ostream& os, sim::Time now) const {
     os << (first ? "\n    " : ",\n    ");
     first = false;
     json_string(os, name);
-    os << ": " << *cell;
+    os << ": " << cell->load(std::memory_order_relaxed);
   }
   os << (first ? "}" : "\n  }") << ",\n";
 
@@ -158,7 +172,7 @@ void Registry::write_json(std::ostream& os, sim::Time now) const {
     os << (first ? "\n    " : ",\n    ");
     first = false;
     json_string(os, name);
-    os << ": " << *cell;
+    os << ": " << cell->load(std::memory_order_relaxed);
   }
   os << (first ? "}" : "\n  }") << ",\n";
 

@@ -21,10 +21,12 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -34,39 +36,48 @@
 
 namespace telemetry {
 
-/// Monotonically increasing event count. Handle; copy freely.
+/// Monotonically increasing event count. Handle; copy freely. Cells are
+/// relaxed atomics: tier-level counters are shared across simulation
+/// shards (sim/shard.hpp), and a plain add would race. Relaxed suffices —
+/// counters carry no synchronisation, and reads happen after the engine's
+/// end-of-run barrier.
 class Counter {
  public:
   Counter() = default;
   void inc(std::uint64_t n = 1) {
-    if (cell_ != nullptr) *cell_ += n;
+    if (cell_ != nullptr) cell_->fetch_add(n, std::memory_order_relaxed);
   }
-  std::uint64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
+  std::uint64_t value() const {
+    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0;
+  }
   bool live() const { return cell_ != nullptr; }
 
  private:
   friend class Registry;
-  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
-  std::uint64_t* cell_ = nullptr;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_ = nullptr;
 };
 
 /// Point-in-time level (queue depth, occupancy). Handle; copy freely.
+/// Atomic like Counter; add() is an atomic read-modify-write.
 class Gauge {
  public:
   Gauge() = default;
   void set(std::int64_t v) {
-    if (cell_ != nullptr) *cell_ = v;
+    if (cell_ != nullptr) cell_->store(v, std::memory_order_relaxed);
   }
   void add(std::int64_t d) {
-    if (cell_ != nullptr) *cell_ += d;
+    if (cell_ != nullptr) cell_->fetch_add(d, std::memory_order_relaxed);
   }
-  std::int64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
+  std::int64_t value() const {
+    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0;
+  }
   bool live() const { return cell_ != nullptr; }
 
  private:
   friend class Registry;
-  explicit Gauge(std::int64_t* cell) : cell_(cell) {}
-  std::int64_t* cell_ = nullptr;
+  explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+  std::atomic<std::int64_t>* cell_ = nullptr;
 };
 
 /// HDR-style log-linear histogram storage for non-negative integer values
@@ -121,7 +132,10 @@ class HistogramData {
   double sum_ = 0.0;
 };
 
-/// Histogram handle; copy freely.
+/// Histogram handle; copy freely. Histogram cells are NOT atomic: every
+/// histogram is registered under a per-router prefix, so it has exactly
+/// one writer shard (asserting this stays cheaper than making the bucket
+/// array atomic). Share a histogram across shards only at 1 shard.
 class Histogram {
  public:
   Histogram() = default;
@@ -182,6 +196,7 @@ class Registry {
   bool write_json_file(const std::string& path, sim::Time now) const;
 
   std::size_t metric_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -190,9 +205,14 @@ class Registry {
 
   bool enabled_;
   // Name -> individually heap-allocated cell: stable addresses, ordered
-  // iteration for deterministic export.
-  std::map<std::string, std::unique_ptr<std::uint64_t>> counters_;
-  std::map<std::string, std::unique_ptr<std::int64_t>> gauges_;
+  // iteration for deterministic export. The maps are guarded by mu_ —
+  // registration and read-back may be called from shard threads (e.g. a
+  // worker re-instrumented after a crash/restart fault) while other
+  // shards register their own metrics. The cells themselves are not
+  // guarded: counters/gauges are atomic, histograms single-writer.
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramData>> histograms_;
 
   std::vector<Snapshot> snapshots_;

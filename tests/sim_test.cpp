@@ -75,6 +75,65 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   EXPECT_EQ(q.next_time(), sim::Time(20));
 }
 
+TEST(EventQueue, CohortPopRunsWholeInstantInFifoOrder) {
+  // pop_cohort_and_run() dispatches every event at the earliest instant
+  // as one batch; FIFO order within the batch must match pop_and_run().
+  sim::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    q.schedule(sim::Time(5), [&order, i] { order.push_back(i); });
+  }
+  q.schedule(sim::Time(9), [&order] { order.push_back(999); });
+  const std::size_t n = q.pop_cohort_and_run();
+  EXPECT_EQ(n, 50u);  // the t=9 event is not part of the t=5 cohort
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(q.pop_cohort_and_run(), 1u);
+  EXPECT_EQ(order.back(), 999);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CohortMemberCanCancelUnfiredSibling) {
+  // A cohort member cancelling a later member of the same batch: the
+  // sibling is already extracted from the heap, so cancel() must reach
+  // into the cohort buffer and the sibling must not fire.
+  sim::EventQueue q;
+  std::vector<int> order;
+  sim::EventId victim;
+  q.schedule(sim::Time(5), [&] {
+    order.push_back(0);
+    EXPECT_TRUE(q.cancel(victim));
+    EXPECT_FALSE(q.cancel(victim));  // double-cancel still reports false
+  });
+  victim = q.schedule(sim::Time(5), [&] { order.push_back(1); });
+  q.schedule(sim::Time(5), [&] { order.push_back(2); });
+  q.pop_cohort_and_run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CohortFollowUpsAtSameInstantRunAfterTheBatch) {
+  // Same-instant follow-ups scheduled by cohort members run within the
+  // same pop_cohort_and_run() call, after all original members — the
+  // band rule's "local events first, FIFO including cascades".
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.schedule(sim::Time(5), [&] {
+    order.push_back(0);
+    q.schedule(sim::Time(5), [&] {
+      order.push_back(10);
+      q.schedule(sim::Time(5), [&] { order.push_back(20); });
+    });
+  });
+  q.schedule(sim::Time(5), [&] { order.push_back(1); });
+  const std::size_t n = q.pop_cohort_and_run();
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 20}));
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(Simulator, ClockAdvancesWithEvents) {
   sim::Simulator s;
   sim::Time seen;

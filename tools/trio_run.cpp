@@ -4,8 +4,8 @@
 //   trio-run <program.tmc> [--packets N] [--mix ip,arp,opts]
 //            [--counter WORD_ADDR] ... [--metrics-out FILE]
 //            [--trace-out FILE]
-//   trio-run --cluster RxW [--blocks N] [--faults FILE] [--deadline DUR]
-//            [--jobs FILE] [--netrpc] [--no-isolation]
+//   trio-run --cluster RxW [--blocks N] [--shards N] [--faults FILE]
+//            [--deadline DUR] [--jobs FILE] [--netrpc] [--no-isolation]
 //            [--metrics-out FILE] [--trace-out FILE]
 //
 // Traffic mix tokens: "ip" (clean IPv4/UDP), "arp" (non-IP EtherType),
@@ -34,6 +34,12 @@
 // degraded completions, cache hit rate, PFE counter readbacks and the
 // value digest.
 //
+// --shards N (cluster mode) runs the cluster's discrete-event core on N
+// OS threads — one shard per router domain, conservative lookahead
+// windows (docs/performance.md). Results are bit-identical at every
+// shard count. Default: hardware concurrency, capped by the router
+// count; forced to 1 by --jobs, --netrpc and --trace-out.
+//
 // --faults FILE (cluster mode) loads a chaos schedule in the faults DSL
 // (docs/faults.md), arms it on the cluster, hardens every worker's
 // retransmit path and enables straggler aging so injected faults recover;
@@ -49,6 +55,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/allreduce.hpp"
@@ -70,14 +77,14 @@ int usage() {
                "usage: trio-run <program.tmc> [--packets N] "
                "[--mix ip,arp,opts] [--counter WORD_ADDR]... "
                "[--metrics-out FILE] [--trace-out FILE]\n"
-               "       trio-run --cluster RxW [--blocks N] "
+               "       trio-run --cluster RxW [--blocks N] [--shards N] "
                "[--faults FILE] [--deadline DUR] "
                "[--jobs FILE] [--netrpc] [--no-isolation] "
                "[--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
 
-int run_cluster(const std::string& topo, int blocks,
+int run_cluster(const std::string& topo, int blocks, int shards,
                 const std::string& faults_path, const std::string& deadline_s,
                 const std::string& jobs_path, bool netrpc_demo, bool isolation,
                 const std::string& metrics_out, const std::string& trace_out) {
@@ -91,6 +98,19 @@ int run_cluster(const std::string& topo, int blocks,
   cluster::ClusterSpec spec;
   spec.racks = racks;
   spec.workers_per_rack = wpr;
+  if (shards <= 0) {
+    // Auto: one shard per hardware thread, capped by the router count
+    // inside Cluster::effective_shards.
+    const unsigned hw = std::thread::hardware_concurrency();
+    shards = hw > 0 ? int(hw) : 1;
+  }
+  if (!jobs_path.empty() || netrpc_demo || !trace_out.empty()) {
+    // The multi-tenant job manager and the Perfetto tracer keep
+    // cross-router state without per-shard synchronisation
+    // (docs/performance.md "when --shards 1 is required").
+    shards = 1;
+  }
+  spec.shards = shards;
   if (telem.metrics.enabled() || telem.tracer.enabled()) {
     spec.telemetry = &telem;
   }
@@ -413,6 +433,7 @@ int main(int argc, char** argv) {
   bool netrpc_demo = false;
   bool isolation = true;
   int blocks = 8;
+  int shards = 0;  // 0 = auto (hardware concurrency, capped by routers)
   int packets = 1000;
   std::vector<std::string> mix = {"ip", "arp", "opts"};
   std::vector<std::uint64_t> counters;
@@ -428,6 +449,10 @@ int main(int argc, char** argv) {
       cluster_topo = arg.substr(std::string("--cluster=").size());
     } else if (arg == "--blocks" && i + 1 < argc) {
       blocks = std::atoi(argv[++i]);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::atoi(arg.c_str() + std::string("--shards=").size());
     } else if (arg == "--faults" && i + 1 < argc) {
       faults_path = argv[++i];
     } else if (arg.rfind("--faults=", 0) == 0) {
@@ -466,7 +491,7 @@ int main(int argc, char** argv) {
     }
   }
   if (!cluster_topo.empty()) {
-    return run_cluster(cluster_topo, blocks, faults_path, deadline_s,
+    return run_cluster(cluster_topo, blocks, shards, faults_path, deadline_s,
                        jobs_path, netrpc_demo, isolation, metrics_out,
                        trace_out);
   }
