@@ -400,6 +400,76 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
   return schedule;
 }
 
+namespace {
+
+/// Does `close` clear the fault `open` started? Same target kind and
+/// instance; kAll on either side matches any instance. Crash/restart
+/// additionally pair on the tenant qualifier.
+bool closes(const FaultEvent& open, const FaultEvent& close) {
+  if (open.target.kind != close.target.kind) return false;
+  if (open.target.index != Target::kAll && close.target.index != Target::kAll &&
+      open.target.index != close.target.index) {
+    return false;
+  }
+  switch (open.kind) {
+    case FaultKind::kLinkDown:
+      return close.kind == FaultKind::kLinkUp;
+    case FaultKind::kRouterKill:
+      return close.kind == FaultKind::kRouterRevive;
+    case FaultKind::kHostCrash:
+      return close.kind == FaultKind::kHostRestart &&
+             close.tenant == open.tenant;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<PacketWindow> packet_windows(const FaultSchedule& schedule) {
+  std::vector<PacketWindow> out;
+  const auto& events = schedule.events();
+  for (const FaultEvent& ev : events) {
+    switch (ev.kind) {
+      case FaultKind::kLinkFlap:
+      case FaultKind::kRouterStall:
+        out.push_back({ev.at, ev.at + ev.duration});
+        break;
+      case FaultKind::kBurstLoss:
+      case FaultKind::kIidLoss:
+      case FaultKind::kCorrupt:
+        out.push_back({ev.at, ev.duration == sim::Duration::zero()
+                                  ? sim::Time::max()
+                                  : ev.at + ev.duration});
+        break;
+      case FaultKind::kLinkDown:
+      case FaultKind::kRouterKill:
+      case FaultKind::kHostCrash: {
+        // Paired fault: the earliest matching closing event at or after
+        // `at` ends the window; none means it never clears.
+        sim::Time end = sim::Time::max();
+        for (const FaultEvent& other : events) {
+          if (other.at >= ev.at && closes(ev, other) && other.at < end) {
+            end = other.at;
+          }
+        }
+        out.push_back({ev.at, end});
+        break;
+      }
+      case FaultKind::kBucketDrop:
+        out.push_back({ev.at, ev.at});  // instantaneous
+        break;
+      case FaultKind::kLinkUp:
+      case FaultKind::kHostRestart:
+      case FaultKind::kRouterRevive:
+        // Closing events open no window of their own; the padding the
+        // consumer applies covers the post-recovery tail.
+        break;
+    }
+  }
+  return out;
+}
+
 FaultSchedule FaultSchedule::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot read fault schedule: " + path);

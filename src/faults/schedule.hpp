@@ -96,4 +96,22 @@ class FaultSchedule {
 /// unit). Exposed for flag parsing in tools; throws on bad input.
 sim::Duration parse_duration(const std::string& token);
 
+/// One packet-fidelity window a fault implies (docs/fluid.md): while any
+/// window is active, fluid-demoted flows must run as real packets so the
+/// fault's effects (drops, corruption, stalls, kills) are packet-exact.
+/// `end == sim::Time::max()` means the fault never clears within the
+/// schedule; instantaneous faults (bucket drops) have `end == start` —
+/// consumers pad for the recovery tail.
+struct PacketWindow {
+  sim::Time start;
+  sim::Time end;
+};
+
+/// Derives every packet-fidelity window from a schedule: windowed faults
+/// (`for ...`) span their duration, paired faults (down/up, kill/revive,
+/// crash/restart) span until the matching closing event on the same
+/// target, unpaired ones run forever. Windows may overlap; they are
+/// returned in event order, not merged.
+std::vector<PacketWindow> packet_windows(const FaultSchedule& schedule);
+
 }  // namespace faults

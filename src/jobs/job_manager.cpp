@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "faults/injector.hpp"
+#include "jobs/fluid.hpp"
 #include "trioml/addressing.hpp"
 
 namespace jobs {
@@ -469,6 +470,10 @@ void JobManager::bind_fault_injector(faults::FaultInjector& injector) {
   });
 }
 
+void JobManager::enable_fluid(FluidController& controller) {
+  fluid_ = &controller;
+}
+
 MultiTenantRun JobManager::run(std::uint16_t gen_id, sim::Time deadline) {
   MultiTenantRun run;
   run.tenants.reserve(admission_order_.size());
@@ -515,13 +520,31 @@ MultiTenantRun JobManager::run(std::uint16_t gen_id, sim::Time deadline) {
     }
   }
   for (TenantId id : admission_order_) {
-    for (auto& source : tenants_.at(id).sources) {
+    Tenant& tenant = tenants_.at(id);
+    if (tenant.torn_down) continue;
+    if (fluid_ && tenant.spec.kind == TenantKind::kBestEffort &&
+        tenant.spec.fluid) {
+      // Demoted to fluid mode (docs/fluid.md): one background stream per
+      // host instead of per-host packet sources. Registration happens
+      // once; the controller's fidelity boundaries re-materialise the
+      // stream as real frames inside fault/recovery windows.
+      if (std::find(fluid_adopted_.begin(), fluid_adopted_.end(), id) ==
+          fluid_adopted_.end()) {
+        for (int g = 0; g < workers; ++g) {
+          fluid_->add_background_stream(g, id, tenant.spec.load);
+        }
+        fluid_adopted_.push_back(id);
+      }
+      continue;
+    }
+    for (auto& source : tenant.sources) {
       source->start(sim_.now(), deadline);
     }
   }
 
-  // Chunked run: best-effort sources keep the event queue non-empty, so
-  // poll the completion count instead of waiting for a drain.
+  // Chunked run: best-effort sources (and fluid wakeups) keep the event
+  // queue non-empty, so poll the completion count instead of waiting for
+  // a drain.
   const sim::Duration chunk = sim::Duration::millis(1);
   while (remaining > 0 && sim_.now() < deadline) {
     const sim::Time next =
@@ -531,6 +554,7 @@ MultiTenantRun JobManager::run(std::uint16_t gen_id, sim::Time deadline) {
   for (TenantId id : admission_order_) {
     for (auto& source : tenants_.at(id).sources) source->stop();
   }
+  if (fluid_) fluid_->stop();
   for (auto& tr : run.tenants) {
     const bool incomplete =
         (tr.kind == TenantKind::kAllreduce && tr.finished < workers) ||

@@ -38,6 +38,8 @@ class FaultInjector;
 
 namespace jobs {
 
+class FluidController;
+
 struct AdmissionResult {
   bool admitted = false;
   std::string reason;  // populated on rejection
@@ -146,6 +148,15 @@ class JobManager {
   /// manager's per-tenant workers (docs/faults.md).
   void bind_fault_injector(faults::FaultInjector& injector);
 
+  /// Adopts `controller` as the fluid fidelity boundary (docs/fluid.md):
+  /// run() demotes every eligible best-effort tenant (spec.fluid, the
+  /// default) to a fluid background stream per host instead of starting
+  /// its packet sources, and stops the controller when the run ends.
+  /// Ineligible (`fluid=0`) tenants keep their packet sources. The
+  /// controller must outlive the manager's runs.
+  void enable_fluid(FluidController& controller);
+  bool fluid_enabled() const { return fluid_ != nullptr; }
+
   /// Tenant-scoped teardown: crashes the tenant's workers, drops its
   /// active blocks and removes its job record on every aggregator, and
   /// releases its SMS reservation. Other tenants are untouched. No-op for
@@ -189,6 +200,10 @@ class JobManager {
 
   cluster::Cluster& cluster_;
   sim::Simulator& sim_;
+  FluidController* fluid_ = nullptr;
+  /// Tenants whose background streams are already registered with the
+  /// fluid controller (registration is once, on the first run).
+  std::vector<TenantId> fluid_adopted_;
   std::vector<std::unique_ptr<HostMux>> muxes_;  // by global worker
   std::map<TenantId, Tenant> tenants_;           // ordered: admission replay
   std::vector<TenantId> admission_order_;

@@ -206,6 +206,10 @@ JobsSpec JobsSpec::parse(const std::string& text) {
         tenant.sms_quota_bytes = parse_bytes(tok, line_no, line, off);
       } else if (key == "load") {
         tenant.load = parse_fraction(tok, line_no, line, off);
+      } else if (key == "fluid") {
+        const auto v = parse_u64(tok, line_no, line, off);
+        if (v > 1) fail(line_no, tok.col + off, "fluid must be 0 or 1", line);
+        tenant.fluid = v == 1;
       } else if (key == "policy") {
         const std::string v = tok.text.substr(off);
         if (v == "sum") {

@@ -55,6 +55,12 @@ struct TenantSpec {
   std::uint64_t sms_quota_bytes = 0;
   /// Best-effort offered load as a fraction of each host link — `load=F`.
   double load = 1.0;
+  /// Fluid-mode eligibility — `fluid=0|1` (docs/fluid.md). Only
+  /// best-effort tenants are demotable (their traffic is pure load with
+  /// no aggregation state); `fluid=0` opts an aggressor out so it stays
+  /// packet-simulated even under `--fluid`. Ignored for allreduce and
+  /// netrpc tenants, whose RMW paths always need packet fidelity.
+  bool fluid = true;
 
   // --- NetRPC tenants (src/netrpc/, docs/netrpc.md) ----------------------
   /// Response merge policy — `policy=sum|min|majority`.

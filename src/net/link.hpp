@@ -102,13 +102,32 @@ class LinkEndpoint {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   double gbps() const { return gbps_; }
 
+  // --- Fluid-share accounting (sim/fluid.hpp, docs/fluid.md) -------------
+  /// Reserves `gbps` of this direction's bandwidth for fluid-modelled
+  /// flows: frames serialized after this call see only the residual
+  /// bandwidth, so packet latency reflects the bulk traffic that is no
+  /// longer simulated frame-by-frame. Called from a FluidEngine rate
+  /// observer (global-action context — every shard parked), so the wire
+  /// model never changes mid-window. Clamped so at least 1% of the line
+  /// rate always remains — fluid flows yield to packets, not the reverse.
+  void set_fluid_load(double gbps) {
+    fluid_load_gbps_ = gbps < 0 ? 0 : gbps;
+  }
+  double fluid_load_gbps() const { return fluid_load_gbps_; }
+  /// Bandwidth frames actually see: line rate minus the fluid share.
+  double effective_gbps() const {
+    const double floor = gbps_ * 0.01;
+    const double residual = gbps_ - fluid_load_gbps_;
+    return residual > floor ? residual : floor;
+  }
+
   /// Time the wire becomes free (>= now when busy).
   sim::Time busy_until() const { return busy_until_; }
 
   sim::Duration serialization_delay(std::size_t bytes) const {
     // bits / (Gbps) = ns exactly when bandwidth is in bits/ns.
     return sim::Duration(static_cast<std::int64_t>(
-        static_cast<double>(bytes) * 8.0 / gbps_ + 0.5));
+        static_cast<double>(bytes) * 8.0 / effective_gbps() + 0.5));
   }
 
   /// Registers `<prefix>tx_frames`, `<prefix>tx_bytes`, `<prefix>rx_frames`
@@ -137,6 +156,7 @@ class LinkEndpoint {
   std::uint32_t src_domain_ = 0;
   std::uint32_t dst_domain_ = 0;
   sim::Time busy_until_;
+  double fluid_load_gbps_ = 0.0;
   std::size_t in_flight_ = 0;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;

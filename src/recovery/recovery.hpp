@@ -56,6 +56,16 @@ class RecoveryManager {
 
   bool spine_dead() const { return monitor_.dead(spine_idx_); }
   bool failed_over() const { return cluster_.on_backup_spine(); }
+  /// True while any watched router is declared dead — the "recovery
+  /// epoch" predicate the fluid fidelity boundary polls (docs/fluid.md):
+  /// re-homing, retransmit storms and re-aggregation all need packet
+  /// fidelity, so fluid flows re-materialise for the whole epoch.
+  bool recovery_epoch_open() const {
+    for (int i = 0; i < monitor_.watched(); ++i) {
+      if (monitor_.dead(i)) return true;
+    }
+    return false;
+  }
 
   std::uint64_t failovers() const { return failovers_; }
   std::uint64_t rejoins() const { return rejoins_; }

@@ -1,0 +1,352 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/shard.hpp"
+
+namespace sim {
+namespace {
+
+// Rates below this are treated as zero when computing completion times:
+// 1e-9 Gbps is one byte per ~8 simulated seconds, far beyond any run
+// horizon, and guarding here keeps ceil(remaining / rate) finite.
+constexpr double kMinRateGbps = 1e-9;
+
+}  // namespace
+
+FluidEngine::FluidEngine(Simulator& simulator, ShardedSimulator* engine)
+    : FluidEngine(simulator, engine, Config{}) {}
+
+FluidEngine::FluidEngine(Simulator& simulator, ShardedSimulator* engine,
+                         Config config)
+    : sim_(simulator),
+      engine_(engine),
+      config_(config),
+      last_advance_(simulator.now()),
+      last_probe_(simulator.now()) {}
+
+Time FluidEngine::now() const { return engine_ ? engine_->now() : sim_.now(); }
+
+FluidEngine::LinkId FluidEngine::add_link(double capacity_gbps) {
+  LinkState ls;
+  ls.capacity_gbps = capacity_gbps;
+  links_.push_back(std::move(ls));
+  return LinkId(links_.size() - 1);
+}
+
+void FluidEngine::set_packet_probe(LinkId link,
+                                   std::function<std::uint64_t()> probe) {
+  links_[link].probe_last = probe ? probe() : 0;
+  links_[link].probe = std::move(probe);
+}
+
+void FluidEngine::set_rate_observer(
+    LinkId link,
+    std::function<void(double fluid_gbps, std::uint64_t fluid_bytes)> obs) {
+  links_[link].observer = std::move(obs);
+}
+
+FluidEngine::FlowId FluidEngine::add_flow(FlowSpec spec) {
+  advance_to_now();
+  FlowState fs;
+  fs.route = std::move(spec.route);
+  fs.demand_gbps = spec.demand_gbps;
+  fs.total_bytes = spec.total_bytes;
+  fs.on_complete = std::move(spec.on_complete);
+  fs.in_use = true;
+  // Reuse a retired slot if one exists so long sweeps don't grow the
+  // table without bound; ids of live flows are stable.
+  FlowId id = kInvalidFlow;
+  for (FlowId i = 0; i < flows_.size(); ++i) {
+    if (!flows_[i].in_use) {
+      id = i;
+      break;
+    }
+  }
+  if (id == kInvalidFlow) {
+    id = FlowId(flows_.size());
+    flows_.push_back(std::move(fs));
+  } else {
+    flows_[id] = std::move(fs);
+  }
+  update();
+  return id;
+}
+
+void FluidEngine::remove_flow(FlowId id) {
+  advance_to_now();
+  flows_[id] = FlowState{};
+  update();
+}
+
+void FluidEngine::pause_flow(FlowId id) {
+  FlowState& f = flows_[id];
+  if (f.paused || f.done || !f.in_use) return;
+  advance_to_now();
+  f.paused = true;
+  f.rate_gbps = 0;
+  f.complete_at = Time::max();
+  update();
+}
+
+void FluidEngine::resume_flow(FlowId id) {
+  FlowState& f = flows_[id];
+  if (!f.paused || f.done || !f.in_use) return;
+  advance_to_now();
+  f.paused = false;
+  update();
+}
+
+void FluidEngine::credit_flow(FlowId id, std::uint64_t bytes) {
+  FlowState& f = flows_[id];
+  if (f.done || !f.in_use) return;
+  advance_to_now();
+  f.carried += bytes;
+  if (f.total_bytes > 0 && f.carried >= f.total_bytes) {
+    f.carried = f.total_bytes;
+    complete_flow(id, now());
+  }
+  update();
+}
+
+std::uint64_t FluidEngine::flow_remaining(FlowId id) const {
+  const FlowState& f = flows_[id];
+  if (f.total_bytes == 0) return 0;
+  return f.total_bytes > f.carried ? f.total_bytes - f.carried : 0;
+}
+
+bool FluidEngine::any_running() const {
+  for (const FlowState& f : flows_) {
+    if (f.in_use && !f.paused && !f.done) return true;
+  }
+  return false;
+}
+
+void FluidEngine::advance_to_now() {
+  const Time t = now();
+  if (t <= last_advance_) {
+    last_advance_ = t;
+    return;
+  }
+  const double dt_ns = double((t - last_advance_).ns());
+  for (FlowId id = 0; id < flows_.size(); ++id) {
+    FlowState& f = flows_[id];
+    if (!f.in_use || f.paused || f.done || f.rate_gbps <= 0) continue;
+    if (f.total_bytes > 0 && t >= f.complete_at) {
+      // Completion instant reached within this advance: the scheduled
+      // completion time already accounts for the exact remaining bytes,
+      // so force byte-exactness instead of trusting float accrual.
+      const std::uint64_t gained = f.total_bytes - f.carried;
+      f.carried = f.total_bytes;
+      f.frac = 0;
+      fluid_bytes_total_ += gained;
+      for (LinkId l : f.route) links_[l].fluid_bytes += gained;
+      complete_flow(id, f.complete_at);
+      continue;
+    }
+    // rate [Gbps] = bits/ns, so bytes = rate * dt / 8.
+    const double exact = f.rate_gbps * dt_ns / 8.0 + f.frac;
+    const auto whole = std::uint64_t(exact);
+    f.frac = exact - double(whole);
+    f.carried += whole;
+    fluid_bytes_total_ += whole;
+    for (LinkId l : f.route) links_[l].fluid_bytes += whole;
+  }
+  last_advance_ = t;
+}
+
+void FluidEngine::complete_flow(FlowId id, Time at) {
+  FlowState& f = flows_[id];
+  f.done = true;
+  f.rate_gbps = 0;
+  f.complete_at = Time::max();
+  ++completions_;
+  if (f.on_complete) {
+    auto cb = std::move(f.on_complete);
+    f.on_complete = nullptr;
+    cb(at);
+  }
+}
+
+void FluidEngine::sample_probes(Time at) {
+  if (at <= last_probe_) return;
+  const double dt_ns = double((at - last_probe_).ns());
+  for (LinkState& l : links_) {
+    if (!l.probe) continue;
+    const std::uint64_t total = l.probe();
+    const std::uint64_t delta =
+        total > l.probe_last ? total - l.probe_last : 0;
+    l.probe_last = total;
+    l.packet_gbps = double(delta) * 8.0 / dt_ns;
+  }
+  last_probe_ = at;
+}
+
+void FluidEngine::recompute_rates() {
+  ++updates_;
+  // Demand-capped max-min fairness by progressive filling: repeatedly
+  // find the bottleneck link (smallest equal-share of its residual
+  // capacity among its unfrozen flows), freeze those flows at that
+  // share, subtract, and continue. Flows whose demand cap is below every
+  // candidate share freeze at their demand. O(flows * links) per round,
+  // rounds <= flows; the graphs here are tiny (hosts + trunks).
+  struct Work {
+    double residual;
+    int active = 0;
+  };
+  std::vector<Work> work(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const LinkState& l = links_[i];
+    work[i].residual = std::max(0.0, l.capacity_gbps - l.packet_gbps);
+  }
+  std::vector<FlowId> unfrozen;
+  for (FlowId id = 0; id < flows_.size(); ++id) {
+    FlowState& f = flows_[id];
+    if (!f.in_use || f.paused || f.done) {
+      f.rate_gbps = 0;
+      continue;
+    }
+    if (f.route.empty()) {
+      // Routeless flow: only its demand cap limits it (used by tests).
+      f.rate_gbps = f.demand_gbps > 0 ? f.demand_gbps : 0;
+      continue;
+    }
+    unfrozen.push_back(id);
+    for (LinkId l : f.route) ++work[l].active;
+  }
+
+  while (!unfrozen.empty()) {
+    // Bottleneck share this round: min over links of residual/active.
+    double share = -1;
+    for (const Work& w : work) {
+      if (w.active == 0) continue;
+      const double s = w.residual / w.active;
+      if (share < 0 || s < share) share = s;
+    }
+    if (share < 0) share = 0;
+
+    // Demand-capped flows below the share freeze first; if none, freeze
+    // the flows crossing a bottleneck link at the share itself.
+    std::vector<FlowId> frozen;
+    for (FlowId id : unfrozen) {
+      if (flows_[id].demand_gbps > 0 && flows_[id].demand_gbps <= share) {
+        flows_[id].rate_gbps = flows_[id].demand_gbps;
+        frozen.push_back(id);
+      }
+    }
+    if (frozen.empty()) {
+      for (FlowId id : unfrozen) {
+        bool bottlenecked = false;
+        for (LinkId l : flows_[id].route) {
+          const Work& w = work[l];
+          if (w.active > 0 && w.residual / w.active <= share + 1e-12) {
+            bottlenecked = true;
+            break;
+          }
+        }
+        if (bottlenecked) {
+          flows_[id].rate_gbps = share;
+          frozen.push_back(id);
+        }
+      }
+    }
+    if (frozen.empty()) {
+      // Numerical corner: freeze everything at the share and stop.
+      for (FlowId id : unfrozen) flows_[id].rate_gbps = share;
+      frozen = unfrozen;
+    }
+
+    for (FlowId id : frozen) {
+      for (LinkId l : flows_[id].route) {
+        work[l].residual =
+            std::max(0.0, work[l].residual - flows_[id].rate_gbps);
+        --work[l].active;
+      }
+    }
+    std::vector<FlowId> next;
+    next.reserve(unfrozen.size());
+    for (FlowId id : unfrozen) {
+      if (std::find(frozen.begin(), frozen.end(), id) == frozen.end()) {
+        next.push_back(id);
+      }
+    }
+    unfrozen = std::move(next);
+  }
+
+  for (LinkState& l : links_) l.fluid_gbps = 0;
+  for (const FlowState& f : flows_) {
+    if (!f.in_use || f.paused || f.done) continue;
+    for (LinkId l : f.route) links_[l].fluid_gbps += f.rate_gbps;
+  }
+}
+
+void FluidEngine::refresh_completions(Time at) {
+  for (FlowState& f : flows_) {
+    if (!f.in_use || f.paused || f.done || f.total_bytes == 0) {
+      if (f.in_use && !f.done) f.complete_at = Time::max();
+      continue;
+    }
+    if (f.rate_gbps < kMinRateGbps) {
+      f.complete_at = Time::max();
+      continue;
+    }
+    const std::uint64_t remaining = f.total_bytes - f.carried;
+    const double bits = double(remaining) * 8.0 - f.frac * 8.0;
+    const double ns = std::max(0.0, bits) / f.rate_gbps;
+    f.complete_at = at + Duration(std::int64_t(std::ceil(ns)));
+    if (f.complete_at <= at) f.complete_at = at + Duration(1);
+  }
+}
+
+void FluidEngine::push_observers() {
+  for (LinkState& l : links_) {
+    if (l.observer) l.observer(l.fluid_gbps, l.fluid_bytes);
+  }
+}
+
+void FluidEngine::update() {
+  const Time t = now();
+  sample_probes(t);
+  recompute_rates();
+  refresh_completions(t);
+  push_observers();
+  schedule_wakeup();
+}
+
+void FluidEngine::schedule_wakeup() {
+  if (stopped_ || !any_running()) return;
+  const Time t = now();
+  Time want = t + config_.tick;
+  for (const FlowState& f : flows_) {
+    if (f.in_use && !f.paused && !f.done && f.complete_at < want) {
+      want = f.complete_at;
+    }
+  }
+  if (want <= t) want = t + Duration(1);
+  // Wakeups are never cancelled (globals can't be); if one is already
+  // pending at or before `want` it will re-evaluate then. A stale
+  // wakeup after state changed just advances accrual (possibly dt=0)
+  // and reschedules — deterministic either way.
+  if (next_wake_ != Time::max() && next_wake_ <= want && next_wake_ > t) {
+    return;
+  }
+  next_wake_ = want;
+  auto fire = [this] { on_wake(); };
+  if (engine_) {
+    engine_->schedule_global(want, fire);
+  } else {
+    sim_.schedule_at(want, fire);
+  }
+}
+
+void FluidEngine::on_wake() {
+  ++wakeups_;
+  next_wake_ = Time::max();
+  if (stopped_) return;
+  advance_to_now();
+  update();
+}
+
+}  // namespace sim

@@ -6,6 +6,11 @@
 2. Every fenced ```cpp block in those files must compile
    (syntax-only, wrapped in a function body after tools/docs_prelude.hpp
    so snippets can reference a surrounding simulation).
+3. Every docs/*.md page must be linked from the docs/README.md index —
+   a page nobody can discover is a page nobody maintains.
+4. Every BENCH_*.json artifact named in EXPERIMENTS.md must be produced
+   by a CI job (.github/workflows/ci.yml mentions it), so reproduction
+   commands never reference artifacts that no longer exist.
 
 Blocks tagged with any other language (```sh, ```c, untagged ASCII
 diagrams) are not compiled. Usage:
@@ -99,6 +104,46 @@ def check_cpp(repo: Path, md: Path, compiler: str) -> list:
     return errors
 
 
+def check_docs_index(repo: Path) -> list:
+    """Every docs/*.md page must be linked from the docs/README.md index."""
+    index = repo / "docs" / "README.md"
+    if not index.is_file():
+        return ["docs/README.md: missing documentation index"]
+    linked = {
+        target.split("#", 1)[0]
+        for target in LINK_RE.findall(index.read_text())
+    }
+    errors = []
+    for page in sorted((repo / "docs").glob("*.md")):
+        if page.name == "README.md":
+            continue
+        if page.name not in linked:
+            errors.append(
+                f"docs/README.md: index is missing a row for docs/{page.name}"
+            )
+    return errors
+
+
+BENCH_RE = re.compile(r"BENCH_[A-Za-z0-9_.-]*\.json")
+
+
+def check_bench_artifacts(repo: Path) -> list:
+    """Every BENCH_*.json named in EXPERIMENTS.md must appear in CI."""
+    experiments = repo / "EXPERIMENTS.md"
+    if not experiments.is_file():
+        return []
+    ci = repo / ".github" / "workflows" / "ci.yml"
+    produced = set(BENCH_RE.findall(ci.read_text())) if ci.is_file() else set()
+    errors = []
+    for name in sorted(set(BENCH_RE.findall(experiments.read_text()))):
+        if name not in produced:
+            errors.append(
+                f"EXPERIMENTS.md: names bench artifact {name} but no CI job "
+                f"in .github/workflows/ci.yml produces it"
+            )
+    return errors
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repo", default=Path(__file__).resolve().parent.parent,
@@ -115,6 +160,8 @@ def main() -> int:
         block_errors = check_cpp(repo, md, args.compiler)
         errors += block_errors
         checked_blocks += sum(1 for _ in cpp_blocks(md))
+    errors += check_docs_index(repo)
+    errors += check_bench_artifacts(repo)
 
     for message in errors:
         print(message, file=sys.stderr)

@@ -19,8 +19,10 @@
 #include "cluster/cluster.hpp"
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
+#include "jobs/fluid.hpp"
 #include "jobs/job_manager.hpp"
 #include "jobs/tenant.hpp"
+#include "sim/fluid.hpp"
 #include "microcode/compiler.hpp"
 #include "microcode/interpreter.hpp"
 #include "recovery/recovery.hpp"

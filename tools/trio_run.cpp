@@ -5,8 +5,8 @@
 //            [--counter WORD_ADDR] ... [--metrics-out FILE]
 //            [--trace-out FILE]
 //   trio-run --cluster RxW [--blocks N] [--shards N] [--faults FILE]
-//            [--deadline DUR] [--jobs FILE] [--netrpc] [--no-isolation]
-//            [--metrics-out FILE] [--trace-out FILE]
+//            [--deadline DUR] [--jobs FILE] [--netrpc] [--fluid]
+//            [--no-isolation] [--metrics-out FILE] [--trace-out FILE]
 //
 // Traffic mix tokens: "ip" (clean IPv4/UDP), "arp" (non-IP EtherType),
 // "opts" (IPv4 with options, IHL=6). Counters named with --counter are
@@ -33,6 +33,13 @@
 // from --jobs — get a per-tenant report: calls merged in-network,
 // degraded completions, cache hit rate, PFE counter readbacks and the
 // value digest.
+//
+// --fluid (cluster mode, with --jobs) demotes every eligible best-effort
+// tenant (`fluid=1`, the default) to flow-level fluid modelling
+// (docs/fluid.md): its per-host packet sources are replaced by rate-shared
+// fluid streams that re-materialise as real frames inside --faults windows
+// and recovery epochs. Reports transitions, fluid bytes and re-materialised
+// frames after the run.
 //
 // --shards N (cluster mode) runs the cluster's discrete-event core on N
 // OS threads — one shard per router domain, conservative lookahead
@@ -62,6 +69,7 @@
 #include "cluster/cluster.hpp"
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
+#include "jobs/fluid.hpp"
 #include "jobs/job_manager.hpp"
 #include "jobs/tenant.hpp"
 #include "microcode/compiler.hpp"
@@ -79,15 +87,16 @@ int usage() {
                "[--metrics-out FILE] [--trace-out FILE]\n"
                "       trio-run --cluster RxW [--blocks N] [--shards N] "
                "[--faults FILE] [--deadline DUR] "
-               "[--jobs FILE] [--netrpc] [--no-isolation] "
+               "[--jobs FILE] [--netrpc] [--fluid] [--no-isolation] "
                "[--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
 
 int run_cluster(const std::string& topo, int blocks, int shards,
                 const std::string& faults_path, const std::string& deadline_s,
-                const std::string& jobs_path, bool netrpc_demo, bool isolation,
-                const std::string& metrics_out, const std::string& trace_out) {
+                const std::string& jobs_path, bool netrpc_demo, bool fluid,
+                bool isolation, const std::string& metrics_out,
+                const std::string& trace_out) {
   const std::size_t x = topo.find('x');
   const int racks = x == std::string::npos ? 0 : std::atoi(topo.c_str());
   const int wpr =
@@ -172,8 +181,16 @@ int run_cluster(const std::string& topo, int blocks, int shards,
     deadline = sim::Time() + sim::Duration::millis(200);
   }
 
+  if (fluid && jobs_path.empty()) {
+    std::fprintf(stderr,
+                 "trio-run: --fluid needs --jobs (only best-effort tenants "
+                 "are demotable, docs/fluid.md)\n");
+    return 1;
+  }
+
   cluster::Cluster cl(spec);
   std::unique_ptr<jobs::JobManager> mgr;
+  std::unique_ptr<jobs::FluidController> fluidc;
   if (!jobs_spec.empty()) {
     mgr = std::make_unique<jobs::JobManager>(cl);
     if (isolation) mgr->enable_isolation();
@@ -182,6 +199,10 @@ int run_cluster(const std::string& topo, int blocks, int shards,
       std::fprintf(stderr, "trio-run: admission rejected: %s\n",
                    adm.reason.c_str());
       return 1;
+    }
+    if (fluid) {
+      fluidc = std::make_unique<jobs::FluidController>(cl);
+      mgr->enable_fluid(*fluidc);
     }
   }
   faults::FaultInjector injector(cl.simulator(), &telem);
@@ -213,6 +234,9 @@ int run_cluster(const std::string& topo, int blocks, int shards,
       }
     }
     cl.start_straggler_detection(/*threads=*/10, sim::Duration::millis(1));
+    // Chaos windows are packet-fidelity regions: fluid streams
+    // re-materialise as real frames for each fault's active window.
+    if (fluidc) fluidc->observe(schedule);
   }
 
   if (mgr) {
@@ -308,6 +332,16 @@ int run_cluster(const std::string& topo, int blocks, int shards,
                     unsigned(tr.id), jobs::kind_name(tr.kind),
                     ts != nullptr ? ts->load : 0.0);
       }
+    }
+    if (fluidc) {
+      std::printf(
+          "  fluid: %zu stream(s), %llu fluid bytes, %llu re-materialised "
+          "frame(s), %llu transition(s), %llu fault window(s)\n",
+          fluidc->num_streams(),
+          static_cast<unsigned long long>(fluidc->fluid_bytes()),
+          static_cast<unsigned long long>(fluidc->packet_frames()),
+          static_cast<unsigned long long>(fluidc->transitions()),
+          static_cast<unsigned long long>(fluidc->windows_observed()));
     }
     if (!schedule.empty()) {
       std::printf("  faults: %llu injected, fault log digest %016llx\n",
@@ -431,6 +465,7 @@ int main(int argc, char** argv) {
   std::string deadline_s;
   std::string jobs_path;
   bool netrpc_demo = false;
+  bool fluid = false;
   bool isolation = true;
   int blocks = 8;
   int shards = 0;  // 0 = auto (hardware concurrency, capped by routers)
@@ -467,6 +502,8 @@ int main(int argc, char** argv) {
       jobs_path = arg.substr(std::string("--jobs=").size());
     } else if (arg == "--netrpc") {
       netrpc_demo = true;
+    } else if (arg == "--fluid") {
+      fluid = true;
     } else if (arg == "--no-isolation") {
       isolation = false;
     } else if (arg == "--mix" && i + 1 < argc) {
@@ -492,7 +529,7 @@ int main(int argc, char** argv) {
   }
   if (!cluster_topo.empty()) {
     return run_cluster(cluster_topo, blocks, shards, faults_path, deadline_s,
-                       jobs_path, netrpc_demo, isolation, metrics_out,
+                       jobs_path, netrpc_demo, fluid, isolation, metrics_out,
                        trace_out);
   }
   if (path.empty() || packets <= 0 || mix.empty()) return usage();
