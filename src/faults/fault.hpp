@@ -77,6 +77,11 @@ struct FaultEvent {
   /// Loss/corruption stream seed; 0 derives one from (at, kind, target)
   /// so distinct events get decorrelated yet reproducible streams.
   std::uint64_t seed = 0;
+  /// Source position in the DSL text this event was parsed from (1-based;
+  /// line 0 = built programmatically). Diagnostics only — ignored by the
+  /// injector and by schedule equality/digests.
+  int line = 0;
+  int col = 0;
 };
 
 /// Human-readable one-liner ("10ms flap host:3 for 2ms") used in the

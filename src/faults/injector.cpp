@@ -144,6 +144,7 @@ std::uint64_t FaultInjector::derive_seed(const FaultEvent& event,
                                          int instance) const {
   if (event.seed != 0) return event.seed + std::uint64_t(instance) * kGolden;
   std::uint64_t h = 0x6a09e667f3bcc908ull;
+  if (base_seed_ != 0) h ^= mix(base_seed_);  // 0 keeps legacy streams
   h = mix(h ^ std::uint64_t(event.at.ns()));
   h = mix(h ^ (std::uint64_t(event.kind) << 8) ^
           (std::uint64_t(event.target.kind) << 16));

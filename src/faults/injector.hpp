@@ -64,6 +64,13 @@ class FaultInjector {
   /// unbound and std::out_of_range for a target the topology lacks.
   void arm(const FaultSchedule& schedule);
 
+  /// Base seed folded into every derived loss/corruption stream seed
+  /// (`trio-run --seed`, docs/faults.md): events with an explicit
+  /// `seed=` keep it; events without one get decorrelated streams that
+  /// differ between base seeds yet replay identically for the same one.
+  void set_base_seed(std::uint64_t seed) { base_seed_ = seed; }
+  std::uint64_t base_seed() const { return base_seed_; }
+
   /// Installs the tenant-worker resolver (docs/jobs.md): maps a
   /// `tenant=` qualified crash/restart to the tenant's worker on host
   /// `host`. Wired up by jobs::JobManager; returning null makes the event
@@ -144,6 +151,7 @@ class FaultInjector {
   sim::Simulator& sim_;
   sim::ShardedSimulator* engine_ = nullptr;
   telemetry::Telemetry* telem_;
+  std::uint64_t base_seed_ = 0;
   Topology topo_;
   bool bound_ = false;
   std::function<trioml::TrioMlWorker*(int tenant, int host)> tenant_resolver_;

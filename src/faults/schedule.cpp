@@ -1,5 +1,6 @@
 #include "faults/schedule.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
@@ -9,21 +10,37 @@
 namespace faults {
 namespace {
 
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> out;
-  std::istringstream in(line);
-  std::string tok;
-  while (in >> tok) {
-    if (tok[0] == '#') break;  // rest of line is a comment
-    out.push_back(tok);
+/// One whitespace-delimited token plus its 1-based column, so errors (and
+/// validate()) can point at the offending token, not just the line.
+struct Tok {
+  std::string text;
+  int col = 0;
+};
+
+std::vector<Tok> tokenize(const std::string& line) {
+  std::vector<Tok> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#') break;  // comment to end of line
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    out.push_back(Tok{line.substr(start, i - start), int(start) + 1});
   }
   return out;
 }
 
-[[noreturn]] void fail(int line_no, const std::string& line,
+[[noreturn]] void fail(int line_no, int col, const std::string& line,
                        const std::string& why) {
-  throw std::invalid_argument("faults DSL line " + std::to_string(line_no) +
-                              ": " + why + " in \"" + line + "\"");
+  std::string where = "faults DSL line " + std::to_string(line_no);
+  if (col > 0) where += " col " + std::to_string(col);
+  throw std::invalid_argument(where + ": " + why + " in \"" + line + "\"");
 }
 
 double parse_double(const std::string& tok, bool* ok) {
@@ -257,32 +274,38 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
     ++line_no;
     const auto toks = tokenize(line);
     if (toks.empty()) continue;
-    if (toks.size() < 3 || toks[0] != "at") {
-      fail(line_no, line, "expected `at <time> <verb> <target> ...`");
+    if (toks.size() < 3 || toks[0].text != "at") {
+      fail(line_no, toks[0].col, line,
+           "expected `at <time> <verb> <target> ...`");
     }
     sim::Time at;
     try {
-      at = sim::Time() + parse_duration(toks[1]);
+      at = sim::Time() + parse_duration(toks[1].text);
     } catch (const std::invalid_argument& e) {
-      fail(line_no, line, e.what());
+      fail(line_no, toks[1].col, line, e.what());
     }
-    const std::string& verb = toks[2];
-    if (toks.size() < 4) fail(line_no, line, "missing target");
+    const std::string& verb = toks[2].text;
+    const int verb_col = toks[2].col;
+    if (toks.size() < 4) fail(line_no, verb_col, line, "missing target");
     const bool agg_context = verb == "drop-buckets";
     bool ok = false;
-    const Target target = parse_target(toks[3], agg_context, &ok);
-    if (!ok) fail(line_no, line, "bad target `" + toks[3] + "`");
+    const Target target = parse_target(toks[3].text, agg_context, &ok);
+    if (!ok) {
+      fail(line_no, toks[3].col, line, "bad target `" + toks[3].text + "`");
+    }
 
     FaultEvent e;
     e.at = at;
     e.target = target;
+    e.line = line_no;
+    e.col = verb_col;
     std::size_t pos = 4;  // first parameter token
 
     // `<number>` right after the target = probability (loss / corrupt).
     double probability = -1;
     if (pos < toks.size()) {
       bool num_ok = false;
-      const double v = parse_double(toks[pos], &num_ok);
+      const double v = parse_double(toks[pos].text, &num_ok);
       if (num_ok) {
         probability = v;
         ++pos;
@@ -293,24 +316,30 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
     sim::Duration duration = sim::Duration::zero();
     bool have_duration = false;
     while (pos < toks.size()) {
-      if (toks[pos] == "for") {
-        if (pos + 1 >= toks.size()) fail(line_no, line, "`for` needs a time");
+      if (toks[pos].text == "for") {
+        if (pos + 1 >= toks.size()) {
+          fail(line_no, toks[pos].col, line, "`for` needs a time");
+        }
         try {
-          duration = parse_duration(toks[pos + 1]);
+          duration = parse_duration(toks[pos + 1].text);
         } catch (const std::invalid_argument& err) {
-          fail(line_no, line, err.what());
+          fail(line_no, toks[pos + 1].col, line, err.what());
         }
         have_duration = true;
         pos += 2;
         continue;
       }
       std::string key, value;
-      if (!parse_kv(toks[pos], &key, &value)) {
-        fail(line_no, line, "unexpected token `" + toks[pos] + "`");
+      if (!parse_kv(toks[pos].text, &key, &value)) {
+        fail(line_no, toks[pos].col, line,
+             "unexpected token `" + toks[pos].text + "`");
       }
       bool num_ok = false;
       const double v = parse_double(value, &num_ok);
-      if (!num_ok) fail(line_no, line, "bad value in `" + toks[pos] + "`");
+      if (!num_ok) {
+        fail(line_no, toks[pos].col, line,
+             "bad value in `" + toks[pos].text + "`");
+      }
       if (key == "p_enter") e.burst.p_enter = v;
       else if (key == "p_exit") e.burst.p_exit = v;
       else if (key == "loss_good") e.burst.loss_good = v;
@@ -319,11 +348,14 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
       else if (key == "job") e.job_id = static_cast<std::uint8_t>(v);
       else if (key == "tenant") {
         if (v < 0 || v > 255) {
-          fail(line_no, line, "tenant out of range in `" + toks[pos] + "`");
+          fail(line_no, toks[pos].col, line,
+               "tenant out of range in `" + toks[pos].text + "`");
         }
         e.tenant = static_cast<int>(v);
       }
-      else fail(line_no, line, "unknown parameter `" + key + "`");
+      else {
+        fail(line_no, toks[pos].col, line, "unknown parameter `" + key + "`");
+      }
       ++pos;
     }
     e.duration = duration;
@@ -331,7 +363,9 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
 
     if (verb == "flap") {
       e.kind = FaultKind::kLinkFlap;
-      if (!have_duration) fail(line_no, line, "flap needs `for <time>`");
+      if (!have_duration) {
+        fail(line_no, verb_col, line, "flap needs `for <time>`");
+      }
     } else if (verb == "down") {
       e.kind = FaultKind::kLinkDown;
     } else if (verb == "up") {
@@ -340,17 +374,23 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
       e.kind = FaultKind::kBurstLoss;
     } else if (verb == "loss") {
       e.kind = FaultKind::kIidLoss;
-      if (probability < 0) fail(line_no, line, "loss needs a probability");
+      if (probability < 0) {
+        fail(line_no, verb_col, line, "loss needs a probability");
+      }
     } else if (verb == "corrupt") {
       e.kind = FaultKind::kCorrupt;
-      if (probability < 0) fail(line_no, line, "corrupt needs a probability");
+      if (probability < 0) {
+        fail(line_no, verb_col, line, "corrupt needs a probability");
+      }
     } else if (verb == "stall") {
       e.kind = FaultKind::kRouterStall;
-      if (!have_duration) fail(line_no, line, "stall needs `for <time>`");
+      if (!have_duration) {
+        fail(line_no, verb_col, line, "stall needs `for <time>`");
+      }
     } else if (verb == "kill") {
       e.kind = FaultKind::kRouterKill;
       if (have_duration) {
-        fail(line_no, line, "kill is permanent; use a `revive` line");
+        fail(line_no, verb_col, line, "kill is permanent; use a `revive` line");
       }
     } else if (verb == "revive") {
       e.kind = FaultKind::kRouterRevive;
@@ -361,7 +401,7 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
     } else if (verb == "drop-buckets") {
       e.kind = FaultKind::kBucketDrop;
     } else {
-      fail(line_no, line, "unknown verb `" + verb + "`");
+      fail(line_no, verb_col, line, "unknown verb `" + verb + "`");
     }
 
     // `tenant=` scopes a crash/restart to one tenant's worker and aliases
@@ -371,7 +411,7 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
         e.job_id = static_cast<std::uint8_t>(e.tenant);
       } else if (e.kind != FaultKind::kHostCrash &&
                  e.kind != FaultKind::kHostRestart) {
-        fail(line_no, line,
+        fail(line_no, verb_col, line,
              "`tenant=` only applies to crash/restart/drop-buckets");
       }
     }
@@ -381,19 +421,22 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
         e.kind == FaultKind::kLinkFlap || e.kind == FaultKind::kBurstLoss ||
         e.kind == FaultKind::kIidLoss || e.kind == FaultKind::kCorrupt;
     if (link_verb && !is_link_target(e.target)) {
-      fail(line_no, line, "verb `" + verb + "` needs a link target");
+      fail(line_no, toks[3].col, line,
+           "verb `" + verb + "` needs a link target");
     }
     if ((e.kind == FaultKind::kHostCrash ||
          e.kind == FaultKind::kHostRestart) &&
         e.target.kind != TargetKind::kWorker) {
-      fail(line_no, line, "verb `" + verb + "` needs a worker target");
+      fail(line_no, toks[3].col, line,
+           "verb `" + verb + "` needs a worker target");
     }
     if ((e.kind == FaultKind::kRouterStall ||
          e.kind == FaultKind::kRouterKill ||
          e.kind == FaultKind::kRouterRevive) &&
         e.target.kind != TargetKind::kLeafRouter &&
         e.target.kind != TargetKind::kSpineRouter) {
-      fail(line_no, line, "verb `" + verb + "` needs a router target");
+      fail(line_no, toks[3].col, line,
+           "verb `" + verb + "` needs a router target");
     }
     schedule.add(e);
   }
@@ -476,6 +519,183 @@ FaultSchedule FaultSchedule::load(const std::string& path) {
   std::ostringstream text;
   text << in.rdbuf();
   return parse(text.str());
+}
+
+namespace {
+
+/// Exact-duration DSL spelling: the largest unit that divides `ns` evenly,
+/// so parse_duration reads back the same nanosecond count.
+std::string fmt_dur(std::int64_t ns) {
+  std::ostringstream out;
+  if (ns != 0 && ns % 1'000'000'000 == 0) out << ns / 1'000'000'000 << "s";
+  else if (ns != 0 && ns % 1'000'000 == 0) out << ns / 1'000'000 << "ms";
+  else if (ns != 0 && ns % 1'000 == 0) out << ns / 1'000 << "us";
+  else out << ns << "ns";
+  return out.str();
+}
+
+/// Shortest decimal spelling that strtod reads back to exactly `v`.
+std::string fmt_prob(double v) {
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::ostringstream os;
+    os.precision(prec);
+    os << v;
+    if (std::strtod(os.str().c_str(), nullptr) == v) return os.str();
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string FaultSchedule::to_dsl() const {
+  std::ostringstream out;
+  for (const FaultEvent& e : events_) {
+    out << "at " << fmt_dur(e.at.ns()) << ' ' << kind_name(e.kind) << ' '
+        << target_name(e.target);
+    switch (e.kind) {
+      case FaultKind::kLinkFlap:
+      case FaultKind::kRouterStall:
+        out << " for " << fmt_dur(e.duration.ns());
+        break;
+      case FaultKind::kBurstLoss:
+        out << " p_enter=" << fmt_prob(e.burst.p_enter)
+            << " p_exit=" << fmt_prob(e.burst.p_exit)
+            << " loss_good=" << fmt_prob(e.burst.loss_good)
+            << " loss_bad=" << fmt_prob(e.burst.loss_bad);
+        if (e.duration.ns() != 0) out << " for " << fmt_dur(e.duration.ns());
+        if (e.seed != 0) out << " seed=" << e.seed;
+        break;
+      case FaultKind::kIidLoss:
+      case FaultKind::kCorrupt:
+        out << ' ' << fmt_prob(e.probability);
+        if (e.duration.ns() != 0) out << " for " << fmt_dur(e.duration.ns());
+        if (e.seed != 0) out << " seed=" << e.seed;
+        break;
+      case FaultKind::kBucketDrop:
+        if (e.tenant >= 0) out << " tenant=" << e.tenant;
+        else out << " job=" << int(e.job_id);
+        break;
+      case FaultKind::kHostCrash:
+      case FaultKind::kHostRestart:
+        if (e.tenant >= 0) out << " tenant=" << e.tenant;
+        break;
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+      case FaultKind::kRouterKill:
+      case FaultKind::kRouterRevive:
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void validate_fail(const FaultEvent& e, const std::string& why) {
+  std::string where = "fault schedule";
+  if (e.line > 0) {
+    where += " line " + std::to_string(e.line);
+    if (e.col > 0) where += " col " + std::to_string(e.col);
+  }
+  throw std::invalid_argument(where + ": " + why + " (`" + describe(e) + "`)");
+}
+
+/// Do two targets address an overlapping set of instances? kAll on either
+/// side overlaps everything of the kind.
+bool targets_overlap(const Target& a, const Target& b) {
+  if (a.kind != b.kind) return false;
+  return a.index == Target::kAll || b.index == Target::kAll ||
+         a.index == b.index;
+}
+
+}  // namespace
+
+void FaultSchedule::validate(const std::vector<int>* declared_tenants) const {
+  // Time-sorted view (stable: same-time events keep schedule order, the
+  // order the injector arms them in).
+  std::vector<const FaultEvent*> order;
+  order.reserve(events_.size());
+  for (const FaultEvent& e : events_) order.push_back(&e);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const FaultEvent* a, const FaultEvent* b) {
+                     return a->at < b->at;
+                   });
+
+  std::vector<const FaultEvent*> open_kills;    // routers currently killed
+  std::vector<const FaultEvent*> open_crashes;  // (worker, tenant) crashed
+  for (const FaultEvent* ep : order) {
+    const FaultEvent& e = *ep;
+    if (e.tenant >= 0 && declared_tenants != nullptr &&
+        std::find(declared_tenants->begin(), declared_tenants->end(),
+                  e.tenant) == declared_tenants->end()) {
+      validate_fail(e, "tenant=" + std::to_string(e.tenant) +
+                           " is not declared in the jobs spec");
+    }
+    switch (e.kind) {
+      case FaultKind::kRouterKill: {
+        for (const FaultEvent* open : open_kills) {
+          if (targets_overlap(open->target, e.target)) {
+            validate_fail(e, "kill overlaps an earlier kill of " +
+                                 target_name(open->target) +
+                                 " that is still open (missing revive?)");
+          }
+        }
+        open_kills.push_back(ep);
+        break;
+      }
+      case FaultKind::kRouterRevive: {
+        bool matched = false;
+        for (auto it = open_kills.begin(); it != open_kills.end();) {
+          if (targets_overlap((*it)->target, e.target)) {
+            matched = true;
+            it = open_kills.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (!matched) {
+          validate_fail(e, "revive of " + target_name(e.target) +
+                               " with no kill still open");
+        }
+        break;
+      }
+      case FaultKind::kHostCrash: {
+        for (const FaultEvent* open : open_crashes) {
+          if (open->tenant == e.tenant &&
+              targets_overlap(open->target, e.target)) {
+            validate_fail(e, "crash overlaps an earlier crash of " +
+                                 target_name(open->target) +
+                                 " that is still open (missing restart?)");
+          }
+        }
+        open_crashes.push_back(ep);
+        break;
+      }
+      case FaultKind::kHostRestart: {
+        bool matched = false;
+        for (auto it = open_crashes.begin(); it != open_crashes.end();) {
+          if ((*it)->tenant == e.tenant &&
+              targets_overlap((*it)->target, e.target)) {
+            matched = true;
+            it = open_crashes.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (!matched) {
+          validate_fail(e, "restart of " + target_name(e.target) +
+                               " with no crash still open");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
 }
 
 }  // namespace faults

@@ -59,11 +59,30 @@ class FaultSchedule {
   std::size_t size() const { return events_.size(); }
 
   /// Parses the chaos DSL. Throws std::invalid_argument naming the
-  /// offending line on any syntax error.
+  /// offending line and column on any syntax error.
   static FaultSchedule parse(const std::string& text);
   /// parse() over a file's contents; throws std::runtime_error when the
   /// file cannot be read.
   static FaultSchedule load(const std::string& path);
+
+  /// Serializes the schedule back into DSL text parse() accepts —
+  /// `parse(s.to_dsl())` produces an equivalent schedule. The replayable
+  /// `.faults` repro format the vigil shrinker emits (docs/vigil.md).
+  /// Seeds above 2^53 lose precision through the DSL's numeric values;
+  /// the vigil generator only draws 32-bit seeds for this reason.
+  std::string to_dsl() const;
+
+  /// Cross-event semantic validation (docs/faults.md "Schedule
+  /// validation"). Rejects, with the offending event's line/col:
+  ///   * `revive` with no kill still open on that router;
+  ///   * `kill` while an earlier kill on the same router is still open
+  ///     (overlapping kill–revive windows);
+  ///   * `restart` with no crash open on that (worker, tenant), and
+  ///     `crash` while one is already open;
+  ///   * when `declared_tenants` is non-null, any `tenant=` qualifier
+  ///     naming a tenant outside it (the tenants the jobs spec declares).
+  /// Wildcard targets match any instance. Throws std::invalid_argument.
+  void validate(const std::vector<int>* declared_tenants = nullptr) const;
 
   // --- Target shorthands (mirror the DSL's target syntax) ----------------
   static Target host_link(int worker, LinkDir dir = LinkDir::kBoth) {

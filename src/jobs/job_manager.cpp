@@ -642,6 +642,14 @@ void JobManager::start_netrpc_tenant(TenantRun& tr, Tenant& tenant,
         return;
       }
     };
+    // A crash wipes every in-flight op *and its completion callback* —
+    // the pump chain is severed. Re-prime it when the client restarts
+    // (in-flight calls died with the crash, so the window is empty).
+    client->set_restart_hook([d] {
+      if (!d->pump) return;  // loop already completed
+      d->inflight = 0;
+      d->pump();
+    });
     d->pump();
   }
 }

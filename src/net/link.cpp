@@ -105,12 +105,15 @@ bool LinkEndpoint::send(PacketPtr pkt) {
   Node* peer = peer_;
   const int port = peer_port_;
   const sim::Time arrive = tx_end + propagation_;
+  const std::uint32_t frame_bytes = std::uint32_t(pkt->size());
   if (engine_ != nullptr) {
     // Domain boundary: the wire bookkeeping stays on the sender's shard;
     // the receive crosses via the engine's delivery band, which totals
     // orders it by (arrival, source domain, sequence) at any shard count.
-    sim_.schedule_at(arrive, [this] {
+    sim_.schedule_at(arrive, [this, frame_bytes] {
       --in_flight_;
+      ++frames_delivered_;
+      bytes_delivered_ += frame_bytes;
       rx_frames_ctr_.inc();
     });
     engine_->post(src_domain_, dst_domain_, arrive,
@@ -119,8 +122,12 @@ bool LinkEndpoint::send(PacketPtr pkt) {
                   });
     return true;
   }
-  sim_.schedule_at(arrive, [this, peer, port, pkt = std::move(pkt)]() mutable {
+  sim_.schedule_at(arrive,
+                   [this, peer, port, frame_bytes,
+                    pkt = std::move(pkt)]() mutable {
     --in_flight_;
+    ++frames_delivered_;
+    bytes_delivered_ += frame_bytes;
     rx_frames_ctr_.inc();
     peer->receive(std::move(pkt), port);
   });

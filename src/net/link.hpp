@@ -102,6 +102,18 @@ class LinkEndpoint {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   double gbps() const { return gbps_; }
 
+  // --- Conservation accounting (src/vigil/, docs/vigil.md) ---------------
+  /// Frames/bytes handed to the peer's receive(). Together with
+  /// frames_in_flight() these satisfy, at every instant,
+  ///   frames_sent == frames_delivered + frames_in_flight
+  /// which the vigil invariant engine checks on every link — a cheap
+  /// always-on detector for lost or duplicated deliveries (e.g. across
+  /// shard boundaries).
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  /// Frames serialized or propagating right now (on the wire).
+  std::uint64_t frames_in_flight() const { return in_flight_; }
+
   // --- Fluid-share accounting (sim/fluid.hpp, docs/fluid.md) -------------
   /// Reserves `gbps` of this direction's bandwidth for fluid-modelled
   /// flows: frames serialized after this call see only the residual
@@ -161,6 +173,8 @@ class LinkEndpoint {
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
   double loss_probability_ = 0.0;
   sim::Rng loss_rng_{1};
   bool down_ = false;

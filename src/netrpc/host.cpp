@@ -75,10 +75,40 @@ void RpcClient::call(const std::vector<std::uint32_t>& args,
   PendingCall& call = calls_[rpc_id];
   call.start = sim_.now();
   call.done = std::move(done);
+  if (call_timeout_enabled()) {
+    call.timer = sim_.schedule_in(
+        config_.call_timeout,
+        [this, rpc_id, epoch = epoch_] { give_up_call(rpc_id, epoch); });
+  }
   for (std::uint8_t s = 0; s < config_.server_ips.size(); ++s) {
     send_request(Op::kRpcReq, s, rpc_id,
                  make_key(config_.tenant, rpc_id), args);
   }
+}
+
+void RpcClient::give_up_call(std::uint32_t rpc_id, std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // a crash wiped this call
+  auto it = calls_.find(rpc_id);
+  if (it == calls_.end()) return;
+  // The merged response is gone for good — fan-out calls are never
+  // retransmitted, and the PFE sends its (possibly aged/degraded) merge
+  // exactly once. Complete locally with whatever replica replies did
+  // arrive so the caller's closed loop keeps making progress.
+  CallResult res;
+  res.rpc_id = rpc_id;
+  res.server_cnt = it->second.arrived;
+  res.degraded = true;
+  res.host_merged = it->second.arrived > 0;
+  res.latency = sim_.now() - it->second.start;
+  res.values = std::move(it->second.acc);
+  res.values.resize(config_.value_words);
+  auto done = std::move(it->second.done);
+  calls_.erase(it);
+  ++calls_completed_;
+  ++degraded_calls_;
+  degraded_ctr_.inc();
+  call_latency_us_.add(res.latency.us());
+  if (done) done(std::move(res));
 }
 
 void RpcClient::get(std::uint64_t user_key,
@@ -118,7 +148,32 @@ void RpcClient::arm_retransmit(std::uint32_t rpc_id) {
         auto it = key_ops_.find(rpc_id);
         if (it == key_ops_.end()) return;
         PendingKeyOp& op = it->second;
-        if (++op.retries > config_.retry_budget) return;  // give up quietly
+        if (++op.retries > config_.retry_budget) {
+          // Out of retries: complete the op as lost (zero values) rather
+          // than vanishing — a caller chaining its next op off the
+          // callback would otherwise stall forever.
+          if (op.get_done) {
+            GetResult res;
+            res.key = op.user_key;
+            res.lost = true;
+            res.latency = sim_.now() - op.start;
+            res.values.resize(config_.value_words);
+            auto done = std::move(op.get_done);
+            key_ops_.erase(it);
+            get_miss_latency_us_.add(res.latency.us());
+            done(std::move(res));
+          } else {
+            PutResult res;
+            res.key = op.user_key;
+            res.lost = true;
+            res.latency = sim_.now() - op.start;
+            auto done = std::move(op.put_done);
+            key_ops_.erase(it);
+            put_latency_us_.add(res.latency.us());
+            done(std::move(res));
+          }
+          return;
+        }
         ++retransmissions_;
         retransmits_ctr_.inc();
         const std::uint64_t key = make_key(config_.tenant, op.user_key);
@@ -183,6 +238,7 @@ void RpcClient::receive(net::PacketPtr pkt, int /*port*/) {
       for (std::size_t i = 0; i < res.values.size(); ++i) {
         res.values[i] = read_value(frame, i);
       }
+      sim_.cancel(it->second.timer);
       auto done = std::move(it->second.done);
       calls_.erase(it);
       ++calls_completed_;
@@ -207,6 +263,7 @@ void RpcClient::receive(net::PacketPtr pkt, int /*port*/) {
       res.host_merged = true;
       res.latency = sim_.now() - it->second.start;
       res.values = std::move(it->second.acc);
+      sim_.cancel(it->second.timer);
       auto done = std::move(it->second.done);
       calls_.erase(it);
       ++calls_completed_;
@@ -266,6 +323,7 @@ void RpcClient::crash() {
   ++epoch_;  // strands every armed retransmit timer
   crash_ctr_.inc();
   for (auto& [id, op] : key_ops_) sim_.cancel(op.timer);
+  for (auto& [id, call] : calls_) sim_.cancel(call.timer);
   calls_.clear();
   key_ops_.clear();
 }

@@ -33,11 +33,13 @@ struct GetResult {
   std::uint64_t key = 0;
   std::vector<std::uint32_t> values;
   bool cached = false;  // answered by the PFE's hot-key cache
+  bool lost = false;    // retry budget exhausted; values are zero
   sim::Duration latency;
 };
 
 struct PutResult {
   std::uint64_t key = 0;
+  bool lost = false;  // retry budget exhausted; the write may not have landed
   sim::Duration latency;
 };
 
@@ -73,6 +75,11 @@ class RpcClient : public net::Node {
     bool retransmit = false;
     sim::Duration retransmit_timeout = sim::Duration::millis(1);
     std::uint32_t retry_budget = 4;
+    /// Fan-out call give-up: a call whose merged response never arrives
+    /// (calls are not retransmitted, and a lost MERGED_RESP is not
+    /// resent) completes locally after this deadline — degraded, with
+    /// whatever replica replies did arrive. Zero disables.
+    sim::Duration call_timeout = sim::Duration::millis(5);
   };
 
   RpcClient(sim::Simulator& simulator, Config config, net::LinkEndpoint& tx);
@@ -97,9 +104,19 @@ class RpcClient : public net::Node {
   /// All in-flight operations and their callbacks vanish; received
   /// frames are ignored until restart().
   void crash();
-  void restart() { crashed_ = false; }
+  void restart() {
+    if (!crashed_) return;
+    crashed_ = false;
+    if (on_restart_) on_restart_();
+  }
   bool crashed() const { return crashed_; }
   std::uint64_t epoch() const { return epoch_; }
+  /// Invoked from restart(): a crash wiped every in-flight operation and
+  /// its callback, so a callback-chained driver must re-prime its loop
+  /// here or stall forever.
+  void set_restart_hook(std::function<void()> hook) {
+    on_restart_ = std::move(hook);
+  }
 
   void instrument(telemetry::Registry& registry, const std::string& prefix) {
     retransmits_ctr_ = registry.counter(prefix + "retransmits");
@@ -130,6 +147,7 @@ class RpcClient : public net::Node {
     std::vector<std::uint32_t> acc;
     std::vector<std::uint32_t> counts;  // majority: candidate counts
     std::uint8_t arrived = 0;
+    sim::EventId timer;  // give-up deadline (config_.call_timeout)
   };
   struct PendingKeyOp {
     sim::Time start;
@@ -143,6 +161,9 @@ class RpcClient : public net::Node {
 
   void send_request(Op op, std::uint8_t server_id, std::uint32_t rpc_id,
                     std::uint64_t key, const std::vector<std::uint32_t>& vals);
+  bool call_timeout_enabled() const { return config_.call_timeout.ns() > 0; }
+  /// call_timeout fired: complete the call locally, degraded.
+  void give_up_call(std::uint32_t rpc_id, std::uint64_t epoch);
   /// Next fan-out call id: monotone, and never congruent mod the PFE's
   /// pending slots with any live call (the slot the id hashes to must be
   /// free, or the aggregating PFE would merge two calls into each other).
@@ -168,6 +189,7 @@ class RpcClient : public net::Node {
   std::unordered_map<std::uint32_t, PendingKeyOp> key_ops_;
   bool crashed_ = false;
   std::uint64_t epoch_ = 0;
+  std::function<void()> on_restart_;
 
   sim::Samples call_latency_us_;
   sim::Samples get_hit_latency_us_;

@@ -190,11 +190,15 @@ sim::Time HwHashTable::issue(const XtxnRequest& req, XtxnCallback cb) {
       // The delete reply carries the deleted record's value so a claiming
       // thread (e.g. the straggler scan) learns the record address. Stale
       // records read as absent, so a scan thread racing a generation bump
-      // cannot claim an invalidated bucket.
+      // cannot claim an invalidated bucket. A nonzero arg1 makes the
+      // delete conditional on the stored value: a thread deleting "its"
+      // record cannot take out a record re-created under the same key
+      // after its own was dropped.
       auto& b = bucket_for(req.arg0);
       reply.ok = false;
       for (auto& r : b) {
-        if (r.key == req.arg0 && !stale(r)) {
+        if (r.key == req.arg0 && !stale(r) &&
+            (req.arg1 == 0 || r.value == req.arg1)) {
           reply.ok = true;
           reply.value = r.value;
           break;

@@ -33,7 +33,7 @@ enum class XtxnOp : std::uint8_t {
   // 'Recently Referenced' flag.
   kHashLookup,    // arg0 = key -> ok, value
   kHashInsert,    // arg0 = key, arg1 = value -> ok (false if key exists)
-  kHashDelete,    // arg0 = key -> ok
+  kHashDelete,    // arg0 = key, arg1 = expected value (0 = any) -> ok
   kHashScanStep,  // arg0 = partition, arg1 = max records; check-and-clear
                   // REF over one partition slice; reply data = aged keys
   // Memory & Queueing Subsystem.

@@ -97,6 +97,24 @@ void AggregationProgram::queue_add_slices(std::size_t grad_byte_off,
   }
 }
 
+trio::Action AggregationProgram::claim_source(trio::ThreadContext& ctx) {
+  // Claim this source BEFORE aggregating. The rcvd_mask bit is only set
+  // after the adds drain (completion depends on that order), so two
+  // threads for the same source — a retransmission racing the original,
+  // e.g. released together by a router-stall replay — can both pass the
+  // snapshot check above and double the contribution. The slab's unused
+  // rcvd_mask_1 word (fast path serves <= 64 sources) is the claim mask:
+  // exactly one FetchOr64 per source sees its bit clear.
+  if (hdr_.src_id / 64 != 0) return begin_aggregation(ctx);
+  trio::ActSyncXtxn claim;
+  claim.req.op = trio::XtxnOp::kFetchOr64;
+  claim.req.addr = record_addr_ + BlockRecord::kRcvdMask0Off + 8;
+  claim.req.arg0 = 1ull << (hdr_.src_id % 64);
+  claim.instructions = 2;
+  state_ = State::kClaimReply;
+  return claim;
+}
+
 trio::Action AggregationProgram::begin_aggregation(trio::ThreadContext& ctx) {
   grad_bytes_ = std::size_t(hdr_.grad_cnt) * 4;
   const std::size_t head_size = ctx.packet->head_size();
@@ -215,7 +233,7 @@ trio::Action AggregationProgram::do_step(trio::ThreadContext& ctx) {
         ++app_.stats().duplicates;
         return finish(ctx, 4);
       }
-      return begin_aggregation(ctx);
+      return claim_source(ctx);
     }
 
     case State::kJobLookup: {
@@ -344,6 +362,16 @@ trio::Action AggregationProgram::do_step(trio::ThreadContext& ctx) {
         return pop_pending();
       }
       ++app_.stats().blocks_created;
+      return claim_source(ctx);
+    }
+
+    case State::kClaimReply: {
+      if ((ctx.reply.value & (1ull << (hdr_.src_id % 64))) != 0) {
+        // Lost the claim race: a concurrent thread for this same source
+        // is already aggregating (or finished after our record snapshot).
+        ++app_.stats().duplicates;
+        return finish(ctx, 2);
+      }
       return begin_aggregation(ctx);
     }
 
@@ -424,10 +452,13 @@ trio::Action AggregationProgram::do_step(trio::ThreadContext& ctx) {
         return pop_pending();
       }
       // Complete: atomically claim the block by deleting its hash record
-      // (an aging timer thread may race us — exactly one side wins).
+      // (an aging timer thread may race us — exactly one side wins). The
+      // value guard keeps a thread whose record was dropped by a fault
+      // from deleting a block re-created under the same key.
       trio::ActSyncXtxn del;
       del.req.op = trio::XtxnOp::kHashDelete;
       del.req.arg0 = key_;
+      del.req.arg1 = record_addr_;
       del.instructions = 3;
       pending_.push_back(std::move(del));
       state_ = State::kDeleted;

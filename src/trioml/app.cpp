@@ -105,7 +105,7 @@ std::size_t TrioMlApp::drop_active_blocks(std::uint8_t job_id) {
       continue;
     }
     hash.erase(key);
-    free_slab(Slab{record_addr, buffer_of_record(record_addr)});
+    quarantine_slab(Slab{record_addr, buffer_of_record(record_addr)});
     ++dropped;
   }
   // Rewind the job's active-block count so block_cnt_max capping stays
@@ -260,6 +260,26 @@ void TrioMlApp::free_slab(const Slab& slab) {
     }
   }
   free_slabs_.push_back(slab);
+}
+
+void TrioMlApp::quarantine_slab(const Slab& slab) {
+  quarantined_slabs_.push_back(slab);
+  schedule_slab_reclaim();
+}
+
+void TrioMlApp::schedule_slab_reclaim() {
+  if (reclaim_scheduled_ || quarantined_slabs_.empty()) return;
+  reclaim_scheduled_ = true;
+  pfe_.router().simulator().schedule_in(
+      sim::Duration::micros(10), [this] {
+        reclaim_scheduled_ = false;
+        if (pfe_.active_threads() == 0) {
+          for (const Slab& slab : quarantined_slabs_) free_slab(slab);
+          quarantined_slabs_.clear();
+        } else {
+          schedule_slab_reclaim();
+        }
+      });
 }
 
 void TrioMlApp::free_slab_by_buffer(std::uint64_t buffer_addr) {

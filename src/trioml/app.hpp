@@ -140,6 +140,11 @@ class TrioMlApp {
   void free_slab(const Slab& slab);
   /// Frees via the aggregation-buffer address (slabs are paired 1:1).
   void free_slab_by_buffer(std::uint64_t buffer_addr);
+  /// Fault-path free (bucket drops): in-flight PPE threads may still
+  /// hold this slab's addresses, so it only rejoins the free pool once
+  /// the PFE has drained to zero active threads — immediate reuse would
+  /// let a stale thread's RMWs corrupt the next block allocated here.
+  void quarantine_slab(const Slab& slab);
   /// Buffer address belonging to a record address (slabs are paired).
   std::uint64_t buffer_of_record(std::uint64_t record_addr) const;
 
@@ -181,9 +186,13 @@ class TrioMlApp {
   telemetry::Histogram block_latency_hist() { return block_latency_hist_; }
 
  private:
+  void schedule_slab_reclaim();
+
   trio::Pfe& pfe_;
   Config config_;
   std::vector<Slab> free_slabs_;
+  std::vector<Slab> quarantined_slabs_;
+  bool reclaim_scheduled_ = false;
   std::unordered_map<std::uint64_t, std::uint64_t> record_to_buffer_;
   std::unordered_map<std::uint64_t, std::uint64_t> buffer_to_record_;
   std::unordered_map<std::uint8_t, std::uint64_t> job_records_;

@@ -44,6 +44,8 @@ void TrioMlWorker::start_allreduce(std::vector<std::uint32_t> grads,
   next_block_ = 0;
   completed_blocks_ = 0;
   outstanding_.clear();
+  exhausted_blocks_ = 0;
+  give_up_armed_ = false;
   result_ = AllreduceResult{};
   result_.grads.assign(grads_.size(), 0.0f);
   result_.blocks = num_blocks_;
@@ -90,6 +92,9 @@ void TrioMlWorker::crash() {
   ++epoch_;
   pump_scheduled_ = false;
   stalled_until_ = sim_.now();  // the stall modelled the dead process
+  sim_.cancel(give_up_timer_);
+  give_up_armed_ = false;
+  exhausted_blocks_ = 0;
   outstanding_.clear();
   grads_.clear();
   done_ = nullptr;  // the in-flight allreduce dies with the host
@@ -158,6 +163,11 @@ void TrioMlWorker::arm_retransmit(std::uint32_t block_id, Outstanding& out) {
     // contributor degrades the answer instead of wedging the worker.
     ++retry_budget_exhausted_;
     budget_exhausted_ctr_.inc();
+    if (!out.exhausted) {
+      out.exhausted = true;
+      ++exhausted_blocks_;
+      maybe_arm_give_up();
+    }
     return;
   }
   sim::Duration timeout = config_.retransmit_timeout;
@@ -236,13 +246,54 @@ void TrioMlWorker::on_result(const TrioMlHeader& hdr,
   }
 
   sim_.cancel(it->second.retransmit_timer);
+  if (it->second.exhausted) --exhausted_blocks_;
   outstanding_.erase(it);
+  if (give_up_armed_) {
+    // A result got through: the aggregation path is alive after all.
+    // Disarm and let a later exhaustion (or completion) re-evaluate.
+    sim_.cancel(give_up_timer_);
+    give_up_armed_ = false;
+  }
   ++completed_blocks_;
   if (completed_blocks_ == num_blocks_) {
     complete();
   } else {
     pump();
+    maybe_arm_give_up();
   }
+}
+
+void TrioMlWorker::maybe_arm_give_up() {
+  // Arm only when the worker is fully wedged: nothing left to send, every
+  // outstanding block has spent its retry budget, and nothing is armed
+  // yet. Any arriving result disarms (see on_result).
+  if (config_.give_up_grace == sim::Duration::zero() || give_up_armed_ ||
+      !done_ || crashed_ || outstanding_.empty() ||
+      next_block_ < num_blocks_ ||
+      exhausted_blocks_ < outstanding_.size()) {
+    return;
+  }
+  give_up_armed_ = true;
+  give_up_timer_ =
+      sim_.schedule_in(config_.give_up_grace, [this, epoch = epoch_] {
+        if (epoch != epoch_) return;
+        give_up_armed_ = false;
+        give_up();
+      });
+}
+
+void TrioMlWorker::give_up() {
+  if (!done_ || crashed_ || outstanding_.empty()) return;
+  for (auto& [block, out] : outstanding_) {
+    sim_.cancel(out.retransmit_timer);
+  }
+  result_.abandoned_blocks += outstanding_.size();
+  abandoned_blocks_ += outstanding_.size();
+  ++abandoned_allreduces_;
+  completed_blocks_ += static_cast<std::uint32_t>(outstanding_.size());
+  outstanding_.clear();
+  exhausted_blocks_ = 0;
+  complete();
 }
 
 void TrioMlWorker::complete() {

@@ -28,6 +28,12 @@ struct AllreduceResult {
   std::vector<float> grads;
   std::uint64_t degraded_blocks = 0;
   std::uint64_t blocks = 0;
+  /// Blocks abandoned by the give-up path (docs/faults.md "Degraded
+  /// completion"): every retry budget exhausted and no result within the
+  /// grace window — the aggregation path is durably gone (e.g. the
+  /// worker's leaf router killed with no standby). Their gradients stay
+  /// zero; > 0 marks the result as a degraded completion.
+  std::uint64_t abandoned_blocks = 0;
   sim::Time start;
   sim::Time finish;
 };
@@ -66,6 +72,13 @@ class TrioMlWorker : public net::Node {
     double backoff_jitter = 0.2;
     /// Jitter stream seed; 0 derives a per-worker seed from src_id.
     std::uint64_t rng_seed = 0;
+    /// Degraded-completion grace (docs/faults.md): once *every*
+    /// outstanding block has exhausted its retry budget and nothing more
+    /// can be sent, wait this long for a (possibly aged) Result, then
+    /// abandon the remaining blocks and complete degraded instead of
+    /// wedging until the run deadline. Zero = disabled (legacy: wait
+    /// forever). Requires a nonzero retry_budget to ever trigger.
+    sim::Duration give_up_grace = sim::Duration::zero();
   };
 
   TrioMlWorker(sim::Simulator& simulator, Config config,
@@ -111,6 +124,15 @@ class TrioMlWorker : public net::Node {
     config_.backoff_max = backoff_max;
     config_.backoff_jitter = jitter;
   }
+
+  /// Turns on the degraded-completion path (Config::give_up_grace): a
+  /// worker whose every remaining block has exhausted its retry budget
+  /// abandons them after `grace` and completes with a partial result
+  /// rather than wedging against a durably-dead aggregation path.
+  void enable_give_up(sim::Duration grace) { config_.give_up_grace = grace; }
+
+  /// Reseeds the backoff-jitter stream (trio-run --seed plumbing).
+  void reseed_jitter(std::uint64_t seed) { rng_.reseed(seed); }
 
   // --- Fault hooks (src/faults/) -----------------------------------------
   /// Host crash: all worker-side allreduce state vanishes — outstanding
@@ -168,12 +190,20 @@ class TrioMlWorker : public net::Node {
     return retry_budget_exhausted_;
   }
   std::uint64_t crashes() const { return crashes_; }
+  /// Allreduces completed degraded by the give-up path, and the blocks
+  /// they abandoned (diagnostics for trio-run / the vigil invariants).
+  std::uint64_t abandoned_allreduces() const { return abandoned_allreduces_; }
+  std::uint64_t abandoned_blocks() const { return abandoned_blocks_; }
+  /// Blocks still outstanding (sent, no result). Zero whenever the worker
+  /// is idle — the vigil no-orphan-timer invariant (docs/vigil.md).
+  std::size_t outstanding_blocks() const { return outstanding_.size(); }
 
  private:
   struct Outstanding {
     sim::Time sent;
     std::uint16_t grad_cnt;
     std::uint32_t retries = 0;
+    bool exhausted = false;  // retry budget spent; waiting on aging
     sim::EventId retransmit_timer;
   };
 
@@ -182,6 +212,8 @@ class TrioMlWorker : public net::Node {
   void arm_retransmit(std::uint32_t block_id, Outstanding& out);
   void on_result(const TrioMlHeader& hdr, const net::Buffer& frame);
   void complete();
+  void maybe_arm_give_up();
+  void give_up();
 
   sim::Simulator& sim_;
   Config config_;
@@ -198,6 +230,9 @@ class TrioMlWorker : public net::Node {
   sim::Time stalled_until_;
   bool pump_scheduled_ = false;
   std::uint64_t epoch_ = 0;
+  std::size_t exhausted_blocks_ = 0;
+  bool give_up_armed_ = false;
+  sim::EventId give_up_timer_{};
 
   bool crashed_ = false;
   sim::Rng rng_;  // backoff jitter (per-worker deterministic stream)
@@ -211,6 +246,8 @@ class TrioMlWorker : public net::Node {
   std::uint64_t backoff_rearms_ = 0;
   std::uint64_t retry_budget_exhausted_ = 0;
   std::uint64_t crashes_ = 0;
+  std::uint64_t abandoned_allreduces_ = 0;
+  std::uint64_t abandoned_blocks_ = 0;
   telemetry::Counter retransmits_ctr_;
   telemetry::Counter backoff_ctr_;
   telemetry::Counter budget_exhausted_ctr_;

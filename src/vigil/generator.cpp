@@ -1,0 +1,310 @@
+#include "vigil/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace vigil {
+
+const char* profile_name(Profile profile) {
+  switch (profile) {
+    case Profile::kFailover: return "failover";
+    case Profile::kJobs: return "jobs";
+    case Profile::kNetRpc: return "netrpc";
+    case Profile::kFluid: return "fluid";
+  }
+  return "?";
+}
+
+Profile parse_profile(const std::string& name) {
+  if (name == "failover") return Profile::kFailover;
+  if (name == "jobs") return Profile::kJobs;
+  if (name == "netrpc") return Profile::kNetRpc;
+  if (name == "fluid") return Profile::kFluid;
+  throw std::invalid_argument("unknown profile `" + name +
+                              "` (failover|jobs|netrpc|fluid)");
+}
+
+Grammar profile_grammar(Profile profile) {
+  Grammar g;
+  switch (profile) {
+    case Profile::kFailover:
+      // Exercise detect -> failover -> recover: router deaths dominate,
+      // link chaos keeps heartbeats and retransmits honest.
+      g.w_kill_revive = 2.0;
+      g.w_kill_perm = 1.0;
+      g.allow_spine_kill = true;
+      g.allow_leaf_kill = true;
+      g.w_crash_restart = 0.5;
+      g.w_crash_perm = 0.5;
+      g.w_bucket_drop = 0.5;
+      g.max_events = 6;
+      break;
+    case Profile::kJobs:
+      // Multi-tenant: tenant-scoped crashes and bucket drops against the
+      // admission/quota accounting.
+      g.w_tenant_crash = 2.0;
+      g.w_bucket_drop = 2.0;
+      g.w_crash_perm = 0.5;
+      break;
+    case Profile::kNetRpc:
+      // Stalls and drops against the pending-merge slots and hot-key
+      // cache; bucket drops double as cache wipes (cache_dropper hook).
+      g.w_stall = 2.0;
+      g.w_bucket_drop = 2.0;
+      g.w_tenant_crash = 1.0;
+      g.w_crash_restart = 0.5;
+      g.w_crash_perm = 0.0;  // a dead client would stall the closed loop
+      break;
+    case Profile::kFluid:
+      // Fault windows are what demote/re-materialise fluid streams: lean
+      // on windowed link faults.
+      g.w_flap = 2.0;
+      g.w_down_up = 2.0;
+      g.w_loss = 2.0;
+      g.w_burst = 2.0;
+      g.w_crash_restart = 0.5;
+      g.w_crash_perm = 0.0;
+      g.w_bucket_drop = 0.5;
+      break;
+  }
+  return g;
+}
+
+ScenarioShape profile_shape(Profile profile) {
+  ScenarioShape s;
+  s.racks = 2;
+  s.workers_per_rack = 2;
+  switch (profile) {
+    case Profile::kFailover:
+      s.has_backup_spine = true;
+      break;
+    case Profile::kJobs:
+      s.tenants = {1, 2};  // the runner admits allreduce tenants 1 and 2
+      break;
+    case Profile::kNetRpc:
+      s.tenants = {1, 4};  // allreduce 1 + canned netrpc tenant 4
+      // The canned tenant (1 client + 3 servers) places within one rack;
+      // 2 hosts per rack cannot seat it.
+      s.workers_per_rack = 4;
+      break;
+    case Profile::kFluid:
+      s.tenants = {1};  // allreduce 1 (+ best-effort 3, not crashable)
+      break;
+  }
+  return s;
+}
+
+namespace {
+
+/// The event families the grammar weights. Order is the draw order —
+/// part of the generator's determinism contract.
+enum class Family {
+  kFlap,
+  kDownUp,
+  kBurst,
+  kLoss,
+  kCorrupt,
+  kStall,
+  kKillRevive,
+  kKillPerm,
+  kCrashRestart,
+  kCrashPerm,
+  kBucketDrop,
+  kTenantCrash,
+};
+
+struct Weighted {
+  Family family;
+  double weight;
+};
+
+sim::Duration draw_window(sim::Rng& rng, const Grammar& g) {
+  const std::int64_t lo = g.min_window.ns();
+  const std::int64_t hi = std::max(lo + 1, g.max_window.ns());
+  return sim::Duration(
+      lo + std::int64_t(rng.next_below(std::uint64_t(hi - lo))));
+}
+
+sim::Time draw_at(sim::Rng& rng, const Grammar& g) {
+  return sim::Time() +
+         sim::Duration(std::int64_t(
+             rng.next_below(std::uint64_t(std::max<std::int64_t>(
+                 1, g.horizon.ns())))));
+}
+
+/// Explicit 32-bit stream seed (never 0 = "derive one").
+std::uint64_t draw_seed(sim::Rng& rng) { return 1 + rng.next_below(0xffffffffull); }
+
+faults::Target draw_link(sim::Rng& rng, const ScenarioShape& shape) {
+  // 3:1 host links over fabric trunks (there are more of them).
+  if (rng.next_below(4) < 3) {
+    return faults::FaultSchedule::host_link(
+        int(rng.next_below(std::uint64_t(shape.total_workers()))));
+  }
+  return faults::FaultSchedule::fabric_link(
+      int(rng.next_below(std::uint64_t(shape.racks))));
+}
+
+}  // namespace
+
+faults::FaultSchedule generate(std::uint64_t seed, const Grammar& g,
+                               const ScenarioShape& shape) {
+  sim::Rng rng(seed ^ 0x7669676967656eull);  // "vigilgen" salt
+  faults::FaultSchedule out;
+
+  std::vector<Weighted> families;
+  const auto add = [&](Family f, double w) {
+    if (w > 0.0) families.push_back({f, w});
+  };
+  add(Family::kFlap, g.w_flap);
+  add(Family::kDownUp, g.w_down_up);
+  add(Family::kBurst, g.w_burst);
+  add(Family::kLoss, g.w_loss);
+  add(Family::kCorrupt, g.w_corrupt);
+  add(Family::kStall, g.w_stall);
+  if (g.allow_spine_kill || g.allow_leaf_kill) {
+    add(Family::kKillRevive, g.w_kill_revive);
+    add(Family::kKillPerm, g.w_kill_perm);
+  }
+  add(Family::kCrashRestart, g.w_crash_restart);
+  add(Family::kCrashPerm, g.w_crash_perm);
+  add(Family::kBucketDrop, g.w_bucket_drop);
+  if (!shape.tenants.empty()) add(Family::kTenantCrash, g.w_tenant_crash);
+  if (families.empty()) return out;
+
+  double total = 0;
+  for (const Weighted& w : families) total += w.weight;
+
+  const auto draw_family = [&] {
+    double x = rng.next_double() * total;
+    for (const Weighted& w : families) {
+      if ((x -= w.weight) <= 0.0) return w.family;
+    }
+    return families.back().family;
+  };
+
+  // Validity bookkeeping: at most one kill window per router and one
+  // crash window per (worker, tenant) per scenario keeps the schedule
+  // trivially free of overlapping windows (validate() rejects those).
+  bool spine_killed = false;
+  std::vector<bool> leaf_killed(std::size_t(shape.racks), false);
+  std::vector<std::pair<int, int>> crashed;  // (worker, tenant)
+  const auto crash_free = [&](int w, int t) {
+    return std::find(crashed.begin(), crashed.end(), std::make_pair(w, t)) ==
+           crashed.end();
+  };
+
+  const int events =
+      g.min_events +
+      int(rng.next_below(std::uint64_t(
+          std::max(1, g.max_events - g.min_events + 1))));
+  for (int i = 0; i < events; ++i) {
+    const Family family = draw_family();
+    const sim::Time at = draw_at(rng, g);
+    const sim::Duration window = draw_window(rng, g);
+    switch (family) {
+      case Family::kFlap:
+        out.flap(at, draw_link(rng, shape), window);
+        break;
+      case Family::kDownUp: {
+        const faults::Target link = draw_link(rng, shape);
+        out.link_down(at, link);
+        out.link_up(at + window, link);
+        break;
+      }
+      case Family::kBurst: {
+        net::GilbertElliott model;
+        model.p_enter = 0.01 + 0.09 * rng.next_double();
+        model.p_exit = 0.2 + 0.5 * rng.next_double();
+        model.loss_good = 0.0;
+        model.loss_bad = 0.5 + 0.5 * rng.next_double();
+        out.burst_loss(at, draw_link(rng, shape), model, window,
+                       draw_seed(rng));
+        break;
+      }
+      case Family::kLoss:
+        out.iid_loss(at, draw_link(rng, shape),
+                     0.01 + (g.max_loss - 0.01) * rng.next_double(), window,
+                     draw_seed(rng));
+        break;
+      case Family::kCorrupt:
+        out.corrupt(at, draw_link(rng, shape),
+                    g.max_corrupt * rng.next_double(), window,
+                    draw_seed(rng));
+        break;
+      case Family::kStall: {
+        const bool spine = shape.racks > 0 && rng.next_below(4) == 0;
+        const faults::Target router =
+            spine ? faults::FaultSchedule::spine_router()
+                  : faults::FaultSchedule::leaf_router(
+                        int(rng.next_below(std::uint64_t(shape.racks))));
+        out.stall(at, router, window);
+        break;
+      }
+      case Family::kKillRevive:
+      case Family::kKillPerm: {
+        // Prefer the spine (failover is the interesting path); fall back
+        // to a leaf; give up (skip the event) when all targets are used.
+        const bool want_spine =
+            g.allow_spine_kill && (!g.allow_leaf_kill || rng.next_below(2) == 0);
+        faults::Target router;
+        if (want_spine && !spine_killed) {
+          router = faults::FaultSchedule::spine_router();
+          spine_killed = true;
+        } else if (g.allow_leaf_kill) {
+          const int rack = int(rng.next_below(std::uint64_t(shape.racks)));
+          if (leaf_killed[std::size_t(rack)]) continue;
+          leaf_killed[std::size_t(rack)] = true;
+          router = faults::FaultSchedule::leaf_router(rack);
+        } else {
+          continue;
+        }
+        out.kill(at, router);
+        if (family == Family::kKillRevive) out.revive(at + window, router);
+        break;
+      }
+      case Family::kCrashRestart:
+      case Family::kCrashPerm: {
+        const int w = int(rng.next_below(std::uint64_t(shape.total_workers())));
+        if (!crash_free(w, -1)) continue;
+        crashed.emplace_back(w, -1);
+        out.crash(at, w);
+        if (family == Family::kCrashRestart) out.restart(at + window, w);
+        break;
+      }
+      case Family::kBucketDrop: {
+        const bool spine = rng.next_below(2) == 0;
+        const faults::Target agg =
+            spine ? faults::FaultSchedule::spine_agg()
+                  : faults::FaultSchedule::leaf_agg(
+                        int(rng.next_below(std::uint64_t(shape.racks))));
+        const std::uint8_t job =
+            shape.tenants.empty()
+                ? std::uint8_t(1)
+                : std::uint8_t(shape.tenants[rng.next_below(
+                      shape.tenants.size())]);
+        out.drop_buckets(at, agg, job);
+        break;
+      }
+      case Family::kTenantCrash: {
+        const int tenant =
+            shape.tenants[rng.next_below(shape.tenants.size())];
+        const int w = int(rng.next_below(std::uint64_t(shape.total_workers())));
+        if (!crash_free(w, tenant)) continue;
+        crashed.emplace_back(w, tenant);
+        out.crash(at, w, tenant);
+        out.restart(at + window, w, tenant);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+faults::FaultSchedule generate(std::uint64_t seed, Profile profile) {
+  return generate(seed, profile_grammar(profile), profile_shape(profile));
+}
+
+}  // namespace vigil

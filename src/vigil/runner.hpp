@@ -1,0 +1,86 @@
+// Scenario runner: builds a profile's topology + workload, arms a fault
+// schedule, executes with a simulated-time progress watchdog, drains, and
+// runs the full invariant catalogue (docs/vigil.md "The runner").
+//
+// Convergence contract (mirrors `trio-run`): crashed participants are
+// expected casualties; abandoned (give-up) completions are *degraded but
+// converged*; every other survivor must finish. Golden-digest
+// convergence — the faulted run's results must be bit-identical to the
+// fault-free baseline — is asserted only when the run is provably
+// lossless in value space: every worker finished, nothing crashed, no
+// degraded or abandoned blocks, and no frame was corrupted (corruption
+// silently changes sums; everything else only delays or re-sends exact
+// integer contributions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/schedule.hpp"
+#include "sim/time.hpp"
+#include "vigil/generator.hpp"
+#include "vigil/invariants.hpp"
+
+namespace vigil {
+
+struct RunConfig {
+  Profile profile = Profile::kFailover;
+  std::uint64_t seed = 1;
+  /// Gradient blocks per worker per allreduce (small keeps fuzz fast).
+  int blocks_per_worker = 2;
+  /// Hard simulated-time bound on the run.
+  sim::Time deadline = sim::Time() + sim::Duration::millis(120);
+  /// Watchdog: sampling cadence and the no-progress window that trips it.
+  /// The window must exceed every legitimate quiet period (retransmit
+  /// backoff max, give-up grace, stall windows).
+  sim::Duration watchdog_step = sim::Duration::millis(2);
+  sim::Duration watchdog_window = sim::Duration::millis(40);
+  /// Extra simulated time granted after the deadline for the drain phase
+  /// (timers stopped, queue runs dry) before quiescence checks.
+  sim::Duration drain_grace = sim::Duration::millis(60);
+  /// Re-introduces the pre-give-up wedge (Config::give_up_grace = 0):
+  /// workers whose aggregation path died permanently stall forever
+  /// instead of completing degraded. The planted bug the watchdog must
+  /// catch and the shrinker must reduce (docs/vigil.md "Worked repro").
+  bool plant_wedge_bug = false;
+};
+
+struct RunReport {
+  Profile profile = Profile::kFailover;
+  std::uint64_t seed = 0;
+  faults::FaultSchedule schedule;
+  std::vector<Violation> violations;
+
+  /// Every surviving participant finished before the deadline.
+  bool converged = false;
+  int finished = 0;
+  int expected = 0;
+  int crashed = 0;  // participants that crashed at least once
+  std::uint64_t degraded_blocks = 0;
+  std::uint64_t abandoned_blocks = 0;
+  std::uint64_t corrupted_frames = 0;
+  std::uint64_t retransmissions = 0;
+  /// FNV-1a fingerprint of the injector's executed-action log.
+  std::uint64_t fault_digest = 0;
+  /// (participant id, result digest) for every participant that finished
+  /// *clean* — no crash, nothing degraded or abandoned. Id 0 is the
+  /// failover profile's single job; otherwise the allreduce tenant id.
+  /// These are what the golden-digest check compares to the fault-free
+  /// baseline.
+  std::vector<std::pair<int, std::uint64_t>> digests;
+  sim::Time finish;
+
+  bool ok() const { return converged && violations.empty(); }
+};
+
+/// Replays `schedule` against the profile's canonical topology/workload.
+/// Fresh topology per call — the shrinker re-runs this dozens of times.
+RunReport run_schedule(const RunConfig& config,
+                       const faults::FaultSchedule& schedule);
+
+/// generate(seed, profile) + run_schedule.
+RunReport run_scenario(const RunConfig& config);
+
+}  // namespace vigil

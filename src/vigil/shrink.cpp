@@ -1,0 +1,210 @@
+#include "vigil/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace vigil {
+namespace {
+
+using faults::FaultEvent;
+using faults::FaultKind;
+using faults::FaultSchedule;
+using faults::Target;
+
+bool targets_match(const Target& open, const Target& close) {
+  if (open.kind != close.kind) return false;
+  return open.index == Target::kAll || close.index == Target::kAll ||
+         open.index == close.index;
+}
+
+/// Drops closing events (revive/restart/link-up) whose opener is absent
+/// from the subset, so every candidate passes validate() and never asks
+/// the topology to revive something that was never taken down.
+std::vector<FaultEvent> repair(std::vector<FaultEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  std::vector<FaultEvent> kept;
+  std::vector<std::pair<Target, int>> kills;    // open (target, unused)
+  std::vector<std::pair<Target, int>> crashes;  // open (target, tenant)
+  std::vector<std::pair<Target, int>> downs;
+  const auto take = [](std::vector<std::pair<Target, int>>& open,
+                       const Target& t, int tenant) {
+    for (auto it = open.begin(); it != open.end(); ++it) {
+      if (targets_match(it->first, t) && it->second == tenant) {
+        open.erase(it);
+        return true;
+      }
+    }
+    return false;
+  };
+  for (FaultEvent& e : events) {
+    switch (e.kind) {
+      case FaultKind::kRouterKill:
+        kills.emplace_back(e.target, 0);
+        break;
+      case FaultKind::kRouterRevive:
+        if (!take(kills, e.target, 0)) continue;
+        break;
+      case FaultKind::kHostCrash:
+        crashes.emplace_back(e.target, e.tenant);
+        break;
+      case FaultKind::kHostRestart:
+        if (!take(crashes, e.target, e.tenant)) continue;
+        break;
+      case FaultKind::kLinkDown:
+        downs.emplace_back(e.target, 0);
+        break;
+      case FaultKind::kLinkUp:
+        if (!take(downs, e.target, 0)) continue;
+        break;
+      default:
+        break;
+    }
+    kept.push_back(std::move(e));
+  }
+  return kept;
+}
+
+FaultSchedule to_schedule(const std::vector<FaultEvent>& events) {
+  FaultSchedule s;
+  for (const FaultEvent& e : events) s.add(e);
+  return s;
+}
+
+struct Budget {
+  const Oracle& oracle;
+  int calls = 0;
+  int max_calls = 0;
+
+  bool spent() const { return calls >= max_calls; }
+  /// Runs the oracle on the repaired candidate; false when out of budget
+  /// (conservative: an unexplored candidate is never kept).
+  bool violates(const std::vector<FaultEvent>& events) {
+    if (spent()) return false;
+    ++calls;
+    return oracle(to_schedule(repair(events)));
+  }
+};
+
+/// Classic ddmin: partitions `events` into n chunks, tries each chunk and
+/// each complement, recursing on whichever still violates with finer
+/// granularity, until 1-minimal (no single event can be removed).
+std::vector<FaultEvent> ddmin(std::vector<FaultEvent> events, Budget& budget) {
+  std::size_t n = 2;
+  while (events.size() >= 2 && !budget.spent()) {
+    n = std::min(n, events.size());
+    const std::size_t chunk = (events.size() + n - 1) / n;
+    bool progressed = false;
+    for (std::size_t i = 0; i < n && !progressed; ++i) {
+      const std::size_t lo = std::min(i * chunk, events.size());
+      const std::size_t hi = std::min(lo + chunk, events.size());
+      if (lo >= hi) continue;
+      // Try the chunk alone (fast path when one event suffices)...
+      std::vector<FaultEvent> subset(events.begin() + std::ptrdiff_t(lo),
+                                     events.begin() + std::ptrdiff_t(hi));
+      if (subset.size() < events.size() && budget.violates(subset)) {
+        events = std::move(subset);
+        n = 2;
+        progressed = true;
+        break;
+      }
+      // ...then its complement.
+      std::vector<FaultEvent> rest;
+      rest.reserve(events.size() - (hi - lo));
+      rest.insert(rest.end(), events.begin(), events.begin() + std::ptrdiff_t(lo));
+      rest.insert(rest.end(), events.begin() + std::ptrdiff_t(hi), events.end());
+      if (!rest.empty() && rest.size() < events.size() &&
+          budget.violates(rest)) {
+        events = std::move(rest);
+        n = std::max<std::size_t>(2, n - 1);
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      if (n >= events.size()) break;  // 1-minimal
+      n = std::min(events.size(), n * 2);
+    }
+  }
+  return events;
+}
+
+bool has_window(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kLinkFlap:
+    case FaultKind::kBurstLoss:
+    case FaultKind::kIidLoss:
+    case FaultKind::kCorrupt:
+    case FaultKind::kRouterStall:
+      return e.duration > sim::Duration::zero();
+    default:
+      return false;
+  }
+}
+
+void narrow_windows(std::vector<FaultEvent>& events, Budget& budget,
+                    const ShrinkConfig& config) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    while (has_window(events[i]) &&
+           events[i].duration > config.min_window && !budget.spent()) {
+      std::vector<FaultEvent> candidate = events;
+      candidate[i].duration = std::max(
+          config.min_window, sim::Duration(candidate[i].duration.ns() / 2));
+      if (!budget.violates(candidate)) break;
+      events = std::move(candidate);
+    }
+  }
+}
+
+void lower_intensity(std::vector<FaultEvent>& events, Budget& budget,
+                     const ShrinkConfig& config) {
+  const auto try_halve = [&](std::size_t i, auto get, auto set) {
+    while (get(events[i]) > config.min_probability && !budget.spent()) {
+      std::vector<FaultEvent> candidate = events;
+      set(candidate[i],
+          std::max(config.min_probability, get(candidate[i]) / 2));
+      if (!budget.violates(candidate)) break;
+      events = std::move(candidate);
+    }
+  };
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    switch (events[i].kind) {
+      case FaultKind::kIidLoss:
+      case FaultKind::kCorrupt:
+        try_halve(
+            i, [](const FaultEvent& e) { return e.probability; },
+            [](FaultEvent& e, double v) { e.probability = v; });
+        break;
+      case FaultKind::kBurstLoss:
+        try_halve(
+            i, [](const FaultEvent& e) { return e.burst.loss_bad; },
+            [](FaultEvent& e, double v) { e.burst.loss_bad = v; });
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink(const faults::FaultSchedule& schedule,
+                    const Oracle& oracle, const ShrinkConfig& config) {
+  Budget budget{oracle, 0, config.max_oracle_calls};
+  std::vector<FaultEvent> events = repair(schedule.events());
+
+  events = ddmin(std::move(events), budget);
+  narrow_windows(events, budget, config);
+  lower_intensity(events, budget, config);
+
+  ShrinkResult result;
+  result.schedule = to_schedule(events);
+  result.oracle_calls = budget.calls;
+  result.reduced = result.schedule.size() < schedule.size() ||
+                   result.schedule.to_dsl() != schedule.to_dsl();
+  return result;
+}
+
+}  // namespace vigil

@@ -1,0 +1,51 @@
+// Automatic repro shrinking (docs/vigil.md "Shrinking"): given a fault
+// schedule that makes an oracle report "still violating", delta-debug it
+// down to a minimal replayable repro.
+//
+// Three passes, each oracle-driven and deterministic:
+//   1. ddmin over the event list — find a 1-minimal subset of events
+//      that still violates (Zeller/Hildebrandt delta debugging);
+//   2. window narrowing — halve each surviving event's duration while
+//      the violation persists (floor 1us);
+//   3. intensity lowering — halve loss/corruption probabilities and the
+//      burst model's bad-state loss (floor 0.01).
+//
+// Every candidate subset is *repaired* before the oracle sees it:
+// revive/restart events whose opening kill/crash was dropped are removed
+// too, so each candidate (and the final repro) passes
+// FaultSchedule::validate() and replays cleanly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "faults/schedule.hpp"
+
+namespace vigil {
+
+/// Returns true when the candidate schedule still reproduces the
+/// violation. The shrinker only ever *keeps* a candidate the oracle
+/// confirmed, so a flaky oracle can slow shrinking but never produce a
+/// non-violating repro.
+using Oracle = std::function<bool(const faults::FaultSchedule&)>;
+
+struct ShrinkConfig {
+  /// Hard cap on oracle invocations (each is a full scenario replay).
+  int max_oracle_calls = 200;
+  sim::Duration min_window = sim::Duration::micros(1);
+  double min_probability = 0.01;
+};
+
+struct ShrinkResult {
+  faults::FaultSchedule schedule;  // the minimal repro
+  int oracle_calls = 0;
+  bool reduced = false;  // any pass made the schedule strictly smaller
+};
+
+/// Precondition: oracle(schedule) is true (the caller already saw the
+/// violation). If the budget runs out mid-pass the best repro so far is
+/// returned — it always still violates.
+ShrinkResult shrink(const faults::FaultSchedule& schedule,
+                    const Oracle& oracle, const ShrinkConfig& config = {});
+
+}  // namespace vigil

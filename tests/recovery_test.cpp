@@ -21,6 +21,7 @@
 #include "recovery/recovery.hpp"
 #include "trio/hash_table.hpp"
 #include "trioml/testbed.hpp"
+#include "vigil/invariants.hpp"
 
 namespace {
 
@@ -336,6 +337,73 @@ at 60us kill spine
   EXPECT_EQ(a.fault_digest, b.fault_digest);
   EXPECT_EQ(a.recovery_digest, b.recovery_digest);
   EXPECT_EQ(a.result_digest, b.result_digest);
+}
+
+// Satellite: a leaf router has no standby, so killing one for good is
+// unrecoverable by failover — the cluster must still complete *cleanly
+// degraded* instead of wedging. Rack-0 workers lose their aggregation
+// path; the give-up grace abandons their unfinished blocks after the
+// retry budget stops helping, straggler aging drains the half-built
+// blocks the dead leaf stranded at the spine, and every runtime
+// invariant still holds on the drained cluster.
+TEST(Failover, LeafKillWithoutStandbyCompletesDegraded) {
+  ClusterSpec spec;
+  spec.racks = 2;
+  spec.workers_per_rack = 4;
+  spec.grads_per_packet = 128;
+  spec.slab_pool = 512;
+  spec.host_link.gbps = 10.0;
+  Cluster cl(spec);
+  for (int w = 0; w < 8; ++w) {
+    cl.worker(w).enable_hardened_retransmit(sim::Duration::millis(1),
+                                            /*retry_budget=*/6,
+                                            sim::Duration::millis(8));
+    cl.worker(w).enable_give_up(sim::Duration::millis(10));
+  }
+  cl.start_straggler_detection(/*threads=*/10, sim::Duration::millis(1));
+  RecoveryConfig rc;
+  rc.heartbeat = fast_heartbeats();
+  RecoveryManager mgr(cl, rc);
+  mgr.start();
+
+  FaultInjector injector(cl.simulator(), /*telemetry=*/nullptr);
+  injector.bind(cl);
+  injector.arm(FaultSchedule::parse("at 60us kill leaf:0"));
+
+  const sim::Time deadline = sim::Time(sim::Duration::millis(80).ns());
+  const auto grads = cluster::patterned_gradients(8, 128 * 256);
+  const cluster::AllreduceRun run =
+      cluster::run_allreduce(cl, grads, /*gen_id=*/1, deadline);
+  mgr.stop();
+  cl.stop_straggler_detection();
+
+  // Every worker completes and well before the deadline: no wedge.
+  EXPECT_EQ(run.finished, 8);
+  EXPECT_LT(run.finish, deadline);
+  EXPECT_EQ(mgr.failovers(), 0u);  // nothing to fail over to
+
+  // The completion is degraded, not silently lossy: rack-0 workers
+  // abandoned blocks via the give-up path and say so.
+  std::uint64_t abandoned = 0, retransmits = 0;
+  for (int w = 0; w < 8; ++w) {
+    abandoned += cl.worker(w).abandoned_blocks();
+    retransmits += cl.worker(w).retransmissions();
+  }
+  EXPECT_GT(abandoned, 0u);
+  // Retransmits are bounded by the budget, not an unbounded retry storm.
+  EXPECT_LE(retransmits, 8u * 256u * 6u);
+
+  // The drained cluster still satisfies the invariant catalogue.
+  cl.simulator().run_until(cl.simulator().now() + sim::Duration::millis(60));
+  vigil::InvariantEngine inv(cl);
+  if (cl.simulator().pending()) {
+    inv.check_conservation();
+  } else {
+    inv.check_quiescent();
+  }
+  for (const auto& v : inv.violations()) {
+    ADD_FAILURE() << v.invariant << ": " << v.detail;
+  }
 }
 
 TEST(Failover, RejoinRestoresPrimaryAfterRevival) {

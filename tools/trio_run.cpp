@@ -5,7 +5,7 @@
 //            [--counter WORD_ADDR] ... [--metrics-out FILE]
 //            [--trace-out FILE]
 //   trio-run --cluster RxW [--blocks N] [--shards N] [--faults FILE]
-//            [--deadline DUR] [--jobs FILE] [--netrpc] [--fluid]
+//            [--seed S] [--deadline DUR] [--jobs FILE] [--netrpc] [--fluid]
 //            [--no-isolation] [--metrics-out FILE] [--trace-out FILE]
 //
 // Traffic mix tokens: "ip" (clean IPv4/UDP), "arp" (non-IP EtherType),
@@ -48,11 +48,22 @@
 // count; forced to 1 by --jobs, --netrpc and --trace-out.
 //
 // --faults FILE (cluster mode) loads a chaos schedule in the faults DSL
-// (docs/faults.md), arms it on the cluster, hardens every worker's
-// retransmit path and enables straggler aging so injected faults recover;
-// --deadline DUR (e.g. 200ms) bounds the run. Crashed workers are
-// expected not to finish: the exit status only fails when a *surviving*
-// worker misses the deadline.
+// (docs/faults.md), validates it (tenant= qualifiers must name tenants
+// declared by --jobs/--netrpc; kill/revive and crash/restart windows must
+// pair up without overlap), arms it on the cluster, hardens every
+// worker's retransmit path — bounded retries plus a give-up grace so
+// unreachable aggregation completes degraded instead of retrying forever
+// — and enables straggler aging so injected faults recover; --deadline
+// DUR (e.g. 200ms) bounds the run. Crashed workers are expected not to
+// finish: the exit status only fails when a *surviving* worker misses
+// the deadline.
+//
+// --seed S (cluster mode) makes a faulted run reproducible end to end:
+// it seeds the injector's derived loss/corruption streams and every
+// worker's retransmit jitter, so the same schedule + seed replays the
+// same packet trace. After the run the cluster drains and the vigil
+// invariant catalogue (docs/vigil.md) is checked — a tripped invariant
+// prints the violations plus the fault-log digest and fails the run.
 //
 // --metrics-out writes the telemetry registry as JSON; --trace-out writes
 // a Chrome trace_event JSON timeline (chrome://tracing, Perfetto) with
@@ -75,8 +86,10 @@
 #include "microcode/compiler.hpp"
 #include "microcode/error.hpp"
 #include "microcode/interpreter.hpp"
+#include "netrpc/app.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trio/router.hpp"
+#include "vigil/invariants.hpp"
 
 namespace {
 
@@ -86,16 +99,46 @@ int usage() {
                "[--mix ip,arp,opts] [--counter WORD_ADDR]... "
                "[--metrics-out FILE] [--trace-out FILE]\n"
                "       trio-run --cluster RxW [--blocks N] [--shards N] "
-               "[--faults FILE] [--deadline DUR] "
+               "[--faults FILE] [--seed S] [--deadline DUR] "
                "[--jobs FILE] [--netrpc] [--fluid] [--no-isolation] "
                "[--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
 
+/// Post-run invariant sweep (docs/vigil.md): drain the cluster, run the
+/// catalogue, print anything that tripped. Returns true when clean.
+bool check_invariants(cluster::Cluster& cl, jobs::JobManager* mgr,
+                      const jobs::JobsSpec& jobs_spec,
+                      const faults::FaultInjector& injector,
+                      bool have_faults) {
+  if (mgr && mgr->netrpc_app()) mgr->netrpc_app()->stop_aging();
+  sim::Simulator& s = cl.simulator();
+  s.run_until(s.now() + sim::Duration::millis(60));
+  vigil::InvariantEngine inv(cl);
+  if (mgr) inv.attach_jobs(*mgr, jobs_spec);
+  if (s.pending()) {
+    // Something is still churning: only the anytime checks are valid.
+    inv.check_conservation();
+  } else {
+    inv.check_quiescent();
+  }
+  if (inv.ok()) return true;
+  for (const vigil::Violation& v : inv.violations()) {
+    std::printf("  invariant %s tripped at %s: %s\n", v.invariant.c_str(),
+                v.at.to_string().c_str(), v.detail.c_str());
+  }
+  if (have_faults) {
+    std::printf("  fault log digest: %016llx\n",
+                static_cast<unsigned long long>(injector.digest()));
+  }
+  return false;
+}
+
 int run_cluster(const std::string& topo, int blocks, int shards,
-                const std::string& faults_path, const std::string& deadline_s,
-                const std::string& jobs_path, bool netrpc_demo, bool fluid,
-                bool isolation, const std::string& metrics_out,
+                const std::string& faults_path, std::uint64_t seed,
+                const std::string& deadline_s, const std::string& jobs_path,
+                bool netrpc_demo, bool fluid, bool isolation,
+                const std::string& metrics_out,
                 const std::string& trace_out) {
   const std::size_t x = topo.find('x');
   const int racks = x == std::string::npos ? 0 : std::atoi(topo.c_str());
@@ -164,6 +207,15 @@ int run_cluster(const std::string& topo, int blocks, int shards,
   if (!faults_path.empty()) {
     try {
       schedule = faults::FaultSchedule::load(faults_path);
+      // Validate against the declared tenants: a `tenant=` qualifier
+      // naming an unknown tenant, or kill/revive / crash/restart windows
+      // that overlap or fail to pair, is a spec error worth rejecting at
+      // startup rather than a silently inert (or doubly applied) fault.
+      std::vector<int> declared;
+      for (const jobs::TenantSpec& t : jobs_spec.tenants) {
+        declared.push_back(int(t.id));
+      }
+      schedule.validate(&declared);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "trio-run: %s\n", e.what());
       return 1;
@@ -209,6 +261,7 @@ int run_cluster(const std::string& topo, int blocks, int shards,
   if (!schedule.empty()) {
     injector.bind(cl);
     if (mgr) mgr->bind_fault_injector(injector);
+    injector.set_base_seed(seed);
     try {
       injector.arm(schedule);
     } catch (const std::exception& e) {
@@ -216,11 +269,15 @@ int run_cluster(const std::string& topo, int blocks, int shards,
       return 1;
     }
     // A faulted run needs the recovery machinery: hardened retransmits on
-    // every worker plus straggler aging so dead contributors age out.
+    // every worker — with a give-up grace, so a block whose aggregation
+    // path died for good completes degraded instead of retrying forever —
+    // plus straggler aging so dead contributors age out.
     for (int w = 0; w < spec.total_workers(); ++w) {
       cl.worker(w).enable_hardened_retransmit(sim::Duration::millis(5),
                                               /*retry_budget=*/10,
                                               sim::Duration::millis(20));
+      cl.worker(w).enable_give_up(sim::Duration::millis(40));
+      cl.worker(w).reseed_jitter(seed ^ (0x74726f6eull + std::uint64_t(w)));
     }
     if (mgr) {
       for (jobs::TenantId t : mgr->admitted()) {
@@ -229,6 +286,9 @@ int run_cluster(const std::string& topo, int blocks, int shards,
             worker->enable_hardened_retransmit(sim::Duration::millis(5),
                                                /*retry_budget=*/10,
                                                sim::Duration::millis(20));
+            worker->enable_give_up(sim::Duration::millis(40));
+            worker->reseed_jitter(seed ^ (std::uint64_t(t) << 32) ^
+                                  std::uint64_t(w));
           }
         }
       }
@@ -369,6 +429,10 @@ int run_cluster(const std::string& topo, int blocks, int shards,
       std::printf("  trace: %s (%zu events)\n", trace_out.c_str(),
                   telem.tracer.event_count());
     }
+    if (!check_invariants(cl, mgr.get(), jobs_spec, injector,
+                          !schedule.empty())) {
+      all_finished = false;
+    }
     return all_finished ? 0 : 1;
   }
 
@@ -438,8 +502,11 @@ int run_cluster(const std::string& topo, int blocks, int shards,
                 telem.tracer.event_count());
   }
   // Workers that crashed are expected casualties; every survivor must
-  // have finished.
-  return run.finished >= spec.total_workers() - crashed_workers ? 0 : 1;
+  // have finished — and the cluster's runtime invariants must hold.
+  const bool clean = check_invariants(cl, mgr.get(), jobs_spec, injector,
+                                      !schedule.empty());
+  return clean && run.finished >= spec.total_workers() - crashed_workers ? 0
+                                                                         : 1;
 }
 
 net::Buffer make_frame(const std::string& kind) {
@@ -469,6 +536,7 @@ int main(int argc, char** argv) {
   bool isolation = true;
   int blocks = 8;
   int shards = 0;  // 0 = auto (hardware concurrency, capped by routers)
+  std::uint64_t seed = 0;
   int packets = 1000;
   std::vector<std::string> mix = {"ip", "arp", "opts"};
   std::vector<std::uint64_t> counters;
@@ -492,6 +560,11 @@ int main(int argc, char** argv) {
       faults_path = argv[++i];
     } else if (arg.rfind("--faults=", 0) == 0) {
       faults_path = arg.substr(std::string("--faults=").size());
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + std::string("--seed=").size(),
+                           nullptr, 0);
     } else if (arg == "--deadline" && i + 1 < argc) {
       deadline_s = argv[++i];
     } else if (arg.rfind("--deadline=", 0) == 0) {
@@ -528,9 +601,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!cluster_topo.empty()) {
-    return run_cluster(cluster_topo, blocks, shards, faults_path, deadline_s,
-                       jobs_path, netrpc_demo, fluid, isolation, metrics_out,
-                       trace_out);
+    return run_cluster(cluster_topo, blocks, shards, faults_path, seed,
+                       deadline_s, jobs_path, netrpc_demo, fluid, isolation,
+                       metrics_out, trace_out);
   }
   if (path.empty() || packets <= 0 || mix.empty()) return usage();
 
